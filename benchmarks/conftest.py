@@ -1,0 +1,55 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's figures/claims (see the
+experiment index in DESIGN.md).  Tables are written to
+``benchmarks/results/<name>.txt`` (and echoed to stdout) so the
+regenerated artifacts survive the pytest run; the pytest-benchmark
+table itself carries the timing comparisons.
+"""
+
+import io
+import os
+from typing import List, Sequence
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_report(name: str, text: str) -> str:
+    """Persist a regenerated table and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+    print(f"\n===== {name} =====")
+    print(text)
+    return path
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+
+    def render(cells):
+        return "  ".join(
+            str(cell).ljust(width) for cell, width in zip(cells, widths)
+        )
+
+    lines.append(render(headers))
+    lines.append(render(["-" * width for width in widths]))
+    for row in rows:
+        lines.append(render(row))
+    return "\n".join(lines) + "\n"
+
+
+@pytest.fixture(scope="session")
+def report():
+    return write_report
+
+
+@pytest.fixture(scope="session")
+def table():
+    return format_table

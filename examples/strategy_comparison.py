@@ -1,0 +1,99 @@
+"""Search-strategy comparison ([IC90], [LV91], Section 4.1).
+
+The optimizer separates its search *space* (actions/moves) from its
+search *strategy*.  This example runs the same recursive query through
+four strategies — Iterative Improvement, Simulated Annealing, two-phase
+and exhaustive enumeration — and tabulates plan quality against
+optimization effort (plans costed, wall-clock time).
+
+Run:  python examples/strategy_comparison.py
+"""
+
+import time
+
+from repro import MusicConfig, Optimizer, OptimizerConfig, generate_music_database
+from repro.core.strategies import (
+    ExhaustiveSearch,
+    IterativeImprovement,
+    SimulatedAnnealing,
+    TwoPhase,
+)
+from repro.cost import DetailedCostModel
+from repro.querygraph.builder import and_, arc, const, eq, ge, out, path, query, rule, spj, var
+from repro.workloads import fig3_query
+
+
+def dense_join_query(joins: int):
+    """A join-heavy query: the space where exhaustive enumeration
+    blows up while randomized strategies stay cheap."""
+    arcs = [arc("Composer", **{f"c{i}": "."}) for i in range(joins + 1)]
+    conjuncts = [eq(path("c0", "name"), const("Bach"))]
+    for i in range(1, joins + 1):
+        conjuncts.append(eq(path(f"c{i}", "master"), var(f"c{i-1}")))
+    for i in range(2, joins + 1):
+        conjuncts.append(
+            ge(path(f"c{i}", "birthyear"), path(f"c{i-2}", "birthyear"))
+        )
+    node = spj(
+        arcs, where=and_(*conjuncts), select=out(name=path(f"c{joins}", "name"))
+    )
+    return query(rule("Answer", node))
+
+
+def run_table(db, model, graph, title):
+    strategies = [
+        ("iterative improvement", IterativeImprovement(seed=1)),
+        ("simulated annealing", SimulatedAnnealing(seed=1)),
+        ("two-phase (II + SA)", TwoPhase(seed=1)),
+        ("exhaustive closure", ExhaustiveSearch(max_plans=2000)),
+    ]
+    print(f"\n=== {title} ===")
+    print(f"{'strategy':>24}  {'plan cost':>10}  {'plans costed':>12}  {'time':>8}")
+    print("-" * 62)
+    for name, strategy in strategies:
+        optimizer = Optimizer(
+            db.physical,
+            model,
+            OptimizerConfig(
+                push_policy="cost",
+                reoptimize=True,
+                strategy=strategy,
+                exhaustive_generate=isinstance(strategy, ExhaustiveSearch),
+            ),
+        )
+        started = time.perf_counter()
+        result = optimizer.optimize(graph)
+        elapsed = time.perf_counter() - started
+        print(
+            f"{name:>24}  {result.cost:10.1f}  {result.plans_costed:12d}  "
+            f"{elapsed * 1000:6.0f}ms"
+        )
+
+
+def main() -> None:
+    db = generate_music_database(
+        MusicConfig(lineages=10, generations=8, works_per_composer=3, seed=3)
+    )
+    db.build_paper_indexes()
+    model = DetailedCostModel(db.physical)
+
+    run_table(db, model, fig3_query(), "fig3: recursive query (small space)")
+    run_table(
+        db,
+        model,
+        dense_join_query(4),
+        "dense 4-way join (large join-order space)",
+    )
+
+    print()
+    print(
+        "All strategies search the same move space (join swaps, index "
+        "toggles,\nPIJ collapse/expansion, selection/join pushes through "
+        "recursion).  On the\njoin-heavy query the exhaustive baseline "
+        "enumerates several times more\nplans for the same final cost — "
+        "the paper's Section 4.1 trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""repro — a reproduction of *Optimization of Object-Oriented Recursive
+Queries using Cost-Controlled Strategies* (Lanzelotte, Valduriez, Zaït;
+SIGMOD 1992).
+
+The library implements the paper's full stack:
+
+* a conceptual schema model with classes, relations, ``isa``
+  inheritance, inverse attributes and methods (:mod:`repro.schema`);
+* query graphs with tree-shaped adornments and recursive views
+  (:mod:`repro.querygraph`), plus an OQL-like text front-end
+  (:mod:`repro.lang`);
+* a simulated direct-storage object store with pages, an LRU buffer
+  pool, clustering, fragments, B⁺-trees and path indices
+  (:mod:`repro.physical`);
+* the Processing-Tree plan algebra (:mod:`repro.plans`);
+* the Figure-5 cost model and the Section 4.6 simplified/symbolic model
+  (:mod:`repro.cost`);
+* an executor with semi-naive fixpoint evaluation and measured I/O
+  (:mod:`repro.engine`);
+* the cost-controlled optimizer — rewrite, translate, generatePT,
+  transformPT with selection/join push-through-recursion decided by
+  cost — plus deductive/naive/exhaustive baselines (:mod:`repro.core`);
+* synthetic workloads and the paper's canned queries
+  (:mod:`repro.workloads`).
+
+Quick start::
+
+    from repro import (
+        generate_music_database, MusicConfig,
+        cost_controlled_optimizer, Engine,
+    )
+    from repro.workloads import fig3_query
+
+    db = generate_music_database(MusicConfig(lineages=8, generations=8))
+    db.build_paper_indexes()
+    result = cost_controlled_optimizer(db.physical).optimize(fig3_query())
+    rows = Engine(db.physical).execute(result.plan).rows
+"""
+
+from repro.core import (
+    Optimizer,
+    OptimizerConfig,
+    OptimizationResult,
+    cost_controlled_optimizer,
+    deductive_optimizer,
+    exhaustive_optimizer,
+    naive_optimizer,
+)
+from repro.cost import (
+    CostParameters,
+    DetailedCostModel,
+    SimplifiedCostModel,
+    SimplifiedParameters,
+)
+from repro.engine import Engine, ExecutionResult, ReferenceEvaluator
+from repro.errors import ReproError
+from repro.physical import BufferPool, ObjectStore, PhysicalSchema
+from repro.schema import Catalog, build_music_catalog
+from repro.workloads import (
+    MusicConfig,
+    MusicDatabase,
+    fig2_query,
+    fig3_query,
+    generate_music_database,
+    join_push_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Optimizer",
+    "OptimizerConfig",
+    "OptimizationResult",
+    "cost_controlled_optimizer",
+    "deductive_optimizer",
+    "exhaustive_optimizer",
+    "naive_optimizer",
+    "CostParameters",
+    "DetailedCostModel",
+    "SimplifiedCostModel",
+    "SimplifiedParameters",
+    "Engine",
+    "ExecutionResult",
+    "ReferenceEvaluator",
+    "ReproError",
+    "BufferPool",
+    "ObjectStore",
+    "PhysicalSchema",
+    "Catalog",
+    "build_music_catalog",
+    "MusicConfig",
+    "MusicDatabase",
+    "fig2_query",
+    "fig3_query",
+    "generate_music_database",
+    "join_push_query",
+    "__version__",
+]

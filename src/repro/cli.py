@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``run QUERY_FILE``     — optimize and execute a query against a
+  generated database, printing the chosen plan and the answers;
+* ``explain QUERY_FILE`` — optimize only: plan tree, candidate costs,
+  per-node cost breakdown;
+* ``demo``               — the paper's Figure 3 walkthrough.
+
+The database is synthetic and parameterized from the command line
+(``--db music`` or ``--db parts``); queries are written in the OQL-like
+language of :mod:`repro.lang`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import Optimizer, OptimizerConfig
+from repro.core.baselines import (
+    cost_controlled_optimizer,
+    deductive_optimizer,
+    naive_optimizer,
+)
+from repro.cost import DetailedCostModel, SimplifiedCostModel
+from repro.engine import Engine
+from repro.errors import ReproError
+from repro.lang import compile_text
+from repro.plans import render_tree
+from repro.workloads import (
+    MusicConfig,
+    PartsConfig,
+    generate_music_database,
+    generate_parts_database,
+)
+
+__all__ = ["main", "build_parser"]
+
+FIG3_TEXT = """
+view Influencer as
+  select [master: x.master, disciple: x, gen: 1]
+  from x in Composer
+  union
+  select [master: i.master, disciple: x, gen: i.gen + 1]
+  from i in Influencer, x in Composer
+  where i.disciple = x.master;
+
+select [name: i.disciple.name, gen: i.gen]
+from i in Influencer
+where i.master.works.instruments.name = "harpsichord" and i.gen >= 3;
+"""
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Cost-controlled optimization of object-oriented recursive "
+            "queries (SIGMOD 1992 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument(
+            "--db",
+            choices=["music", "parts"],
+            default="music",
+            help="which synthetic database to generate",
+        )
+        p.add_argument("--seed", type=int, default=1992)
+        p.add_argument("--lineages", type=int, default=8)
+        p.add_argument("--generations", type=int, default=8)
+        p.add_argument(
+            "--selectivity",
+            type=float,
+            default=0.15,
+            help="fraction of works using the selective instrument",
+        )
+        p.add_argument("--buffer-pages", type=int, default=64)
+        p.add_argument(
+            "--policy",
+            choices=["cost", "always", "never"],
+            default="cost",
+            help="push-through-recursion policy",
+        )
+
+    run_parser = sub.add_parser("run", help="optimize and execute a query")
+    run_parser.add_argument("query_file")
+    run_parser.add_argument(
+        "--limit", type=int, default=20, help="max rows to print"
+    )
+    add_common(run_parser)
+
+    explain_parser = sub.add_parser("explain", help="optimize only")
+    explain_parser.add_argument("query_file")
+    explain_parser.add_argument(
+        "--simplified",
+        action="store_true",
+        help="also print the Section 4.6 symbolic cost table",
+    )
+    add_common(explain_parser)
+
+    demo_parser = sub.add_parser("demo", help="run the paper's Figure 3 demo")
+    add_common(demo_parser)
+    return parser
+
+
+def _build_database(args):
+    if args.db == "parts":
+        return generate_parts_database(
+            PartsConfig(
+                assemblies=max(1, args.lineages // 2),
+                depth=max(2, args.generations // 2),
+                seed=args.seed,
+            )
+        )
+    db = generate_music_database(
+        MusicConfig(
+            lineages=args.lineages,
+            generations=args.generations,
+            selective_fraction=args.selectivity,
+            buffer_pages=args.buffer_pages,
+            seed=args.seed,
+        )
+    )
+    db.build_paper_indexes()
+    return db
+
+
+def _optimizer(args, physical):
+    if args.policy == "always":
+        return deductive_optimizer(physical)
+    if args.policy == "never":
+        return naive_optimizer(physical)
+    return cost_controlled_optimizer(physical)
+
+
+def _read_query(args) -> str:
+    with open(args.query_file) as handle:
+        return handle.read()
+
+
+def _optimize(args, text: str, out):
+    db = _build_database(args)
+    graph = compile_text(text, db.catalog)
+    result = _optimizer(args, db.physical).optimize(graph)
+    print("=== plan ===", file=out)
+    print(render_tree(result.plan), file=out)
+    print(file=out)
+    print(f"estimated cost : {result.cost:.1f}", file=out)
+    print(f"plans costed   : {result.plans_costed}", file=out)
+    print(f"pushed through recursion: {result.chose_push()}", file=out)
+    if result.candidates:
+        print("candidates:", file=out)
+        for description, cost in result.candidates:
+            print(f"  {cost:10.1f}  {description}", file=out)
+    return db, result
+
+
+def cmd_run(args, out) -> int:
+    db, result = _optimize(args, _read_query(args), out)
+    execution = Engine(db.physical).execute(result.plan)
+    print(file=out)
+    print(f"=== {len(execution.rows)} rows ===", file=out)
+    for row in execution.rows[: args.limit]:
+        rendered = ", ".join(f"{k}={v!r}" for k, v in sorted(row.items()))
+        print(f"  {rendered}", file=out)
+    if len(execution.rows) > args.limit:
+        print(f"  ... {len(execution.rows) - args.limit} more", file=out)
+    metrics = execution.metrics
+    print(file=out)
+    print(
+        f"measured: {metrics.buffer.physical_reads} page reads, "
+        f"{metrics.predicate_evals} predicate evals, "
+        f"{metrics.index_lookups} index lookups, "
+        f"{metrics.fix_iterations} fixpoint iterations",
+        file=out,
+    )
+    return 0
+
+
+def cmd_explain(args, out) -> int:
+    db, result = _optimize(args, _read_query(args), out)
+    model = DetailedCostModel(db.physical)
+    report = model.report(result.plan)
+    print(file=out)
+    print("=== cost breakdown (detailed model) ===", file=out)
+    print(
+        f"total {report.total:.2f} (io {report.io:.2f}, cpu {report.cpu:.2f})",
+        file=out,
+    )
+    if args.simplified:
+        print(file=out)
+        print("=== simplified model (Section 4.6) ===", file=out)
+        simplified = SimplifiedCostModel(db.physical)
+        for row in simplified.table(result.plan, symbolic=True):
+            print(f"  {row.label:>4} [{row.section:>8}] {row.formula!r}", file=out)
+    return 0
+
+
+def cmd_demo(args, out) -> int:
+    import tempfile
+
+    with tempfile.NamedTemporaryFile("w", suffix=".oql", delete=False) as handle:
+        handle.write(FIG3_TEXT)
+        args.query_file = handle.name
+    args.limit = 15
+    print("running the paper's Figure 3 query:", file=out)
+    print(FIG3_TEXT, file=out)
+    return cmd_run(args, out)
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return cmd_run(args, out)
+        if args.command == "explain":
+            return cmd_explain(args, out)
+        if args.command == "demo":
+            return cmd_demo(args, out)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

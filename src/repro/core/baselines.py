@@ -1,0 +1,86 @@
+"""Baseline optimizers the paper argues against (Section 4.1).
+
+* :func:`deductive_optimizer` — the deductive-DB approach: rewriting
+  heuristics applied unconditionally.  Selections (and joins) that
+  *can* be pushed through recursion *are* pushed, with no cost model
+  consulted ("most deductive query processors would push selection and
+  projection through recursion [BR86]").
+* :func:`naive_optimizer` — never pushes through recursion and skips
+  randomized reoptimization: the plain generatePT output.
+* :func:`exhaustive_optimizer` — the [KZ88]-style strategy:
+  exhaustively enumerate the transformation space and keep the global
+  optimum.  "As this strategy is cost-based, optimality is guaranteed,
+  but the optimization time may become unacceptably high."
+* :func:`cost_controlled_optimizer` — the paper's optimizer with its
+  default two-pass, cost-compared transformPT (for symmetric naming).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.optimizer import Optimizer, OptimizerConfig
+from repro.core.strategies import ExhaustiveSearch, IterativeImprovement
+from repro.physical.schema import PhysicalSchema
+
+__all__ = [
+    "deductive_optimizer",
+    "naive_optimizer",
+    "exhaustive_optimizer",
+    "cost_controlled_optimizer",
+]
+
+
+def deductive_optimizer(
+    physical: PhysicalSchema, cost_model=None
+) -> Optimizer:
+    """Always push through recursion; no cost comparison."""
+    return Optimizer(
+        physical,
+        cost_model,
+        OptimizerConfig(push_policy="always", reoptimize=False),
+    )
+
+
+def naive_optimizer(physical: PhysicalSchema, cost_model=None) -> Optimizer:
+    """Never push through recursion; no randomized reoptimization."""
+    return Optimizer(
+        physical,
+        cost_model,
+        OptimizerConfig(push_policy="never", reoptimize=False),
+    )
+
+
+def exhaustive_optimizer(
+    physical: PhysicalSchema,
+    cost_model=None,
+    max_plans: int = 20_000,
+) -> Optimizer:
+    """Exhaustively close the transformation space ([KZ88])."""
+    return Optimizer(
+        physical,
+        cost_model,
+        OptimizerConfig(
+            push_policy="cost",
+            reoptimize=True,
+            strategy=ExhaustiveSearch(max_plans=max_plans),
+            exhaustive_generate=True,
+        ),
+    )
+
+
+def cost_controlled_optimizer(
+    physical: PhysicalSchema,
+    cost_model=None,
+    seed: int = 1992,
+) -> Optimizer:
+    """The paper's optimizer (cost-compared pushes + II reoptimization)."""
+    return Optimizer(
+        physical,
+        cost_model,
+        OptimizerConfig(
+            push_policy="cost",
+            reoptimize=True,
+            strategy=IterativeImprovement(seed=seed),
+        ),
+    )

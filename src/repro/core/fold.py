@@ -1,0 +1,320 @@
+"""The ``fold`` rewriting action: inlining non-recursive views.
+
+Section 4.2: "Other rewriting actions could be devised, e.g., for
+*folding* predicate nodes to eliminate non-recursive view definitions."
+
+``fold`` merges a non-recursive, single-rule view's predicate node into
+each consumer: the consumer's arc on the view is replaced by the view's
+own arcs (variables freshened), paths over the view tuple are rewritten
+through the view's output expressions, and the view's predicate is
+conjoined.  Folding widens the consumer's SPJ, giving ``generatePT`` a
+larger join-ordering space than optimizing the view in isolation — the
+classic payoff of view merging.
+
+Restrictions (the unfoldable cases keep their ``Materialize`` plan):
+
+* the view must be defined by exactly one SPJ rule (no unions);
+* the view must not be recursive;
+* the consumer must bind only the arc's root variable (no tree-label
+  descent into view tuples);
+* every view field the consumer touches must be a path expression
+  (computed fields would need expression pushing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.core.actions import Action, Application, saturate
+from repro.errors import OptimizationError
+from repro.querygraph.graph import (
+    Arc,
+    OutputField,
+    OutputSpec,
+    QueryGraph,
+    Rule,
+    SPJNode,
+)
+from repro.querygraph.predicates import (
+    And,
+    Comparison,
+    Const,
+    Expr,
+    FunctionApp,
+    Not,
+    Or,
+    PathRef,
+    Predicate,
+    TruePredicate,
+    conjoin,
+    conjuncts,
+)
+from repro.querygraph.tree_labels import TreeLabel
+
+__all__ = ["fold_action", "fold_views"]
+
+
+def _foldable_views(graph: QueryGraph) -> Dict[str, SPJNode]:
+    views: Dict[str, SPJNode] = {}
+    for name in graph.produced_names():
+        if name == graph.answer:
+            continue
+        rules = graph.producers_of(name)
+        if len(rules) != 1:
+            continue
+        node = rules[0].node
+        if not isinstance(node, SPJNode):
+            continue
+        if graph.is_recursive_name(name):
+            continue
+        views[name] = node
+    return views
+
+
+def _consumer_sites(graph: QueryGraph, views: Dict[str, SPJNode]):
+    for rule in graph.rules:
+        node = rule.node
+        if not isinstance(node, SPJNode):
+            continue
+        for arc in node.inputs:
+            if arc.name not in views:
+                continue
+            if rule.name == arc.name:
+                continue
+            yield rule, node, arc
+
+
+def _root_only(tree: TreeLabel) -> Optional[str]:
+    bindings = tree.bindings()
+    if len(bindings) == 1 and not bindings[0].path:
+        return bindings[0].variable
+    return None
+
+
+class _Freshener:
+    """Renames the view's variables apart from the consumer's."""
+
+    def __init__(self, taken: Set[str], view_name: str) -> None:
+        self._taken = set(taken)
+        self._prefix = view_name.lower()[:4]
+        self._mapping: Dict[str, str] = {}
+        self._counter = 0
+
+    def rename(self, variable: str) -> str:
+        if variable not in self._mapping:
+            candidate = variable
+            while candidate in self._taken:
+                self._counter += 1
+                candidate = f"{variable}_{self._prefix}{self._counter}"
+            self._mapping[variable] = candidate
+            self._taken.add(candidate)
+        return self._mapping[variable]
+
+    def expr(self, expression: Expr) -> Expr:
+        if isinstance(expression, PathRef):
+            return PathRef(self.rename(expression.var), expression.attrs)
+        if isinstance(expression, FunctionApp):
+            return FunctionApp(
+                expression.name,
+                [self.expr(argument) for argument in expression.args],
+                expression.fn,
+                expression.eval_weight,
+            )
+        return expression
+
+    def predicate(self, predicate: Predicate) -> Predicate:
+        if isinstance(predicate, TruePredicate):
+            return predicate
+        if isinstance(predicate, Comparison):
+            return Comparison(
+                predicate.op,
+                self.expr(predicate.left),
+                self.expr(predicate.right),
+            )
+        if isinstance(predicate, And):
+            return And(*[self.predicate(p) for p in predicate.parts])
+        if isinstance(predicate, Or):
+            return Or(*[self.predicate(p) for p in predicate.parts])
+        if isinstance(predicate, Not):
+            return Not(self.predicate(predicate.part))
+        return predicate
+
+    def tree(self, tree: TreeLabel) -> TreeLabel:
+        renamed = TreeLabel(
+            self.rename(tree.variable) if tree.variable is not None else None,
+            [
+                (attribute, self.tree(child))
+                for attribute, child in tree.children
+            ],
+            tree.is_element,
+        )
+        return renamed
+
+
+def _rewrite_through_view(
+    expression: Expr,
+    view_var: str,
+    view_fields: Dict[str, Expr],
+) -> Expr:
+    """Rewrite ``view_var.f.rest`` to the view's expression for ``f``
+    extended by ``rest``; other expressions recurse."""
+    if isinstance(expression, PathRef):
+        if expression.var != view_var:
+            return expression
+        if not expression.attrs:
+            raise OptimizationError(
+                "consumer uses the whole view tuple; cannot fold"
+            )
+        field_name, rest = expression.attrs[0], expression.attrs[1:]
+        if field_name not in view_fields:
+            raise OptimizationError(
+                f"view has no field {field_name!r}; cannot fold"
+            )
+        replacement = view_fields[field_name]
+        if isinstance(replacement, PathRef):
+            return PathRef(replacement.var, replacement.attrs + rest)
+        if rest:
+            raise OptimizationError(
+                f"view field {field_name!r} is computed; cannot fold a "
+                "path through it"
+            )
+        return replacement
+    if isinstance(expression, FunctionApp):
+        return FunctionApp(
+            expression.name,
+            [
+                _rewrite_through_view(argument, view_var, view_fields)
+                for argument in expression.args
+            ],
+            expression.fn,
+            expression.eval_weight,
+        )
+    return expression
+
+
+def _rewrite_predicate_through_view(
+    predicate: Predicate, view_var: str, view_fields: Dict[str, Expr]
+) -> Predicate:
+    if isinstance(predicate, TruePredicate):
+        return predicate
+    if isinstance(predicate, Comparison):
+        return Comparison(
+            predicate.op,
+            _rewrite_through_view(predicate.left, view_var, view_fields),
+            _rewrite_through_view(predicate.right, view_var, view_fields),
+        )
+    if isinstance(predicate, And):
+        return And(
+            *[
+                _rewrite_predicate_through_view(p, view_var, view_fields)
+                for p in predicate.parts
+            ]
+        )
+    if isinstance(predicate, Or):
+        return Or(
+            *[
+                _rewrite_predicate_through_view(p, view_var, view_fields)
+                for p in predicate.parts
+            ]
+        )
+    if isinstance(predicate, Not):
+        return Not(
+            _rewrite_predicate_through_view(
+                predicate.part, view_var, view_fields
+            )
+        )
+    return predicate
+
+
+def _fold_site(
+    graph: QueryGraph, rule: Rule, consumer: SPJNode, arc: Arc, view: SPJNode
+) -> QueryGraph:
+    view_var = _root_only(arc.tree)
+    if view_var is None:
+        raise OptimizationError(
+            "consumer descends into view tuples; cannot fold"
+        )
+    taken = set()
+    for consumer_arc in consumer.inputs:
+        taken.update(consumer_arc.variables())
+    freshener = _Freshener(taken, arc.name)
+    folded_arcs = [
+        Arc(view_arc.name, freshener.tree(view_arc.tree))
+        for view_arc in view.inputs
+    ]
+    view_fields = {
+        field.name: freshener.expr(field.expr) for field in view.output.fields
+    }
+    view_predicate = freshener.predicate(view.predicate)
+
+    new_inputs = [a for a in consumer.inputs if a is not arc] + folded_arcs
+    new_predicate = conjoin(
+        [
+            _rewrite_predicate_through_view(
+                conjunct, view_var, view_fields
+            )
+            for conjunct in conjuncts(consumer.predicate)
+        ]
+        + conjuncts(view_predicate)
+    )
+    new_output = OutputSpec(
+        [
+            OutputField(
+                field.name,
+                _rewrite_through_view(field.expr, view_var, view_fields),
+            )
+            for field in consumer.output.fields
+        ]
+    )
+    folded = SPJNode(new_inputs, new_predicate, new_output)
+    new_graph = QueryGraph(list(graph.rules), graph.answer)
+    new_graph.replace_rule(rule, Rule(rule.name, folded))
+    # Drop view definitions nothing references anymore.
+    return _drop_unused_views(new_graph)
+
+
+def _drop_unused_views(graph: QueryGraph) -> QueryGraph:
+    """Remove produced names nothing references (except the answer)."""
+    while True:
+        referenced = graph.referenced_names()
+        removable = [
+            name
+            for name in graph.produced_names()
+            if name != graph.answer and name not in referenced
+        ]
+        if not removable:
+            return graph
+        graph = QueryGraph(
+            [r for r in graph.rules if r.name not in removable],
+            graph.answer,
+        )
+
+
+def _fold_applications(graph: QueryGraph) -> Iterator[Application[QueryGraph]]:
+    views = _foldable_views(graph)
+    for rule, consumer, arc in _consumer_sites(graph, views):
+        view = views[arc.name]
+        if _root_only(arc.tree) is None:
+            continue
+
+        def apply(rule=rule, consumer=consumer, arc=arc, view=view):
+            return _fold_site(graph, rule, consumer, arc, view)
+
+        try:
+            # Probe applicability eagerly so inapplicable sites (paths
+            # through computed fields, whole-tuple uses) are skipped
+            # rather than failing at apply time.
+            apply()
+        except OptimizationError:
+            continue
+        yield Application(
+            fold_action, f"fold view {arc.name!r} into {rule.name!r}", apply
+        )
+
+
+fold_action: Action[QueryGraph] = Action("fold", _fold_applications)
+
+
+def fold_views(graph: QueryGraph, trace: List[str] = None) -> QueryGraph:
+    """Fold every foldable view, up to saturation (irrevocable)."""
+    return saturate(graph, [fold_action], trace=trace)

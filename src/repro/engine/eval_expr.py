@@ -1,0 +1,226 @@
+"""Evaluation of value expressions and predicates over runtime bindings.
+
+A *binding* maps variable names to runtime values: stored records, temp
+tuples (records of a temporary extent), oids, or atomic values.  Path
+evaluation over complex objects follows the paper's semantics:
+
+* dereferencing an oid is a real object access (charged through the
+  buffer pool);
+* a path crossing a set/list-valued attribute is *multivalued* — a
+  comparison over multivalued operands holds when **some** pair of
+  reached values satisfies it (existential semantics, which is what
+  "the works of Bach including a harpsichord" means);
+* a method (computed attribute) is invoked on demand, charging its
+  declared evaluation weight — the expensive-selection case that
+  motivates the whole paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.physical.storage import ObjectStore, Oid, StoredRecord
+from repro.querygraph.predicates import (
+    COMPARISON_OPS,
+    And,
+    Comparison,
+    Const,
+    Expr,
+    FunctionApp,
+    Not,
+    Or,
+    PathRef,
+    Predicate,
+    TruePredicate,
+)
+from repro.engine.metrics import RuntimeMetrics
+
+Binding = Dict[str, object]
+
+__all__ = ["Binding", "ExpressionEvaluator", "normalize_value", "canonical_row"]
+
+
+def normalize_value(value: object) -> object:
+    """Normalize a runtime value for comparison: records become oids."""
+    if isinstance(value, StoredRecord):
+        return value.oid
+    return value
+
+
+def canonical_row(binding: Binding) -> tuple:
+    """A hashable canonical form of a binding (for answer-set equality
+    and for fixpoint duplicate elimination)."""
+    items = []
+    for key in sorted(binding):
+        value = normalize_value(binding[key])
+        if isinstance(value, (list, tuple)):
+            value = tuple(normalize_value(v) for v in value)
+        items.append((key, value))
+    return tuple(items)
+
+
+class ExpressionEvaluator:
+    """Evaluates expressions and predicates against bindings.
+
+    ``method_resolver(entity_name, attribute)`` returns a
+    ``(compute, eval_weight)`` pair when the attribute is a computed
+    attribute (method) of the entity's conceptual class, else None —
+    injected by the engine, which knows the physical→conceptual map.
+
+    ``charged`` controls whether oid dereferences go through the
+    buffer-charging ``fetch`` (the executor) or the free ``peek`` (the
+    reference evaluator computing ground truth).
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        metrics: RuntimeMetrics,
+        method_resolver=None,
+        charged: bool = True,
+    ) -> None:
+        self._store = store
+        self._metrics = metrics
+        self._method_resolver = method_resolver
+        self._charged = charged
+
+    # -- value access ----------------------------------------------------------
+
+    def _deref(self, oid: Oid) -> StoredRecord:
+        if self._charged:
+            return self._store.fetch(oid)
+        return self._store.peek(oid)
+
+    def _attribute_values(self, value: object, attribute: str) -> List[object]:
+        """Values reachable by one attribute hop from ``value``."""
+        if isinstance(value, Oid):
+            value = self._deref(value)
+        if isinstance(value, StoredRecord):
+            if attribute in value.values:
+                result = value.values[attribute]
+            else:
+                result = self._invoke_method(value, attribute)
+        elif isinstance(value, dict):
+            if attribute not in value:
+                raise ExecutionError(
+                    f"tuple has no field {attribute!r} "
+                    f"(fields: {sorted(value)})"
+                )
+            result = value[attribute]
+        else:
+            raise ExecutionError(
+                f"cannot access attribute {attribute!r} of atomic value "
+                f"{value!r}"
+            )
+        if result is None:
+            return []
+        if isinstance(result, (tuple, list)):
+            return list(result)
+        return [result]
+
+    def _invoke_method(self, record: StoredRecord, attribute: str) -> object:
+        if self._method_resolver is not None:
+            resolved = self._method_resolver(record.entity, attribute)
+            if resolved is not None:
+                compute, weight = resolved
+                self._metrics.method_eval_weight += weight
+                return compute(record.values)
+        raise ExecutionError(
+            f"{record.entity!r} record has no attribute or method "
+            f"{attribute!r}"
+        )
+
+    def path_values(self, binding: Binding, path: PathRef) -> List[object]:
+        """All values reached by a path (existential expansion).
+
+        Intermediate oids are dereferenced (charged); the final values
+        are returned as-is (oids stay oids — a comparison of reference
+        attributes compares identities, per the object model).
+        """
+        if path.var not in binding:
+            raise ExecutionError(f"unbound variable {path.var!r}")
+        current: List[object] = [binding[path.var]]
+        for attribute in path.attrs:
+            next_values: List[object] = []
+            for value in current:
+                next_values.extend(self._attribute_values(value, attribute))
+            current = next_values
+        return current
+
+    # -- expressions ---------------------------------------------------------------
+
+    def expr_values(self, binding: Binding, expr: Expr) -> List[object]:
+        """All values of an expression (multivalued paths expand)."""
+        self._metrics.expr_evals += 1
+        if isinstance(expr, Const):
+            return [expr.value]
+        if isinstance(expr, PathRef):
+            return self.path_values(binding, expr)
+        if isinstance(expr, FunctionApp):
+            argument_lists = [self.expr_values(binding, arg) for arg in expr.args]
+            results: List[object] = []
+            self._metrics.method_eval_weight += expr.eval_weight
+            for combo in _product(argument_lists):
+                if expr.fn is None:
+                    raise ExecutionError(
+                        f"function {expr.name!r} has no implementation"
+                    )
+                results.append(expr.fn(*combo))
+            return results
+        raise ExecutionError(f"unknown expression type {type(expr).__name__}")
+
+    def expr_single(self, binding: Binding, expr: Expr) -> object:
+        """The single value of an expression (None when empty; raises on
+        genuinely multivalued results — output fields must be scalar)."""
+        values = self.expr_values(binding, expr)
+        if not values:
+            return None
+        if len(values) > 1:
+            raise ExecutionError(
+                f"expression {expr!r} is multivalued in an output position"
+            )
+        return values[0]
+
+    # -- predicates -----------------------------------------------------------------
+
+    def holds(self, binding: Binding, predicate: Predicate) -> bool:
+        """Whether ``predicate`` holds on ``binding`` (existential
+        semantics over multivalued paths); counts one evaluation."""
+        self._metrics.predicate_evals += 1
+        return self._holds(binding, predicate)
+
+    def _holds(self, binding: Binding, predicate: Predicate) -> bool:
+        if isinstance(predicate, TruePredicate):
+            return True
+        if isinstance(predicate, Comparison):
+            op = COMPARISON_OPS[predicate.op]
+            left_values = self.expr_values(binding, predicate.left)
+            right_values = self.expr_values(binding, predicate.right)
+            for left in left_values:
+                for right in right_values:
+                    try:
+                        if op(normalize_value(left), normalize_value(right)):
+                            return True
+                    except TypeError:
+                        continue
+            return False
+        if isinstance(predicate, And):
+            return all(self._holds(binding, part) for part in predicate.parts)
+        if isinstance(predicate, Or):
+            return any(self._holds(binding, part) for part in predicate.parts)
+        if isinstance(predicate, Not):
+            return not self._holds(binding, predicate.part)
+        raise ExecutionError(
+            f"unknown predicate type {type(predicate).__name__}"
+        )
+
+
+def _product(lists: Sequence[List[object]]):
+    if not lists:
+        yield ()
+        return
+    head, rest = lists[0], lists[1:]
+    for value in head:
+        for suffix in _product(rest):
+            yield (value,) + suffix

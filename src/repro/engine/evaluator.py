@@ -1,0 +1,494 @@
+"""The plan executor.
+
+Evaluates processing trees against the simulated object store with
+faithful I/O behaviour: scans touch each page once, implicit joins
+fetch referenced objects through the buffer, nested-loop explicit joins
+honestly re-scan their inner operand per outer tuple (the behaviour the
+``EJ`` cost formula of Figure 5 models), path-index joins charge index
+page reads of ``nblevels + nbleaves/||C1||`` per lookup (the ``PIJ``
+formula), and fixpoints run semi-naively (the ``Fix`` formula).
+
+The executor doubles as the cost model's ground truth: benchmarks
+compare its measured page I/O + predicate evaluations against the model
+estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import ExecutionError
+from repro.engine.eval_expr import (
+    Binding,
+    ExpressionEvaluator,
+    canonical_row,
+    normalize_value,
+)
+from repro.engine.fixpoint import run_fixpoint
+from repro.engine.metrics import RuntimeMetrics
+from repro.physical.schema import PhysicalSchema
+from repro.physical.storage import Oid, StoredRecord
+from repro.plans.nodes import (
+    EJ,
+    IJ,
+    INDEX_JOIN,
+    NESTED_LOOP,
+    PIJ,
+    EntityLeaf,
+    Fix,
+    Materialize,
+    PlanNode,
+    Proj,
+    RecLeaf,
+    Sel,
+    TempLeaf,
+    UnionOp,
+)
+from repro.plans.validate import validate_plan
+from repro.querygraph.predicates import Comparison, PathRef, conjuncts
+
+__all__ = ["ExecutionResult", "Engine"]
+
+
+class ExecutionResult:
+    """Rows and metrics from one plan evaluation."""
+
+    def __init__(self, rows: List[Binding], metrics: RuntimeMetrics) -> None:
+        self.rows = rows
+        self.metrics = metrics
+
+    def answer_set(self) -> frozenset:
+        """Canonical set of rows, for plan-equivalence assertions."""
+        return frozenset(canonical_row(row) for row in self.rows)
+
+    def answer_bag(self) -> Dict[tuple, int]:
+        """Canonical rows with multiplicities (bag semantics)."""
+        bag: Dict[tuple, int] = {}
+        for row in self.rows:
+            key = canonical_row(row)
+            bag[key] = bag.get(key, 0) + 1
+        return bag
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Engine:
+    """Evaluates processing trees against a physical schema."""
+
+    def __init__(
+        self,
+        physical: PhysicalSchema,
+        max_fix_iterations: int = 256,
+        keep_temps: bool = False,
+    ) -> None:
+        self.physical = physical
+        self.store = physical.store
+        self.max_fix_iterations = max_fix_iterations
+        self.keep_temps = keep_temps
+        self.metrics = RuntimeMetrics()
+        self._evaluator: Optional[ExpressionEvaluator] = None
+        self._temps_created: List[str] = []
+        self._consumed_vars: Set[str] = set()
+        #: Within one execute(): structurally identical Fix bodies are
+        #: evaluated once and share their materialized temporary (a
+        #: self-join of a recursion must not recompute the closure).
+        self._fix_cache: Dict[object, str] = {}
+
+    # -- public API -------------------------------------------------------------
+
+    def execute(self, plan: PlanNode, validate: bool = True) -> ExecutionResult:
+        """Evaluate a plan; returns rows plus runtime metrics."""
+        if validate:
+            validate_plan(plan, self.physical)
+        self.metrics = RuntimeMetrics()
+        self._evaluator = ExpressionEvaluator(
+            self.store, self.metrics, self._resolve_method, charged=True
+        )
+        self._temps_created = []
+        self._fix_cache = {}
+        from repro.plans.patterns import consumed_variables
+
+        self._consumed_vars = consumed_variables(plan)
+        buffer_before = self.store.buffer.stats.snapshot()
+        try:
+            rows = list(self.iterate(plan, {}))
+        finally:
+            if not self.keep_temps:
+                for temp_name in self._temps_created:
+                    if self.physical.has_entity(temp_name):
+                        self.physical.drop_temp(temp_name)
+        self.metrics.buffer = self.store.buffer.stats.delta_since(buffer_before)
+        return ExecutionResult(rows, self.metrics)
+
+    # -- engine services used by the fixpoint module -------------------------------
+
+    def note_temp(self, name: str) -> None:
+        """Record a temporary created during this execution so it can
+        be dropped afterwards (unless ``keep_temps``)."""
+        self._temps_created.append(name)
+
+    def _resolve_method(self, entity: str, attribute: str):
+        if self.physical.catalog is None or not self.physical.has_entity(entity):
+            return None
+        conceptual = self.physical.entity(entity).conceptual_name
+        if conceptual is None or conceptual not in self.physical.catalog:
+            return None
+        method = self.physical.catalog.method(conceptual, attribute)
+        if method is None:
+            return None
+        return (method.compute, method.eval_weight)
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def iterate(
+        self, node: PlanNode, delta_env: Dict[str, List[StoredRecord]]
+    ) -> Iterator[Binding]:
+        """Stream the bindings a plan node produces (operator
+        dispatch; ``delta_env`` carries semi-naive deltas)."""
+        evaluator = self._evaluator
+        if evaluator is None:
+            raise ExecutionError("iterate() called outside execute()")
+        if isinstance(node, (EntityLeaf, TempLeaf)):
+            for record in self.store.scan(node.entity):
+                self.metrics.count_tuple("scan")
+                yield {node.var: record}
+            return
+        if isinstance(node, RecLeaf):
+            delta = delta_env.get(node.name)
+            if delta is None:
+                raise ExecutionError(
+                    f"recursion reference {node.name!r} evaluated outside "
+                    "its fixpoint"
+                )
+            yield from self._scan_delta(node, delta)
+            return
+        if isinstance(node, Sel):
+            indexed = self._indexed_selection_access(node)
+            if indexed is not None:
+                yield from indexed
+                return
+            for binding in self.iterate(node.child, delta_env):
+                if evaluator.holds(binding, node.predicate):
+                    self.metrics.count_tuple("sel")
+                    yield binding
+            return
+        if isinstance(node, Proj):
+            for binding in self.iterate(node.child, delta_env):
+                row: Binding = {}
+                suppressed = False
+                for field in node.fields.fields:
+                    values = evaluator.expr_values(binding, field.expr)
+                    if not values:
+                        # Path semantics: a traversal over a null
+                        # reference yields nothing, so the output
+                        # tuple is suppressed (like the paper's base
+                        # rule, which emits no Influencer tuple for a
+                        # composer without a master).
+                        suppressed = True
+                        break
+                    if len(values) > 1:
+                        raise ExecutionError(
+                            f"output field {field.name!r} is multivalued"
+                        )
+                    row[field.name] = values[0]
+                if suppressed:
+                    continue
+                self.metrics.count_tuple("proj")
+                yield row
+            return
+        if isinstance(node, IJ):
+            yield from self._iterate_ij(node, delta_env)
+            return
+        if isinstance(node, PIJ):
+            yield from self._iterate_pij(node, delta_env)
+            return
+        if isinstance(node, EJ):
+            if node.algorithm == INDEX_JOIN:
+                yield from self._iterate_index_join(node, delta_env)
+            else:
+                yield from self._iterate_nested_loop(node, delta_env)
+            return
+        if isinstance(node, UnionOp):
+            yield from self.iterate(node.left, delta_env)
+            yield from self.iterate(node.right, delta_env)
+            return
+        if isinstance(node, Fix):
+            # The out_var does not affect the computed content: cache
+            # by (name, body) so rebound instances share the result.
+            # A body referencing an *enclosing* recursion's delta is
+            # iteration-dependent and must not be cached.
+            cacheable = all(
+                leaf.name == node.name
+                for leaf in node.body.walk()
+                if isinstance(leaf, RecLeaf)
+            )
+            cache_key = ("fix", node.name, node.body._key())
+            temp_name = (
+                self._fix_cache.get(cache_key) if cacheable else None
+            )
+            if temp_name is None or not self.physical.has_entity(temp_name):
+                temp_name = run_fixpoint(self, node, delta_env)
+                if cacheable:
+                    self._fix_cache[cache_key] = temp_name
+            for record in self.store.scan(temp_name):
+                self.metrics.count_tuple("fix")
+                yield {node.out_var: record}
+            return
+        if isinstance(node, Materialize):
+            temp_info = self.physical.register_temp(node.name)
+            self.note_temp(temp_info.name)
+            for binding in self.iterate(node.child, delta_env):
+                values = {
+                    key: normalize_value(value)
+                    for key, value in binding.items()
+                }
+                self.store.insert(temp_info.name, values)
+            for record in self.store.scan(temp_info.name):
+                self.metrics.count_tuple("materialize")
+                yield {node.out_var: record}
+            return
+        raise ExecutionError(f"unknown plan node {type(node).__name__}")
+
+    # -- operator implementations ------------------------------------------------------
+
+    def _indexed_selection_access(self, node: Sel):
+        """Index-assisted selection over a base entity
+        (``access_cost(Ci, P)`` with an index, Section 3.2):
+
+        * an equality conjunct on a directly indexed attribute descends
+          the selection B⁺-tree;
+        * an equality conjunct on a whole *path* matching a path
+          index's attribute sequence + terminal attribute uses the
+          index's **reverse** direction ([MS86]): the terminal value
+          keys the lookup and only the qualifying head objects are
+          fetched — no navigation at all.
+
+        Returns None when inapplicable."""
+        if not isinstance(node.child, EntityLeaf):
+            return None
+        leaf = node.child
+        evaluator = self._evaluator
+        assert evaluator is not None
+        from repro.querygraph.predicates import Const
+
+        for conjunct in conjuncts(node.predicate):
+            if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+                continue
+            for path_side, const_side in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if not (
+                    isinstance(path_side, PathRef)
+                    and path_side.var == leaf.var
+                    and isinstance(const_side, Const)
+                ):
+                    continue
+                # The index guarantees the matched conjunct; only the
+                # *residual* conjuncts are re-evaluated on the fetched
+                # records (re-checking a whole-path conjunct would
+                # navigate the very path the index exists to skip).
+                from repro.querygraph.predicates import conjoin
+
+                residual = conjoin(
+                    [c for c in conjuncts(node.predicate) if c != conjunct]
+                )
+                if len(path_side.attrs) == 1:
+                    index = self.physical.selection_index(
+                        leaf.entity, path_side.attrs[0]
+                    )
+                    if index is None:
+                        continue
+
+                    def generate(index=index, key=const_side.value,
+                                 residual=residual):
+                        self.metrics.index_lookups += 1
+                        self.metrics.index_page_reads += index.nblevels
+                        for oid in index.lookup(key):
+                            record = self.store.fetch(oid)
+                            binding = {leaf.var: record}
+                            if evaluator.holds(binding, residual):
+                                self.metrics.count_tuple("sel")
+                                yield binding
+
+                    return generate()
+                if len(path_side.attrs) >= 2:
+                    path_index = self.physical.path_index(
+                        leaf.entity, path_side.attrs[:-1]
+                    )
+                    if (
+                        path_index is None
+                        or path_index.terminal_attribute != path_side.attrs[-1]
+                    ):
+                        continue
+
+                    def generate_reverse(
+                        index=path_index, key=const_side.value,
+                        residual=residual,
+                    ):
+                        self.metrics.index_lookups += 1
+                        self.metrics.index_page_reads += index.nblevels
+                        seen = set()
+                        for path_tuple in index.reverse(key):
+                            head = path_tuple[0]
+                            if head in seen:
+                                continue
+                            seen.add(head)
+                            record = self.store.fetch(head)
+                            binding = {leaf.var: record}
+                            if evaluator.holds(binding, residual):
+                                self.metrics.count_tuple("sel")
+                                yield binding
+
+                    return generate_reverse()
+        return None
+
+    def _scan_delta(
+        self, node: RecLeaf, delta: List[StoredRecord]
+    ) -> Iterator[Binding]:
+        """Scan the current delta, charging each distinct page once."""
+        touched = set()
+        for record in delta:
+            if record.page_id is not None and record.page_id not in touched:
+                touched.add(record.page_id)
+                self.store.buffer.touch(record.page_id)
+            self.metrics.count_tuple("delta")
+            yield {node.var: record}
+
+    def _iterate_ij(
+        self, node: IJ, delta_env: Dict[str, List[StoredRecord]]
+    ) -> Iterator[Binding]:
+        evaluator = self._evaluator
+        assert evaluator is not None
+        for binding in self.iterate(node.child, delta_env):
+            for value in evaluator.path_values(binding, node.source):
+                if isinstance(value, Oid):
+                    record = self.store.fetch(value)
+                elif isinstance(value, StoredRecord):
+                    record = value
+                else:
+                    continue  # null or non-reference: inner-join drops it
+                self.metrics.count_tuple("ij")
+                merged = dict(binding)
+                merged[node.out_var] = record
+                yield merged
+
+    def _iterate_pij(
+        self, node: PIJ, delta_env: Dict[str, List[StoredRecord]]
+    ) -> Iterator[Binding]:
+        evaluator = self._evaluator
+        assert evaluator is not None
+        index = self.physical.find_path_index(node.attributes)
+        if index is None:
+            raise ExecutionError(
+                f"no path index on {node.path_name!r} at execution time"
+            )
+        stats = self.physical.statistics
+        head_count = max(1, stats.instances(index.root_entity))
+        per_lookup = index.nblevels + index.nbleaves / head_count
+        for binding in self.iterate(node.child, delta_env):
+            for value in evaluator.path_values(binding, node.source):
+                if isinstance(value, StoredRecord):
+                    head = value.oid
+                elif isinstance(value, Oid):
+                    head = value
+                else:
+                    continue
+                self.metrics.index_lookups += 1
+                self.metrics.index_page_reads += per_lookup
+                for path_tuple in index.forward(head):
+                    merged = dict(binding)
+                    for position, out_var in enumerate(node.out_vars):
+                        oid = path_tuple[position + 1]
+                        # Only fetch objects somebody consumes; the
+                        # others stay as oids (dereferenced on demand
+                        # if a predicate surprises us) — the whole
+                        # point of a path index is skipping the
+                        # intermediate objects ([MS86]).
+                        if out_var in self._consumed_vars:
+                            merged[out_var] = self.store.fetch(oid)
+                        else:
+                            merged[out_var] = oid
+                    self.metrics.count_tuple("pij")
+                    yield merged
+
+    def _iterate_nested_loop(
+        self, node: EJ, delta_env: Dict[str, List[StoredRecord]]
+    ) -> Iterator[Binding]:
+        """Nested-loop join: the inner operand is honestly re-scanned
+        for every outer binding, re-charging its I/O — this is exactly
+        what the EJ cost formula of Figure 5 prices."""
+        evaluator = self._evaluator
+        assert evaluator is not None
+        for left_binding in self.iterate(node.left, delta_env):
+            for right_binding in self.iterate(node.right, delta_env):
+                merged = dict(left_binding)
+                merged.update(right_binding)
+                if evaluator.holds(merged, node.predicate):
+                    self.metrics.count_tuple("ej")
+                    yield merged
+
+    def _iterate_index_join(
+        self, node: EJ, delta_env: Dict[str, List[StoredRecord]]
+    ) -> Iterator[Binding]:
+        evaluator = self._evaluator
+        assert evaluator is not None
+        leaf, residual_wrap = self._index_join_inner(node.right)
+        equality = self._index_join_key(node, leaf)
+        if equality is None:
+            raise ExecutionError(
+                "index_join requires an equality conjunct on an indexed "
+                "attribute of the inner entity"
+            )
+        outer_expr, attribute = equality
+        index = self.physical.selection_index(leaf.entity, attribute)
+        assert index is not None
+        for left_binding in self.iterate(node.left, delta_env):
+            for key in evaluator.expr_values(left_binding, outer_expr):
+                self.metrics.index_lookups += 1
+                self.metrics.index_page_reads += index.nblevels
+                for oid in index.lookup(normalize_value(key)):
+                    record = self.store.fetch(oid)
+                    merged = dict(left_binding)
+                    merged[leaf.var] = record
+                    if residual_wrap is not None and not evaluator.holds(
+                        merged, residual_wrap
+                    ):
+                        continue
+                    if evaluator.holds(merged, node.predicate):
+                        self.metrics.count_tuple("ej")
+                        yield merged
+
+    def _index_join_inner(self, right: PlanNode):
+        """The inner entity leaf and any residual selection around it."""
+        if isinstance(right, EntityLeaf):
+            return right, None
+        if isinstance(right, Sel) and isinstance(right.child, EntityLeaf):
+            return right.child, right.predicate
+        raise ExecutionError(
+            "index_join inner operand must be an entity (optionally under "
+            "a selection)"
+        )
+
+    def _index_join_key(self, node: EJ, leaf: EntityLeaf):
+        """Find ``outer_expr = leaf.attr`` with an index on (entity, attr)."""
+        for conjunct in conjuncts(node.predicate):
+            if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+                continue
+            for inner, outer in (
+                (conjunct.right, conjunct.left),
+                (conjunct.left, conjunct.right),
+            ):
+                if (
+                    isinstance(inner, PathRef)
+                    and inner.var == leaf.var
+                    and len(inner.attrs) == 1
+                    and not (outer.variables() & {leaf.var})
+                    and self.physical.has_selection_index(
+                        leaf.entity, inner.attrs[0]
+                    )
+                ):
+                    return outer, inner.attrs[0]
+        return None

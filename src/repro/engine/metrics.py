@@ -1,0 +1,70 @@
+"""Runtime metrics for plan execution.
+
+The cost model predicts page accesses and predicate evaluations; the
+engine counts what actually happened so benchmarks can compare the two
+(Figure 5 validation).  I/O counters live in the buffer pool; this
+module adds the CPU-side counters and combines both into one measured
+cost figure using the same unit weights the cost model uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.physical.buffer import BufferStats
+
+__all__ = ["RuntimeMetrics"]
+
+
+@dataclass
+class RuntimeMetrics:
+    """Counters accumulated during one plan evaluation."""
+
+    predicate_evals: int = 0
+    expr_evals: int = 0
+    method_eval_weight: float = 0.0
+    index_lookups: int = 0
+    #: Fractional: PIJ lookups charge ``nblevels + nbleaves/||C1||``.
+    index_page_reads: float = 0.0
+    fix_iterations: int = 0
+    tuples_by_operator: Dict[str, int] = field(default_factory=dict)
+    buffer: BufferStats = field(default_factory=BufferStats)
+
+    def count_tuple(self, operator: str) -> None:
+        """Count one output tuple for an operator kind."""
+        self.tuples_by_operator[operator] = (
+            self.tuples_by_operator.get(operator, 0) + 1
+        )
+
+    @property
+    def total_tuples(self) -> int:
+        """Total tuples produced across all operators."""
+        return sum(self.tuples_by_operator.values())
+
+    def measured_cost(
+        self, page_read_cost: float = 1.0, eval_cost: float = 0.1
+    ) -> float:
+        """Combine the counters into one cost figure.
+
+        Uses the same two unit weights as the paper's simplified model:
+        ``pr`` per (physical or index) page read and ``ev`` per
+        predicate evaluation; method invocations are weighted
+        evaluations.
+        """
+        io = self.buffer.physical_reads + self.index_page_reads
+        cpu = self.predicate_evals + self.method_eval_weight
+        return io * page_read_cost + cpu * eval_cost
+
+    def merge(self, other: "RuntimeMetrics") -> None:
+        """Accumulate another run's counters into this one."""
+        self.predicate_evals += other.predicate_evals
+        self.expr_evals += other.expr_evals
+        self.method_eval_weight += other.method_eval_weight
+        self.index_lookups += other.index_lookups
+        self.index_page_reads += other.index_page_reads
+        self.fix_iterations += other.fix_iterations
+        for operator, count in other.tuples_by_operator.items():
+            self.tuples_by_operator[operator] = (
+                self.tuples_by_operator.get(operator, 0) + count
+            )

@@ -1,0 +1,275 @@
+"""Reference evaluator: ground-truth semantics for query graphs.
+
+Evaluates a query graph *directly at the conceptual level* — nested
+loops over the incoming arcs, tree-label enumeration for variable
+bindings, naive fixpoint for recursive names — using unmetered store
+access.  It is deliberately simple and obviously correct; the test
+suite uses it to prove that every plan the optimizer emits (before or
+after any transformation) computes the same answer as the query it came
+from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ExecutionError
+from repro.engine.eval_expr import (
+    Binding,
+    ExpressionEvaluator,
+    canonical_row,
+    normalize_value,
+)
+from repro.engine.metrics import RuntimeMetrics
+from repro.physical.schema import PhysicalSchema
+from repro.physical.storage import Oid, StoredRecord
+from repro.querygraph.graph import (
+    Arc,
+    FixNode,
+    GraphNode,
+    QueryGraph,
+    SPJNode,
+    UnionNode,
+)
+from repro.querygraph.tree_labels import TreeLabel
+
+__all__ = ["ReferenceEvaluator"]
+
+MAX_NAIVE_ROUNDS = 512
+
+
+class ReferenceEvaluator:
+    """Evaluates query graphs naively against the store."""
+
+    def __init__(self, physical: PhysicalSchema) -> None:
+        self.physical = physical
+        self.store = physical.store
+        self.metrics = RuntimeMetrics()
+        self._evaluator = ExpressionEvaluator(
+            self.store, self.metrics, self._resolve_method, charged=False
+        )
+
+    def _resolve_method(self, entity: str, attribute: str):
+        if self.physical.catalog is None or not self.physical.has_entity(entity):
+            return None
+        conceptual = self.physical.entity(entity).conceptual_name
+        if conceptual is None or conceptual not in self.physical.catalog:
+            return None
+        method = self.physical.catalog.method(conceptual, attribute)
+        if method is None:
+            return None
+        return (method.compute, method.eval_weight)
+
+    # -- public API -----------------------------------------------------------
+
+    def evaluate(self, graph: QueryGraph) -> List[Binding]:
+        """All answer tuples of the graph (reference values normalized
+        to oids)."""
+        env = self._evaluate_all(graph)
+        return env[graph.answer]
+
+    def answer_set(self, graph: QueryGraph) -> frozenset:
+        """Canonical answer set of the graph (ground truth)."""
+        return frozenset(canonical_row(row) for row in self.evaluate(graph))
+
+    # -- graph evaluation ---------------------------------------------------------
+
+    def _evaluate_all(self, graph: QueryGraph) -> Dict[str, List[Binding]]:
+        env: Dict[str, List[Binding]] = {}
+        order = graph.stratification_order()
+        for name in order:
+            if name in env:
+                continue
+            stratum = self._stratum_of(graph, name, order)
+            self._evaluate_stratum(graph, stratum, env)
+        return env
+
+    def _stratum_of(
+        self, graph: QueryGraph, name: str, order: Sequence[str]
+    ) -> List[str]:
+        """The mutually recursive group containing ``name``."""
+        group = [name]
+        for other in order:
+            if other == name or other in group:
+                continue
+            if name in graph.depends_on(other) and other in graph.depends_on(name):
+                group.append(other)
+        return group
+
+    def _evaluate_stratum(
+        self,
+        graph: QueryGraph,
+        stratum: List[str],
+        env: Dict[str, List[Binding]],
+    ) -> None:
+        recursive = any(graph.is_recursive_name(name) for name in stratum)
+        for name in stratum:
+            env[name] = []
+        if not recursive:
+            for name in stratum:
+                rows: List[Binding] = []
+                for produced_rule in graph.producers_of(name):
+                    rows.extend(self._eval_node(produced_rule.node, env))
+                env[name] = _dedup(rows)
+            return
+        # Naive fixpoint over the whole stratum.
+        seen: Dict[str, Set[tuple]] = {name: set() for name in stratum}
+        for _round in range(MAX_NAIVE_ROUNDS):
+            changed = False
+            for name in stratum:
+                fresh: List[Binding] = []
+                for produced_rule in graph.producers_of(name):
+                    fresh.extend(self._eval_node(produced_rule.node, env))
+                for row in fresh:
+                    key = canonical_row(row)
+                    if key not in seen[name]:
+                        seen[name].add(key)
+                        env[name].append(row)
+                        changed = True
+            if not changed:
+                return
+        raise ExecutionError(
+            f"naive fixpoint over {stratum} did not converge within "
+            f"{MAX_NAIVE_ROUNDS} rounds"
+        )
+
+    def _eval_node(
+        self, node: GraphNode, env: Dict[str, List[Binding]]
+    ) -> List[Binding]:
+        if isinstance(node, SPJNode):
+            return list(self._eval_spj(node, env))
+        if isinstance(node, UnionNode):
+            rows: List[Binding] = []
+            for part in node.parts:
+                rows.extend(self._eval_node(part, env))
+            return rows
+        if isinstance(node, FixNode):
+            # The rewrite step wraps recursion; naive evaluation handles
+            # the recursion itself, so evaluate the body.
+            return self._eval_node(node.body, env)
+        raise ExecutionError(f"unknown graph node {type(node).__name__}")
+
+    # -- SPJ evaluation ----------------------------------------------------------------
+
+    def _eval_spj(
+        self, node: SPJNode, env: Dict[str, List[Binding]]
+    ) -> Iterator[Binding]:
+        for binding in self._bind_arcs(node.inputs, 0, {}, env):
+            if not self._evaluator.holds(binding, node.predicate):
+                continue
+            row: Binding = {}
+            suppressed = False
+            for field in node.output.fields:
+                values = self._evaluator.expr_values(binding, field.expr)
+                if not values:
+                    # Path semantics: traversing a null reference
+                    # yields no value, so the tuple is suppressed.
+                    suppressed = True
+                    break
+                if len(values) > 1:
+                    raise ExecutionError(
+                        f"output field {field.name!r} is multivalued"
+                    )
+                row[field.name] = normalize_value(values[0])
+            if not suppressed:
+                yield row
+
+    def _bind_arcs(
+        self,
+        arcs: Sequence[Arc],
+        position: int,
+        binding: Binding,
+        env: Dict[str, List[Binding]],
+    ) -> Iterator[Binding]:
+        if position == len(arcs):
+            yield dict(binding)
+            return
+        arc = arcs[position]
+        for instance in self._instances_of(arc.name, env):
+            for assignment in self._bind_tree(instance, arc.tree):
+                merged = dict(binding)
+                merged.update(assignment)
+                yield from self._bind_arcs(arcs, position + 1, merged, env)
+
+    def _instances_of(
+        self, name: str, env: Dict[str, List[Binding]]
+    ) -> Iterator[object]:
+        if name in env:
+            yield from env[name]
+            return
+        info = self.physical.primary_entity(name)
+        for record in self.store.extent(info.name).records:
+            yield record
+
+    # -- tree-label enumeration --------------------------------------------------------
+
+    def _bind_tree(self, value: object, tree: TreeLabel) -> Iterator[Binding]:
+        """All variable assignments of a tree label over one instance."""
+        partials: List[Binding] = [{}]
+        if tree.variable is not None:
+            partials = [{tree.variable: value}]
+        for name, child in tree.children:
+            expansions: List[Binding] = []
+            if name is not None:
+                for attr_value in self._attribute_values(value, name):
+                    for child_binding in self._bind_tree(attr_value, child):
+                        expansions.append(child_binding)
+            else:
+                for element in self._elements(value):
+                    for child_binding in self._bind_tree(element, child):
+                        expansions.append(child_binding)
+            partials = [
+                {**existing, **expansion}
+                for existing in partials
+                for expansion in expansions
+            ]
+            if not partials:
+                return
+        yield from partials
+
+    def _attribute_values(self, value: object, attribute: str) -> List[object]:
+        if isinstance(value, Oid):
+            value = self.store.peek(value)
+        if isinstance(value, StoredRecord):
+            if attribute in value.values:
+                raw = value.values[attribute]
+            else:
+                resolved = self._resolve_method(value.entity, attribute)
+                if resolved is None:
+                    raise ExecutionError(
+                        f"{value.entity!r} has no attribute {attribute!r}"
+                    )
+                compute, _weight = resolved
+                raw = compute(value.values)
+        elif isinstance(value, dict):
+            raw = value.get(attribute)
+        else:
+            raise ExecutionError(
+                f"cannot access {attribute!r} on atomic value {value!r}"
+            )
+        if raw is None:
+            return []
+        return [raw]
+
+    def _elements(self, value: object) -> List[object]:
+        if value is None:
+            return []
+        if isinstance(value, (tuple, list)):
+            return [self._maybe_deref(v) for v in value]
+        return [self._maybe_deref(value)]
+
+    def _maybe_deref(self, value: object) -> object:
+        if isinstance(value, Oid):
+            return self.store.peek(value)
+        return value
+
+
+def _dedup(rows: List[Binding]) -> List[Binding]:
+    seen: Set[tuple] = set()
+    unique: List[Binding] = []
+    for row in rows:
+        key = canonical_row(row)
+        if key not in seen:
+            seen.add(key)
+            unique.append(row)
+    return unique

@@ -1,0 +1,15 @@
+"""OQL-like query-language front-end: text → query graphs."""
+
+from repro.lang.compile import FunctionRegistry, compile_program, compile_text
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import Parser, parse
+
+__all__ = [
+    "FunctionRegistry",
+    "compile_program",
+    "compile_text",
+    "Token",
+    "tokenize",
+    "Parser",
+    "parse",
+]

@@ -1,0 +1,152 @@
+"""Abstract syntax for the query language.
+
+A program is a list of view definitions followed by one query.  The
+AST mirrors the paper's surface syntax closely; compilation to query
+graphs happens in :mod:`repro.lang.compile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+__all__ = [
+    "Literal",
+    "Path",
+    "Call",
+    "BinaryOp",
+    "ExprNode",
+    "ComparisonNode",
+    "AndNode",
+    "OrNode",
+    "NotNode",
+    "PredicateNode",
+    "FieldNode",
+    "BindingNode",
+    "SelectNode",
+    "SelectUnionNode",
+    "ViewDefNode",
+    "ProgramNode",
+]
+
+
+# -- expressions ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal constant (number, string, bool, null)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class Path:
+    """A path expression ``var.a1.a2...`` (a bare variable has no attrs)."""
+
+    var: str
+    attrs: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Call:
+    """A function application ``name(args...)``."""
+
+    name: str
+    args: Tuple["ExprNode", ...]
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Binary arithmetic: ``left op right``."""
+
+    op: str  # + - * /
+    left: "ExprNode"
+    right: "ExprNode"
+
+
+ExprNode = Union[Literal, Path, Call, BinaryOp]
+
+
+# -- predicates -------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ComparisonNode:
+    """A comparison ``left op right``."""
+
+    op: str
+    left: ExprNode
+    right: ExprNode
+
+
+@dataclass(frozen=True)
+class AndNode:
+    """Conjunction of predicates."""
+
+    parts: Tuple["PredicateNode", ...]
+
+
+@dataclass(frozen=True)
+class OrNode:
+    """Disjunction of predicates."""
+
+    parts: Tuple["PredicateNode", ...]
+
+
+@dataclass(frozen=True)
+class NotNode:
+    """Negated predicate."""
+
+    part: "PredicateNode"
+
+
+PredicateNode = Union[ComparisonNode, AndNode, OrNode, NotNode]
+
+
+# -- statements -------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FieldNode:
+    """One output field ``name: expr``."""
+
+    name: str
+    expr: ExprNode
+
+
+@dataclass(frozen=True)
+class BindingNode:
+    """One range binding ``var in Name``."""
+
+    var: str
+    source: str
+
+
+@dataclass(frozen=True)
+class SelectNode:
+    """One select: projection, range bindings, optional where."""
+
+    fields: Tuple[FieldNode, ...]
+    bindings: Tuple[BindingNode, ...]
+    predicate: Optional[PredicateNode]
+
+
+@dataclass(frozen=True)
+class SelectUnionNode:
+    """One or more selects combined by ``union``."""
+
+    selects: Tuple[SelectNode, ...]
+
+
+@dataclass(frozen=True)
+class ViewDefNode:
+    """A named view definition ``view N as <select union>;``."""
+
+    name: str
+    body: SelectUnionNode
+
+
+@dataclass(frozen=True)
+class ProgramNode:
+    """A full program: view definitions plus one query."""
+
+    views: Tuple[ViewDefNode, ...]
+    query: SelectUnionNode

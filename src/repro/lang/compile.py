@@ -1,0 +1,190 @@
+"""Compile parsed programs to query graphs.
+
+Each ``select`` becomes one predicate node (its ``from`` bindings the
+incoming arcs, the ``where`` the Boolean predicate, the projection the
+output spec); a view's union branches become multiple rules producing
+the view's name node — exactly the shape the paper's ``rewrite`` step
+expects to find.  The query itself produces the ``Answer`` name node.
+
+Functions used in queries (e.g. ``add1gen``) are resolved against a
+caller-supplied registry mapping name → ``(callable, eval_weight)``;
+built-in arithmetic needs no registration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import CompileError
+from repro.lang.ast import (
+    AndNode,
+    BinaryOp,
+    BindingNode,
+    Call,
+    ComparisonNode,
+    ExprNode,
+    FieldNode,
+    Literal,
+    NotNode,
+    OrNode,
+    Path,
+    PredicateNode,
+    ProgramNode,
+    SelectNode,
+    SelectUnionNode,
+    ViewDefNode,
+)
+from repro.lang.parser import parse
+from repro.querygraph.graph import (
+    Arc,
+    OutputField,
+    OutputSpec,
+    QueryGraph,
+    Rule,
+    SPJNode,
+)
+from repro.querygraph.predicates import (
+    And,
+    Arith,
+    Comparison,
+    Const,
+    Expr,
+    FunctionApp,
+    Not,
+    Or,
+    PathRef,
+    Predicate,
+    TruePredicate,
+)
+from repro.querygraph.tree_labels import TreeLabel
+from repro.schema.catalog import Catalog
+
+__all__ = ["compile_program", "compile_text", "FunctionRegistry"]
+
+FunctionRegistry = Dict[str, Tuple[Callable[..., object], float]]
+
+ANSWER = "Answer"
+
+
+def compile_text(
+    text: str,
+    catalog: Optional[Catalog] = None,
+    functions: Optional[FunctionRegistry] = None,
+) -> QueryGraph:
+    """Parse and compile query text to a query graph."""
+    return compile_program(parse(text), catalog, functions)
+
+
+def compile_program(
+    program: ProgramNode,
+    catalog: Optional[Catalog] = None,
+    functions: Optional[FunctionRegistry] = None,
+) -> QueryGraph:
+    compiler = _Compiler(catalog, functions or {})
+    rules: List[Rule] = []
+    view_names = {view.name for view in program.views}
+    for view in program.views:
+        rules.extend(compiler.compile_union(view.name, view.body, view_names))
+    rules.extend(compiler.compile_union(ANSWER, program.query, view_names))
+    return QueryGraph(rules, ANSWER)
+
+
+class _Compiler:
+    def __init__(
+        self, catalog: Optional[Catalog], functions: FunctionRegistry
+    ) -> None:
+        self.catalog = catalog
+        self.functions = functions
+
+    def compile_union(
+        self, name: str, union: SelectUnionNode, view_names: set
+    ) -> List[Rule]:
+        return [
+            Rule(name, self.compile_select(select, view_names))
+            for select in union.selects
+        ]
+
+    def compile_select(self, select: SelectNode, view_names: set) -> SPJNode:
+        seen_vars: Dict[str, str] = {}
+        arcs: List[Arc] = []
+        for binding in select.bindings:
+            if binding.var in seen_vars:
+                raise CompileError(
+                    f"variable {binding.var!r} bound twice in one select"
+                )
+            seen_vars[binding.var] = binding.source
+            if (
+                self.catalog is not None
+                and binding.source not in self.catalog
+                and binding.source not in view_names
+            ):
+                raise CompileError(
+                    f"unknown class, relation or view {binding.source!r}"
+                )
+            arcs.append(Arc(binding.source, TreeLabel.from_bindings({binding.var: "."})))
+        predicate = (
+            self.compile_predicate(select.predicate, seen_vars)
+            if select.predicate is not None
+            else TruePredicate()
+        )
+        fields = [
+            OutputField(field.name, self.compile_expr(field.expr, seen_vars))
+            for field in select.fields
+        ]
+        return SPJNode(arcs, predicate, OutputSpec(fields))
+
+    # -- predicates ---------------------------------------------------------------
+
+    def compile_predicate(
+        self, node: PredicateNode, variables: Dict[str, str]
+    ) -> Predicate:
+        if isinstance(node, ComparisonNode):
+            return Comparison(
+                node.op,
+                self.compile_expr(node.left, variables),
+                self.compile_expr(node.right, variables),
+            )
+        if isinstance(node, AndNode):
+            return And(
+                *[self.compile_predicate(part, variables) for part in node.parts]
+            )
+        if isinstance(node, OrNode):
+            return Or(
+                *[self.compile_predicate(part, variables) for part in node.parts]
+            )
+        if isinstance(node, NotNode):
+            return Not(self.compile_predicate(node.part, variables))
+        raise CompileError(f"unknown predicate node {node!r}")
+
+    # -- expressions -----------------------------------------------------------------
+
+    def compile_expr(self, node: ExprNode, variables: Dict[str, str]) -> Expr:
+        if isinstance(node, Literal):
+            return Const(node.value)
+        if isinstance(node, Path):
+            if node.var not in variables:
+                raise CompileError(
+                    f"unbound variable {node.var!r} (range variables: "
+                    f"{sorted(variables)})"
+                )
+            return PathRef(node.var, node.attrs)
+        if isinstance(node, BinaryOp):
+            return Arith(
+                node.op,
+                self.compile_expr(node.left, variables),
+                self.compile_expr(node.right, variables),
+            )
+        if isinstance(node, Call):
+            if node.name not in self.functions:
+                raise CompileError(
+                    f"unknown function {node.name!r}; register it in the "
+                    "function registry"
+                )
+            fn, weight = self.functions[node.name]
+            return FunctionApp(
+                node.name,
+                [self.compile_expr(arg, variables) for arg in node.args],
+                fn,
+                weight,
+            )
+        raise CompileError(f"unknown expression node {node!r}")

@@ -1,0 +1,157 @@
+"""Lexer for the OQL-like query language.
+
+The paper's queries are written in an ESQL/O2Query-style surface
+(Section 1, Section 2.3)::
+
+    view Influencer as
+      select [master: x.master, disciple: x, gen: 1]
+      from x in Composer
+      union
+      select [master: i.master, disciple: x, gen: i.gen + 1]
+      from i in Influencer, x in Composer
+      where i.disciple = x.master;
+
+Tokens carry line/column positions for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import LexError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "select",
+        "from",
+        "where",
+        "in",
+        "union",
+        "view",
+        "as",
+        "and",
+        "or",
+        "not",
+        "true",
+        "false",
+        "null",
+    }
+)
+
+# Multi-character operators first so "<=" beats "<".
+OPERATORS = ["<=", ">=", "!=", "==", "=", "<", ">", "+", "-", "*", "/"]
+PUNCTUATION = {"(", ")", "[", "]", "{", "}", ",", ":", ";", "."}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: ``kind`` is ``ident``, ``keyword``,
+    ``number``, ``string``, ``op``, ``punct`` or ``eof``."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def is_(self, kind: str, value: Optional[str] = None) -> bool:
+        return self.kind == kind and (value is None or self.value == value)
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"{self.kind}:{self.value!r}@{self.line}:{self.column}"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize query text; raises :class:`LexError` on bad input."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char == "\n":
+            position += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            position += 1
+            column += 1
+            continue
+        if text.startswith("--", position):
+            while position < length and text[position] != "\n":
+                position += 1
+            continue
+        if char == '"' or char == "'":
+            literal, consumed = _read_string(text, position, line, column)
+            tokens.append(Token("string", literal, line, column))
+            position += consumed
+            column += consumed
+            continue
+        if char.isdigit():
+            start = position
+            while position < length and (
+                text[position].isdigit() or text[position] == "."
+            ):
+                # A dot followed by a non-digit ends the number (it is
+                # path punctuation, not a decimal point).
+                if text[position] == "." and (
+                    position + 1 >= length or not text[position + 1].isdigit()
+                ):
+                    break
+                position += 1
+            value = text[start:position]
+            tokens.append(Token("number", value, line, column))
+            column += position - start
+            continue
+        if char.isalpha() or char == "_":
+            start = position
+            while position < length and (
+                text[position].isalnum() or text[position] == "_"
+            ):
+                position += 1
+            word = text[start:position]
+            kind = "keyword" if word.lower() in KEYWORDS else "ident"
+            value = word.lower() if kind == "keyword" else word
+            tokens.append(Token(kind, value, line, column))
+            column += position - start
+            continue
+        matched_operator = None
+        for operator in OPERATORS:
+            if text.startswith(operator, position):
+                matched_operator = operator
+                break
+        if matched_operator is not None:
+            tokens.append(Token("op", matched_operator, line, column))
+            position += len(matched_operator)
+            column += len(matched_operator)
+            continue
+        if char in PUNCTUATION:
+            tokens.append(Token("punct", char, line, column))
+            position += 1
+            column += 1
+            continue
+        raise LexError(f"unexpected character {char!r}", line, column)
+    tokens.append(Token("eof", "", line, column))
+    return tokens
+
+
+def _read_string(text: str, position: int, line: int, column: int):
+    quote = text[position]
+    value_chars: List[str] = []
+    cursor = position + 1
+    while cursor < len(text):
+        char = text[cursor]
+        if char == "\\" and cursor + 1 < len(text):
+            value_chars.append(text[cursor + 1])
+            cursor += 2
+            continue
+        if char == quote:
+            return "".join(value_chars), cursor - position + 1
+        if char == "\n":
+            break
+        value_chars.append(char)
+        cursor += 1
+    raise LexError("unterminated string literal", line, column)

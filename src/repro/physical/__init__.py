@@ -1,0 +1,62 @@
+"""Physical storage substrate (Section 3 of the paper).
+
+A simulated direct-storage OODB: pages and segments
+(:mod:`~repro.physical.pages`), an LRU buffer pool with I/O accounting
+(:mod:`~repro.physical.buffer`), the object store
+(:mod:`~repro.physical.storage`), static multiclass clustering
+(:mod:`~repro.physical.clustering`), horizontal/vertical fragments
+(:mod:`~repro.physical.fragments`), B⁺-trees
+(:mod:`~repro.physical.btree`), path/selection indices
+(:mod:`~repro.physical.path_index`), statistics
+(:mod:`~repro.physical.stats`) and the physical schema registry
+(:mod:`~repro.physical.schema`).
+"""
+
+from repro.physical.btree import BPlusTree
+from repro.physical.buffer import BufferPool, BufferStats
+from repro.physical.clustering import ClusterTree, apply_clustering, cluster_along_path
+from repro.physical.fragments import (
+    SOURCE_ATTRIBUTE,
+    FragmentInfo,
+    create_horizontal_fragment,
+    create_vertical_fragment,
+)
+from repro.physical.pages import DEFAULT_RECORDS_PER_PAGE, Page, PagedSegment, PageId
+from repro.physical.path_index import (
+    PathIndex,
+    SelectionIndex,
+    build_path_index,
+    build_selection_index,
+)
+from repro.physical.schema import EntityInfo, PhysicalSchema
+from repro.physical.stats import EntityStatistics, Statistics
+from repro.physical.storage import Extent, ObjectStore, Oid, StoredRecord
+
+__all__ = [
+    "BPlusTree",
+    "BufferPool",
+    "BufferStats",
+    "ClusterTree",
+    "apply_clustering",
+    "cluster_along_path",
+    "SOURCE_ATTRIBUTE",
+    "FragmentInfo",
+    "create_horizontal_fragment",
+    "create_vertical_fragment",
+    "DEFAULT_RECORDS_PER_PAGE",
+    "Page",
+    "PagedSegment",
+    "PageId",
+    "PathIndex",
+    "SelectionIndex",
+    "build_path_index",
+    "build_selection_index",
+    "EntityInfo",
+    "PhysicalSchema",
+    "EntityStatistics",
+    "Statistics",
+    "Extent",
+    "ObjectStore",
+    "Oid",
+    "StoredRecord",
+]

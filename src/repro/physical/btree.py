@@ -1,0 +1,296 @@
+"""A B⁺-tree, used for selection indices and as the path-index backbone.
+
+"Selection or path indices are assumed to be implemented as B⁺-trees"
+(Section 3.2).  The cost model needs two structural parameters from an
+index: ``nblevels`` (its height) and ``nbleaves`` (its leaf count), so
+this is a real node-based B⁺-tree, not a sorted-dict stand-in — the
+structural parameters fall out of the actual shape.
+
+Keys must be mutually comparable; values are opaque.  Duplicate keys
+are supported: each leaf entry holds the list of values inserted under
+its key, which is the natural shape for a secondary index (one key,
+many oids).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+__all__ = ["BPlusTree"]
+
+DEFAULT_ORDER = 32
+
+
+class _Node:
+    __slots__ = ("keys",)
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+
+    def is_leaf(self) -> bool:
+        raise NotImplementedError
+
+
+class _Leaf(_Node):
+    __slots__ = ("values", "next")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.values: List[List[Any]] = []
+        self.next: Optional["_Leaf"] = None
+
+    def is_leaf(self) -> bool:
+        return True
+
+
+class _Internal(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.children: List[_Node] = []
+
+    def is_leaf(self) -> bool:
+        return False
+
+
+def _bisect_right(keys: List[Any], key: Any) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if key < keys[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def _bisect_left(keys: List[Any], key: Any) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class BPlusTree:
+    """A B⁺-tree with duplicate-key support and leaf chaining.
+
+    ``order`` is the maximum number of keys per node; nodes split when
+    they would exceed it.
+    """
+
+    def __init__(self, order: int = DEFAULT_ORDER) -> None:
+        if order < 3:
+            raise ValueError("B+-tree order must be >= 3")
+        self.order = order
+        self._root: _Node = _Leaf()
+        self._size = 0  # number of (key, value) pairs
+        self._distinct = 0  # number of distinct keys
+
+    # -- structural parameters used by the cost model -----------------------
+
+    @property
+    def nblevels(self) -> int:
+        """Height of the tree (1 for a lone leaf) — ``nblevels(I)``."""
+        levels = 1
+        node = self._root
+        while not node.is_leaf():
+            node = node.children[0]  # type: ignore[attr-defined]
+            levels += 1
+        return levels
+
+    @property
+    def nbleaves(self) -> int:
+        """Number of leaf nodes — ``nbleaves(I)``."""
+        count = 0
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            count += 1
+            leaf = leaf.next
+        return count
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def distinct_keys(self) -> int:
+        return self._distinct
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = _Internal()
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+
+    def _insert(
+        self, node: _Node, key: Any, value: Any
+    ) -> Optional[Tuple[Any, _Node]]:
+        if node.is_leaf():
+            leaf = node  # type: _Leaf
+            index = _bisect_left(leaf.keys, key)
+            if index < len(leaf.keys) and leaf.keys[index] == key:
+                leaf.values[index].append(value)
+                self._size += 1
+                return None
+            leaf.keys.insert(index, key)
+            leaf.values.insert(index, [value])
+            self._size += 1
+            self._distinct += 1
+            if len(leaf.keys) > self.order:
+                return self._split_leaf(leaf)
+            return None
+        internal = node  # type: _Internal
+        index = _bisect_right(internal.keys, key)
+        split = self._insert(internal.children[index], key, value)
+        if split is None:
+            return None
+        separator, right = split
+        internal.keys.insert(index, separator)
+        internal.children.insert(index + 1, right)
+        if len(internal.keys) > self.order:
+            return self._split_internal(internal)
+        return None
+
+    def _split_leaf(self, leaf: _Leaf) -> Tuple[Any, _Node]:
+        middle = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[middle:]
+        right.values = leaf.values[middle:]
+        leaf.keys = leaf.keys[:middle]
+        leaf.values = leaf.values[:middle]
+        right.next = leaf.next
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, internal: _Internal) -> Tuple[Any, _Node]:
+        middle = len(internal.keys) // 2
+        separator = internal.keys[middle]
+        right = _Internal()
+        right.keys = internal.keys[middle + 1:]
+        right.children = internal.children[middle + 1:]
+        internal.keys = internal.keys[:middle]
+        internal.children = internal.children[:middle + 1]
+        return separator, right
+
+    # -- lookup ----------------------------------------------------------------
+
+    def _leftmost_leaf(self) -> Optional[_Leaf]:
+        node = self._root
+        while not node.is_leaf():
+            node = node.children[0]  # type: ignore[attr-defined]
+        return node  # type: ignore[return-value]
+
+    def _find_leaf(self, key: Any) -> _Leaf:
+        node = self._root
+        while not node.is_leaf():
+            internal = node  # type: _Internal
+            index = _bisect_right(internal.keys, key)
+            node = internal.children[index]
+        return node  # type: ignore[return-value]
+
+    def search(self, key: Any) -> List[Any]:
+        """All values stored under ``key`` (empty list when absent)."""
+        leaf = self._find_leaf(key)
+        index = _bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return list(leaf.values[index])
+        return []
+
+    def contains(self, key: Any) -> bool:
+        leaf = self._find_leaf(key)
+        index = _bisect_left(leaf.keys, key)
+        return index < len(leaf.keys) and leaf.keys[index] == key
+
+    def range_search(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs with ``low <= key <= high``.
+
+        Bounds of None are open; inclusion flags control strictness.
+        """
+        if low is None:
+            leaf: Optional[_Leaf] = self._leftmost_leaf()
+            index = 0
+        else:
+            leaf = self._find_leaf(low)
+            index = (
+                _bisect_left(leaf.keys, low)
+                if include_low
+                else _bisect_right(leaf.keys, low)
+            )
+        while leaf is not None:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if high is not None:
+                    if include_high:
+                        if high < key:
+                            return
+                    elif not (key < high):
+                        return
+                for value in leaf.values[index]:
+                    yield key, value
+                index += 1
+            leaf = leaf.next
+            index = 0
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        return self.range_search()
+
+    def keys(self) -> Iterator[Any]:
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            for key in leaf.keys:
+                yield key
+            leaf = leaf.next
+
+    # -- invariant checking (used by property tests) -----------------------------
+
+    def check_invariants(self) -> None:
+        """Assert B⁺-tree structural invariants; raises AssertionError."""
+        self._check_node(self._root, None, None, is_root=True)
+        # Leaf chain must be sorted and cover all keys.
+        previous = None
+        for key in self.keys():
+            if previous is not None:
+                assert previous < key, "leaf chain out of order"
+            previous = key
+
+    def _check_node(
+        self, node: _Node, low: Any, high: Any, is_root: bool = False
+    ) -> int:
+        assert node.keys == sorted(node.keys), "node keys unsorted"
+        if not is_root:
+            minimum = 1 if node.is_leaf() else self.order // 2 - 1
+            assert len(node.keys) >= max(1, minimum) or node.is_leaf(), (
+                "underfull internal node"
+            )
+        for key in node.keys:
+            if low is not None:
+                assert not (key < low), "key below subtree bound"
+            if high is not None:
+                assert key < high or key == high, "key above subtree bound"
+        if node.is_leaf():
+            return 1
+        internal = node  # type: _Internal
+        assert len(internal.children) == len(internal.keys) + 1
+        depths = set()
+        bounds = [low] + list(internal.keys) + [high]
+        for index, child in enumerate(internal.children):
+            depths.add(
+                self._check_node(child, bounds[index], bounds[index + 1])
+            )
+        assert len(depths) == 1, "unbalanced subtree depths"
+        return depths.pop() + 1

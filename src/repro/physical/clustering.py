@@ -1,0 +1,153 @@
+"""Static clustering strategies ([VKC86], Section 3).
+
+The direct storage model "allows for clustering the instances of the
+sub-objects close to the owner object record (e.g., in a same or
+neighbor disk page).  A static clustering strategy is assumed."
+
+A :class:`ClusterTree` declares which reference attributes to cluster
+along, starting from a root class, e.g.::
+
+    ClusterTree("Composer", {"works": ClusterTree("Composition",
+                                                  {"instruments": None})})
+
+Applying it re-places the root extent and the reachable sub-object
+extents into one shared segment, placing each owner followed by its
+(transitively) clustered sub-objects.  A sub-object shared by several
+owners is clustered next to the first owner that reaches it; records
+never reached from any root stay in an overflow area of the same
+segment.  Extents not mentioned in the tree keep their own segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import StorageError
+from repro.physical.pages import PagedSegment
+from repro.physical.storage import ObjectStore, Oid, StoredRecord
+
+__all__ = ["ClusterTree", "apply_clustering", "cluster_along_path"]
+
+
+@dataclass
+class ClusterTree:
+    """Declarative description of a multiclass cluster hierarchy.
+
+    ``root`` is the owning class; ``children`` maps a reference
+    attribute of the root to an optional nested :class:`ClusterTree`
+    for the attribute's target class (None means: cluster the target's
+    records but do not recurse further).
+    """
+
+    root: str
+    children: Dict[str, Optional["ClusterTree"]] = field(default_factory=dict)
+
+    def extent_names(self, store: ObjectStore) -> Set[str]:
+        """All extent names that participate in this cluster tree."""
+        names = {self.root}
+        for attribute, subtree in self.children.items():
+            if subtree is not None:
+                names |= subtree.extent_names(store)
+            else:
+                names |= self._targets_of(store, attribute)
+        return names
+
+    def _targets_of(self, store: ObjectStore, attribute: str) -> Set[str]:
+        targets: Set[str] = set()
+        for record in store.extent(self.root).records:
+            for oid in _reference_oids(record, attribute):
+                targets.add(store.entity_of(oid))
+        return targets
+
+
+def _reference_oids(record: StoredRecord, attribute: str) -> List[Oid]:
+    value = record.values.get(attribute)
+    if value is None:
+        return []
+    if isinstance(value, Oid):
+        return [value]
+    if isinstance(value, (tuple, list)):
+        return [v for v in value if isinstance(v, Oid)]
+    return []
+
+
+def apply_clustering(
+    store: ObjectStore,
+    tree: ClusterTree,
+    records_per_page: Optional[int] = None,
+    page_aligned_owners: bool = False,
+) -> PagedSegment:
+    """Re-place the extents of ``tree`` into one shared cluster segment.
+
+    Returns the new segment.  When ``page_aligned_owners`` is set, each
+    root owner's cluster starts on a fresh page — this trades space for
+    a guarantee that one owner's cluster never straddles an unrelated
+    owner's page.
+    """
+    participants = tree.extent_names(store)
+    segment_name = "cluster(" + "+".join(sorted(participants)) + ")"
+    rpp = records_per_page or store.extent(tree.root).records_per_page
+    segment = PagedSegment(segment_name, rpp)
+
+    placed: Set[Oid] = set()
+
+    def place(record: StoredRecord) -> None:
+        if record.oid in placed:
+            return
+        placed.add(record.oid)
+        segment.append_record(int(record.oid))
+
+    def place_cluster(record: StoredRecord, node: ClusterTree) -> None:
+        place(record)
+        for attribute, subtree in node.children.items():
+            for oid in _reference_oids(record, attribute):
+                child = store.peek(oid)
+                if child.oid in placed:
+                    continue
+                if subtree is not None:
+                    place_cluster(child, subtree)
+                else:
+                    place(child)
+
+    for owner in store.extent(tree.root).records:
+        if page_aligned_owners:
+            segment.open_new_page()
+        place_cluster(owner, tree)
+
+    # Overflow area: participant records unreachable from any root.
+    for name in sorted(participants):
+        for record in store.extent(name).records:
+            place(record)
+
+    placements = {name: segment for name in participants}
+    store.replace_segment(placements, {})
+    return segment
+
+
+def cluster_along_path(
+    store: ObjectStore,
+    root: str,
+    attributes: List[str],
+    targets: List[str],
+    records_per_page: Optional[int] = None,
+) -> PagedSegment:
+    """Convenience: cluster along a linear path ``root.a1.a2...``.
+
+    ``targets`` gives the class stored at the end of each hop (the
+    caller resolves these from the conceptual catalog); a
+    :class:`ClusterTree` spine is built and applied.
+    """
+    if len(attributes) != len(targets):
+        raise StorageError("attributes and targets must align")
+    if not attributes:
+        raise StorageError("empty clustering path")
+    # Build the spine bottom-up: the i-th tree owns attribute i+1's tree.
+    spine: Optional[ClusterTree] = None
+    for i in range(len(attributes) - 1, -1, -1):
+        children: Dict[str, Optional[ClusterTree]] = {}
+        if i + 1 < len(attributes):
+            children[attributes[i + 1]] = spine
+        spine = ClusterTree(targets[i], children)
+    tree = ClusterTree(root, {attributes[0]: spine})
+    return apply_clustering(store, tree, records_per_page)

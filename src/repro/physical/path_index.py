@@ -1,0 +1,212 @@
+"""Path indices ([MS86]) and join indices ([Va87]).
+
+A path index on ``C1.A1...A(n-1)`` materializes, for every complete
+instantiation of the path, the tuple of oids ``(o1, o2, ..., on)`` of
+the traversed objects.  The paper's example: a path index on
+``works.instruments`` holds (Composer, Composition, Instrument) oid
+triples and "speeds the access of the instruments used in the works of
+a Composer".
+
+Two access directions are supported, both B⁺-tree backed:
+
+* **forward** — keyed by the head oid ``o1``; this is what the ``PIJ``
+  node uses and what the Figure 5 cost formula
+  ``||C|| * (nblevels + nbleaves/||C1||)`` models;
+* **reverse** — keyed by the terminal object's oid (or, when the path
+  is extended by an atomic attribute, by that atomic value), supporting
+  selection pushdown through paths, as in [MS86]'s nested-attribute
+  indices.
+
+A join index ([Va87]) is the n=2 special case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.physical.btree import BPlusTree
+from repro.physical.storage import ObjectStore, Oid, StoredRecord
+
+__all__ = ["PathIndex", "build_path_index", "SelectionIndex", "build_selection_index"]
+
+
+class PathIndex:
+    """A materialized index over a path of reference attributes."""
+
+    def __init__(
+        self,
+        root_entity: str,
+        attributes: Sequence[str],
+        entities: Sequence[str],
+        terminal_attribute: Optional[str] = None,
+        order: int = 32,
+    ) -> None:
+        if len(entities) != len(attributes) + 1:
+            raise StorageError(
+                "a path over k attributes spans k+1 entities"
+            )
+        self.root_entity = root_entity
+        self.attributes = tuple(attributes)
+        self.entities = tuple(entities)
+        # Optional atomic attribute of the terminal class that extends
+        # the path (e.g. instruments.name); reverse lookups key on it.
+        self.terminal_attribute = terminal_attribute
+        self._forward = BPlusTree(order)
+        self._reverse = BPlusTree(order)
+        self._entries = 0
+
+    @property
+    def name(self) -> str:
+        """Dotted attribute path, e.g. ``works.instruments``."""
+        return ".".join(self.attributes)
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.root_entity}.{self.name}"
+
+    # -- structural parameters (cost model) ---------------------------------
+
+    @property
+    def nblevels(self) -> int:
+        return self._forward.nblevels
+
+    @property
+    def nbleaves(self) -> int:
+        return self._forward.nbleaves
+
+    @property
+    def entry_count(self) -> int:
+        return self._entries
+
+    # -- population -----------------------------------------------------------
+
+    def add(self, path_tuple: Tuple[Oid, ...], terminal_value: object = None) -> None:
+        if len(path_tuple) != len(self.entities):
+            raise StorageError(
+                f"path tuple arity {len(path_tuple)} != {len(self.entities)}"
+            )
+        self._forward.insert(int(path_tuple[0]), path_tuple)
+        reverse_key = (
+            terminal_value
+            if self.terminal_attribute is not None
+            else int(path_tuple[-1])
+        )
+        self._reverse.insert(reverse_key, path_tuple)
+        self._entries += 1
+
+    # -- lookups ----------------------------------------------------------------
+
+    def forward(self, head: Oid) -> List[Tuple[Oid, ...]]:
+        """All complete path tuples rooted at ``head``."""
+        return self._forward.search(int(head))
+
+    def reverse(self, terminal_key: object) -> List[Tuple[Oid, ...]]:
+        """All path tuples whose terminal matches ``terminal_key``.
+
+        When the index has a ``terminal_attribute``, the key is that
+        attribute's value; otherwise it is the terminal object's oid.
+        """
+        key = int(terminal_key) if isinstance(terminal_key, Oid) else terminal_key
+        return self._reverse.search(key)
+
+    def scan(self) -> Iterator[Tuple[Oid, ...]]:
+        for _key, path_tuple in self._forward.items():
+            yield path_tuple
+
+
+def build_path_index(
+    store: ObjectStore,
+    root_entity: str,
+    attributes: Sequence[str],
+    entities: Sequence[str],
+    terminal_attribute: Optional[str] = None,
+    order: int = 32,
+) -> PathIndex:
+    """Materialize a path index by traversing the store.
+
+    Traversal uses :meth:`ObjectStore.peek` — building an index is a
+    setup activity, not a charged runtime access.
+    """
+    index = PathIndex(root_entity, attributes, entities, terminal_attribute, order)
+    for head in store.extent(root_entity).records:
+        for path_tuple in _expand(store, head, attributes):
+            terminal_value = None
+            if terminal_attribute is not None:
+                terminal = store.peek(path_tuple[-1])
+                terminal_value = terminal.values.get(terminal_attribute)
+            index.add(path_tuple, terminal_value)
+    return index
+
+
+def _expand(
+    store: ObjectStore, record: StoredRecord, attributes: Sequence[str]
+) -> Iterator[Tuple[Oid, ...]]:
+    """All complete oid tuples along ``attributes`` starting at record."""
+    if not attributes:
+        yield (record.oid,)
+        return
+    head, rest = attributes[0], attributes[1:]
+    value = record.values.get(head)
+    if value is None:
+        return
+    children = (
+        [value] if isinstance(value, Oid) else [v for v in value if isinstance(v, Oid)]
+    )
+    for child_oid in children:
+        child = store.peek(child_oid)
+        for suffix in _expand(store, child, rest):
+            yield (record.oid,) + suffix
+
+
+class SelectionIndex:
+    """A B⁺-tree secondary index on one attribute of one entity."""
+
+    def __init__(self, entity: str, attribute: str, order: int = 32) -> None:
+        self.entity = entity
+        self.attribute = attribute
+        self._tree = BPlusTree(order)
+
+    @property
+    def name(self) -> str:
+        return f"{self.entity}.{self.attribute}"
+
+    @property
+    def nblevels(self) -> int:
+        return self._tree.nblevels
+
+    @property
+    def nbleaves(self) -> int:
+        return self._tree.nbleaves
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._tree)
+
+    @property
+    def distinct_keys(self) -> int:
+        return self._tree.distinct_keys
+
+    def add(self, key: object, oid: Oid) -> None:
+        self._tree.insert(key, oid)
+
+    def lookup(self, key: object) -> List[Oid]:
+        return self._tree.search(key)
+
+    def range(
+        self, low: object = None, high: object = None,
+        include_low: bool = True, include_high: bool = True,
+    ) -> Iterator[Tuple[object, Oid]]:
+        return self._tree.range_search(low, high, include_low, include_high)
+
+
+def build_selection_index(
+    store: ObjectStore, entity: str, attribute: str, order: int = 32
+) -> SelectionIndex:
+    """Materialize a selection index over ``entity.attribute``."""
+    index = SelectionIndex(entity, attribute, order)
+    for record in store.extent(entity).records:
+        value = record.values.get(attribute)
+        if value is not None and not isinstance(value, (tuple, list)):
+            index.add(value, record.oid)
+    return index

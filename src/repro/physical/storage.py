@@ -1,0 +1,242 @@
+"""The simulated direct-storage object store.
+
+Implements the physical model of Section 3 ([VKC86]): objects are
+records holding atomic values and the *oids* of their sub-objects
+(direct storage).  Records live on simulated pages grouped into
+segments; every record access goes through the buffer pool so that
+page-grain I/O is observable.
+
+The store is deliberately in-memory — the paper's evaluation is
+analytic and all of its comparisons are expressed in page touches and
+predicate evaluations, which the simulator counts exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import OidError, StorageError, UnknownEntityError
+from repro.physical.buffer import BufferPool
+from repro.physical.pages import DEFAULT_RECORDS_PER_PAGE, PageId, PagedSegment
+
+__all__ = ["Oid", "StoredRecord", "Extent", "ObjectStore"]
+
+
+class Oid(int):
+    """An object identifier.
+
+    A subclass of :class:`int` so oids are cheap, hashable and ordered,
+    while still being distinguishable (``isinstance(v, Oid)``) from
+    plain integer attribute values — the store's records mix both.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return f"oid:{int(self)}"
+
+
+class StoredRecord:
+    """One stored object or relation value.
+
+    ``values`` maps attribute names to atomic Python values, ``Oid``s
+    (single-valued references) or tuples of ``Oid``s (set/list-valued
+    references).  ``page_id`` is assigned at placement time.
+    """
+
+    __slots__ = ("oid", "entity", "values", "page_id")
+
+    def __init__(self, oid: Oid, entity: str, values: Dict[str, object]) -> None:
+        self.oid = oid
+        self.entity = entity
+        self.values = values
+        self.page_id: Optional[PageId] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"<{self.entity} {self.oid!r}>"
+
+
+class Extent:
+    """All stored records of one atomic physical entity."""
+
+    def __init__(self, name: str, records_per_page: int) -> None:
+        self.name = name
+        self.records_per_page = records_per_page
+        self.records: List[StoredRecord] = []
+        self.by_oid: Dict[Oid, StoredRecord] = {}
+        # The segment the extent is placed in.  Initially its own; a
+        # clustering strategy may re-place records into a shared segment.
+        self.segment: PagedSegment = PagedSegment(name, records_per_page)
+
+    def add(self, record: StoredRecord) -> None:
+        self.records.append(record)
+        self.by_oid[record.oid] = record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def page_ids(self) -> List[PageId]:
+        """Distinct pages holding at least one record of this extent.
+
+        For an extent placed in its own segment this is simply the
+        segment's pages; for an extent interleaved into a shared
+        cluster segment it is the subset of shared pages the extent's
+        records sit on.
+        """
+        seen: Set[PageId] = set()
+        ordered: List[PageId] = []
+        for record in self.records:
+            if record.page_id is not None and record.page_id not in seen:
+                seen.add(record.page_id)
+                ordered.append(record.page_id)
+        return ordered
+
+    def page_count(self) -> int:
+        return len(self.page_ids())
+
+
+class ObjectStore:
+    """Direct-storage object store with page-grain buffered access."""
+
+    def __init__(
+        self,
+        buffer_pool: Optional[BufferPool] = None,
+        records_per_page: int = DEFAULT_RECORDS_PER_PAGE,
+    ) -> None:
+        self.buffer = buffer_pool if buffer_pool is not None else BufferPool()
+        self.default_records_per_page = records_per_page
+        self._extents: Dict[str, Extent] = {}
+        self._records: Dict[Oid, StoredRecord] = {}
+        self._next_oid = 1
+
+    # -- extent management --------------------------------------------------
+
+    def create_extent(
+        self, name: str, records_per_page: Optional[int] = None
+    ) -> Extent:
+        if name in self._extents:
+            raise StorageError(f"extent {name!r} already exists")
+        extent = Extent(
+            name, records_per_page or self.default_records_per_page
+        )
+        self._extents[name] = extent
+        return extent
+
+    def has_extent(self, name: str) -> bool:
+        return name in self._extents
+
+    def extent(self, name: str) -> Extent:
+        try:
+            return self._extents[name]
+        except KeyError:
+            raise UnknownEntityError(name) from None
+
+    def extent_names(self) -> List[str]:
+        return list(self._extents)
+
+    def drop_extent(self, name: str) -> None:
+        extent = self.extent(name)
+        for record in extent.records:
+            del self._records[record.oid]
+        del self._extents[name]
+
+    # -- record creation ----------------------------------------------------
+
+    def insert(self, entity: str, values: Mapping[str, object]) -> Oid:
+        """Insert a record, placing it immediately in the extent's
+        own segment (no clustering).  A clustering strategy may later
+        re-place all records (see :mod:`repro.physical.clustering`)."""
+        extent = self.extent(entity)
+        oid = Oid(self._next_oid)
+        self._next_oid += 1
+        record = StoredRecord(oid, entity, dict(values))
+        record.page_id = extent.segment.append_record(int(oid))
+        extent.add(record)
+        self._records[oid] = record
+        return oid
+
+    # -- buffered access ----------------------------------------------------
+
+    def fetch(self, oid: Oid) -> StoredRecord:
+        """Fetch one record by oid, charging a page touch."""
+        record = self._records.get(oid)
+        if record is None:
+            raise OidError(oid)
+        if record.page_id is not None:
+            self.buffer.touch(record.page_id)
+        return record
+
+    def peek(self, oid: Oid) -> StoredRecord:
+        """Fetch a record *without* charging I/O.
+
+        Used by index builders, statistics collection and test
+        assertions — anything that would not be a runtime page access.
+        """
+        record = self._records.get(oid)
+        if record is None:
+            raise OidError(oid)
+        return record
+
+    def scan(self, entity: str) -> Iterator[StoredRecord]:
+        """Sequentially scan an extent, touching each of its pages once.
+
+        The scan is page-ordered: records come out grouped by page, and
+        each page is charged exactly one logical read, matching the
+        sequential-scan term of ``access_cost``.
+        """
+        extent = self.extent(entity)
+        by_page: Dict[PageId, List[StoredRecord]] = {}
+        for record in extent.records:
+            if record.page_id is None:
+                raise StorageError(
+                    f"record {record.oid!r} of {entity!r} is unplaced"
+                )
+            by_page.setdefault(record.page_id, []).append(record)
+        for page_id in sorted(by_page):
+            self.buffer.touch(page_id)
+            for record in by_page[page_id]:
+                yield record
+
+    def entity_of(self, oid: Oid) -> str:
+        record = self._records.get(oid)
+        if record is None:
+            raise OidError(oid)
+        return record.entity
+
+    # -- placement (used by clustering strategies) ---------------------------
+
+    def replace_segment(
+        self, placements: Mapping[str, PagedSegment], orderings: Mapping[str, List[Oid]]
+    ) -> None:
+        """Atomically re-place extents into new segments.
+
+        ``placements`` maps extent name to its (already filled) new
+        segment; ``orderings`` gives, per extent, the oid order in which
+        records were appended so page ids can be re-derived.  Clustering
+        strategies build the segments and call this once.
+        """
+        for name in placements:
+            self.extent(name)  # raises on unknown extents
+        for name, segment in placements.items():
+            extent = self.extent(name)
+            extent.segment = segment
+        # Re-derive page ids from the segments' slot contents.
+        for name, segment in placements.items():
+            for page in segment.pages:
+                for slot in page.slots:
+                    record = self._records.get(Oid(slot))
+                    if record is None:
+                        raise OidError(slot)
+                    record.page_id = page.page_id
+
+    # -- whole-store summaries -----------------------------------------------
+
+    def record_count(self) -> int:
+        return len(self._records)
+
+    def page_count(self) -> int:
+        seen: Set[PageId] = set()
+        for record in self._records.values():
+            if record.page_id is not None:
+                seen.add(record.page_id)
+        return len(seen)

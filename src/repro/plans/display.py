@@ -1,0 +1,90 @@
+"""Rendering of processing trees.
+
+Two renderings are provided: the paper's *functional-term* notation
+(``Answer = IJ_disc(Sel_name="harpsichord"(...), Composer)``) and an
+indented tree for humans reading benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.plans.nodes import (
+    EJ,
+    IJ,
+    PIJ,
+    EntityLeaf,
+    Fix,
+    Materialize,
+    PlanNode,
+    Proj,
+    RecLeaf,
+    Sel,
+    TempLeaf,
+    UnionOp,
+)
+
+__all__ = ["render_functional", "render_tree"]
+
+
+def render_functional(node: PlanNode) -> str:
+    """The paper's functional-term notation for a PT."""
+    if isinstance(node, EntityLeaf):
+        return node.entity
+    if isinstance(node, TempLeaf):
+        return node.entity
+    if isinstance(node, RecLeaf):
+        return node.name
+    if isinstance(node, Sel):
+        return f"Sel_{{{node.predicate!r}}}({render_functional(node.child)})"
+    if isinstance(node, Proj):
+        fields = ", ".join(f.name for f in node.fields.fields)
+        return f"Proj_{{{fields}}}({render_functional(node.child)})"
+    if isinstance(node, IJ):
+        return (
+            f"IJ_{{{node.attr_name}}}("
+            f"{render_functional(node.child)}, {node.target.entity})"
+        )
+    if isinstance(node, PIJ):
+        targets = ", ".join(t.entity for t in node.targets)
+        return (
+            f"PIJ_{{{node.path_name}}}("
+            f"{render_functional(node.child)}, {targets})"
+        )
+    if isinstance(node, EJ):
+        return (
+            f"EJ_{{{node.predicate!r}}}("
+            f"{render_functional(node.left)}, {render_functional(node.right)})"
+        )
+    if isinstance(node, UnionOp):
+        return (
+            f"Union({render_functional(node.left)}, "
+            f"{render_functional(node.right)})"
+        )
+    if isinstance(node, Fix):
+        return f"Fix({node.name}, {render_functional(node.body)})"
+    if isinstance(node, Materialize):
+        return f"Mat({node.name}, {render_functional(node.child)})"
+    return node.label()
+
+
+def render_tree(node: PlanNode) -> str:
+    """Indented multi-line rendering, one operator per line."""
+    lines: List[str] = []
+    _render(node, "", True, lines, is_root=True)
+    return "\n".join(lines)
+
+
+def _render(
+    node: PlanNode, prefix: str, last: bool, lines: List[str], is_root: bool = False
+) -> None:
+    if is_root:
+        lines.append(node.label())
+        child_prefix = ""
+    else:
+        connector = "`-- " if last else "|-- "
+        lines.append(prefix + connector + node.label())
+        child_prefix = prefix + ("    " if last else "|   ")
+    children = node.children
+    for index, child in enumerate(children):
+        _render(child, child_prefix, index == len(children) - 1, lines)

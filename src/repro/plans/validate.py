@@ -1,0 +1,146 @@
+"""Structural validation of processing trees.
+
+``validate_plan`` checks the well-formedness rules implied by the PT
+definition of Section 3.1 plus the binding discipline our execution
+semantics adds (every variable a node consumes must be bound by its
+input).  The optimizer validates every plan it emits; the engine
+validates before executing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.errors import PlanError
+from repro.plans.nodes import (
+    EJ,
+    IJ,
+    PIJ,
+    EntityLeaf,
+    Fix,
+    Materialize,
+    PlanNode,
+    Proj,
+    RecLeaf,
+    Sel,
+    TempLeaf,
+    UnionOp,
+)
+from repro.physical.schema import PhysicalSchema
+
+__all__ = ["validate_plan"]
+
+
+def validate_plan(plan: PlanNode, physical: Optional[PhysicalSchema] = None) -> None:
+    """Raise :class:`PlanError` when the plan is malformed.
+
+    When a physical schema is given, entity leaves must name registered
+    entities and PIJ nodes must have a matching path index.
+    """
+    _validate(plan, physical, enclosing_fix=None)
+
+
+def _validate(
+    node: PlanNode,
+    physical: Optional[PhysicalSchema],
+    enclosing_fix: Optional[Set[str]],
+) -> None:
+    if isinstance(node, EntityLeaf):
+        if physical is not None and not physical.has_entity(node.entity):
+            raise PlanError(f"unknown atomic entity {node.entity!r}")
+        return
+    if isinstance(node, TempLeaf):
+        return
+    if isinstance(node, RecLeaf):
+        if enclosing_fix is None or node.name not in enclosing_fix:
+            raise PlanError(
+                f"recursion reference {node.name!r} outside its Fix"
+            )
+        return
+    if isinstance(node, Sel):
+        _validate(node.child, physical, enclosing_fix)
+        missing = node.predicate.variables() - node.child.output_vars()
+        if missing:
+            raise PlanError(
+                f"Sel predicate references unbound variables {sorted(missing)}"
+            )
+        return
+    if isinstance(node, Proj):
+        _validate(node.child, physical, enclosing_fix)
+        missing = node.fields.variables() - node.child.output_vars()
+        if missing:
+            raise PlanError(
+                f"Proj fields reference unbound variables {sorted(missing)}"
+            )
+        return
+    if isinstance(node, IJ):
+        _validate(node.child, physical, enclosing_fix)
+        _validate(node.target, physical, enclosing_fix)
+        if node.source.var not in node.child.output_vars():
+            raise PlanError(
+                f"IJ source variable {node.source.var!r} is unbound"
+            )
+        if node.out_var in node.child.output_vars():
+            raise PlanError(f"IJ rebinds variable {node.out_var!r}")
+        return
+    if isinstance(node, PIJ):
+        _validate(node.child, physical, enclosing_fix)
+        for target in node.targets:
+            _validate(target, physical, enclosing_fix)
+        if node.source.var not in node.child.output_vars():
+            raise PlanError(
+                f"PIJ source variable {node.source.var!r} is unbound"
+            )
+        for out_var in node.out_vars:
+            if out_var in node.child.output_vars():
+                raise PlanError(f"PIJ rebinds variable {out_var!r}")
+        if physical is not None:
+            if physical.find_path_index(node.attributes) is None:
+                raise PlanError(
+                    f"no path index on {node.path_name!r} for PIJ node"
+                )
+        return
+    if isinstance(node, EJ):
+        _validate(node.left, physical, enclosing_fix)
+        _validate(node.right, physical, enclosing_fix)
+        overlap = node.left.output_vars() & node.right.output_vars()
+        if overlap:
+            raise PlanError(
+                f"EJ operands bind overlapping variables {sorted(overlap)}"
+            )
+        missing = node.predicate.variables() - node.output_vars()
+        if missing:
+            raise PlanError(
+                f"EJ predicate references unbound variables {sorted(missing)}"
+            )
+        left_vars = node.predicate.variables() & node.left.output_vars()
+        right_vars = node.predicate.variables() & node.right.output_vars()
+        if not left_vars or not right_vars:
+            raise PlanError(
+                "EJ predicate must reference both operands "
+                "(Cartesian products are not generated; Section 4.4)"
+            )
+        return
+    if isinstance(node, UnionOp):
+        _validate(node.left, physical, enclosing_fix)
+        _validate(node.right, physical, enclosing_fix)
+        if node.left.output_vars() != node.right.output_vars():
+            raise PlanError(
+                "Union operands produce incompatible bindings: "
+                f"{sorted(node.left.output_vars())} vs "
+                f"{sorted(node.right.output_vars())}"
+            )
+        return
+    if isinstance(node, Fix):
+        inner = set(enclosing_fix) if enclosing_fix else set()
+        inner.add(node.name)
+        _validate(node.body, physical, inner)
+        if not node.rec_leaves():
+            raise PlanError(
+                f"Fix({node.name}) body contains no recursion reference"
+            )
+        return
+    if isinstance(node, Materialize):
+        _validate(node.child, physical, enclosing_fix)
+        return
+    raise PlanError(f"unknown plan node type {type(node).__name__}")

@@ -1,0 +1,73 @@
+"""Query model (Section 2 of the paper): query graphs with tree-shaped
+adornments, Boolean predicates over path expressions, recursive views
+and recursion analysis."""
+
+from repro.querygraph.display import render_graph, render_node
+from repro.querygraph.graph import (
+    Arc,
+    FixNode,
+    GraphNode,
+    OutputField,
+    OutputSpec,
+    QueryGraph,
+    Rule,
+    SPJNode,
+    UnionNode,
+)
+from repro.querygraph.predicates import (
+    And,
+    Arith,
+    Comparison,
+    Const,
+    Expr,
+    FunctionApp,
+    Not,
+    Or,
+    PathRef,
+    Predicate,
+    TruePredicate,
+    conjoin,
+    conjuncts,
+)
+from repro.querygraph.tree_labels import TreeLabel, VariableBinding
+from repro.querygraph.views import (
+    FieldProvenance,
+    RecursionInfo,
+    analyze_recursion,
+    can_push_paths,
+    is_fixpoint_recursion,
+)
+
+__all__ = [
+    "render_graph",
+    "render_node",
+    "Arc",
+    "FixNode",
+    "GraphNode",
+    "OutputField",
+    "OutputSpec",
+    "QueryGraph",
+    "Rule",
+    "SPJNode",
+    "UnionNode",
+    "And",
+    "Arith",
+    "Comparison",
+    "Const",
+    "Expr",
+    "FunctionApp",
+    "Not",
+    "Or",
+    "PathRef",
+    "Predicate",
+    "TruePredicate",
+    "conjoin",
+    "conjuncts",
+    "TreeLabel",
+    "VariableBinding",
+    "FieldProvenance",
+    "RecursionInfo",
+    "analyze_recursion",
+    "can_push_paths",
+    "is_fixpoint_recursion",
+]

@@ -1,0 +1,201 @@
+"""Convenience constructors for building query graphs programmatically.
+
+The query-language front-end (:mod:`repro.lang`) compiles text to query
+graphs; this module is the equivalent surface for Python callers (and
+for the test suite), mirroring the paper's notation closely::
+
+    q = query(
+        rule("Answer", spj(
+            [arc("Composer", n="name", t="works.*.title",
+                 i1="works.*.instruments.*.name",
+                 i2="works.*.instruments#2.*.name")],
+            where=and_(eq(var("n"), const("Bach")),
+                       eq(var("i1"), const("harpsichord")),
+                       eq(var("i2"), const("flute"))),
+            select=out(title=var("t")),
+        )),
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+from repro.querygraph.graph import (
+    Arc,
+    FixNode,
+    GraphNode,
+    OutputField,
+    OutputSpec,
+    QueryGraph,
+    Rule,
+    SPJNode,
+    UnionNode,
+)
+from repro.querygraph.predicates import (
+    And,
+    Arith,
+    Comparison,
+    Const,
+    Expr,
+    FunctionApp,
+    Not,
+    Or,
+    PathRef,
+    Predicate,
+    TruePredicate,
+)
+from repro.querygraph.tree_labels import TreeLabel
+
+__all__ = [
+    "arc",
+    "spj",
+    "union",
+    "fix",
+    "rule",
+    "query",
+    "out",
+    "var",
+    "path",
+    "const",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "and_",
+    "or_",
+    "not_",
+    "true",
+    "fn",
+    "add",
+    "sub",
+]
+
+
+# -- graph construction ------------------------------------------------------
+
+def arc(name: str, **bindings: str) -> Arc:
+    """An incoming arc on name node ``name``.
+
+    Keyword arguments map variables to dotted binding paths inside the
+    tree label; ``v=""`` (or ``"."``) binds ``v`` at the root.  See
+    :meth:`TreeLabel.from_bindings` for the path syntax (``*`` descends
+    into collection elements, ``#n`` forces a separate branch).
+    """
+    return Arc(name, TreeLabel.from_bindings(bindings))
+
+
+def spj(
+    inputs: Sequence[Arc],
+    where: Optional[Predicate] = None,
+    select: Optional[OutputSpec] = None,
+) -> SPJNode:
+    """A predicate node. ``where`` defaults to true; ``select`` defaults
+    to projecting every root variable of the inputs."""
+    predicate = where if where is not None else TruePredicate()
+    if select is None:
+        fields = []
+        for input_arc in inputs:
+            for binding in input_arc.tree.bindings():
+                if not binding.path:
+                    fields.append(
+                        OutputField(binding.variable, PathRef(binding.variable))
+                    )
+        select = OutputSpec(fields)
+    return SPJNode(inputs, predicate, select)
+
+
+def union(*parts: GraphNode) -> UnionNode:
+    return UnionNode(parts)
+
+
+def fix(name: str, body: GraphNode) -> FixNode:
+    return FixNode(name, body)
+
+
+def rule(name: str, node: GraphNode) -> Rule:
+    return Rule(name, node)
+
+
+def query(*rules: Rule, answer: str = "Answer") -> QueryGraph:
+    return QueryGraph(list(rules), answer)
+
+
+def out(**fields: Expr) -> OutputSpec:
+    return OutputSpec.of(**fields)
+
+
+# -- expressions ---------------------------------------------------------------
+
+def var(name: str) -> PathRef:
+    """The value of a variable."""
+    return PathRef(name)
+
+
+def path(variable: str, *attrs: str) -> PathRef:
+    """A path rooted at a variable: ``path("x", "works", "title")``."""
+    return PathRef(variable, attrs)
+
+
+def const(value: object) -> Const:
+    return Const(value)
+
+
+def fn(name: str, *args: Expr, callable=None, eval_weight: float = 1.0) -> FunctionApp:
+    return FunctionApp(name, args, callable, eval_weight)
+
+
+def add(left: Expr, right: Expr) -> Arith:
+    return Arith("+", left, right)
+
+
+def sub(left: Expr, right: Expr) -> Arith:
+    return Arith("-", left, right)
+
+
+# -- predicates -------------------------------------------------------------------
+
+def eq(left: Expr, right: Expr) -> Comparison:
+    return Comparison("=", left, right)
+
+
+def ne(left: Expr, right: Expr) -> Comparison:
+    return Comparison("!=", left, right)
+
+
+def lt(left: Expr, right: Expr) -> Comparison:
+    return Comparison("<", left, right)
+
+
+def le(left: Expr, right: Expr) -> Comparison:
+    return Comparison("<=", left, right)
+
+
+def gt(left: Expr, right: Expr) -> Comparison:
+    return Comparison(">", left, right)
+
+
+def ge(left: Expr, right: Expr) -> Comparison:
+    return Comparison(">=", left, right)
+
+
+def and_(*parts: Predicate) -> Predicate:
+    if not parts:
+        return TruePredicate()
+    if len(parts) == 1:
+        return parts[0]
+    return And(*parts)
+
+
+def or_(*parts: Predicate) -> Or:
+    return Or(*parts)
+
+
+def not_(part: Predicate) -> Not:
+    return Not(part)
+
+
+def true() -> TruePredicate:
+    return TruePredicate()

@@ -1,0 +1,58 @@
+"""Textual rendering of query graphs (the paper's Figures 2 and 3).
+
+``render_graph`` prints each rule as ``Name <- SPJ({arcs}, pred,
+output)`` in the paper's set notation, with tree labels in their
+bracketed form; ``render_rules`` renders a subset.  Used by the CLI's
+``explain`` and handy in tests and notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.querygraph.graph import (
+    FixNode,
+    GraphNode,
+    QueryGraph,
+    SPJNode,
+    UnionNode,
+)
+from repro.querygraph.tree_labels import TreeLabel
+
+__all__ = ["render_graph", "render_node"]
+
+
+def render_graph(graph: QueryGraph) -> str:
+    """Render a whole query graph, one rule per line group."""
+    lines: List[str] = [f"Q[answer={graph.answer}] = {{"]
+    for rule in graph.rules:
+        rendered = render_node(rule.node, indent="    ")
+        lines.append(f"  ({rule.name} <-")
+        lines.append(f"{rendered})")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_node(node: GraphNode, indent: str = "") -> str:
+    """Render one rule body (SPJ / Union / Fix)."""
+    if isinstance(node, SPJNode):
+        arcs = ", ".join(
+            f"({arc.name}, {_render_tree(arc.tree)})" for arc in node.inputs
+        )
+        return (
+            f"{indent}SPJ({{{arcs}}},\n"
+            f"{indent}    {node.predicate!r},\n"
+            f"{indent}    {node.output!r})"
+        )
+    if isinstance(node, UnionNode):
+        parts = [render_node(part, indent + "  ") for part in node.parts]
+        inner = ",\n".join(parts)
+        return f"{indent}Union(\n{inner}\n{indent})"
+    if isinstance(node, FixNode):
+        body = render_node(node.body, indent + "  ")
+        return f"{indent}Fix({node.name},\n{body}\n{indent})"
+    return f"{indent}{node!r}"
+
+
+def _render_tree(tree: TreeLabel) -> str:
+    return repr(tree)

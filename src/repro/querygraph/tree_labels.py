@@ -1,0 +1,225 @@
+"""Tree labels: the tree-shaped adornments on query-graph arcs.
+
+Section 2.2: "The incoming arcs are labelled by trees which indicate,
+by means of variables, the subobjects needed in the predicate or in the
+outgoing arc of a predicate node. [...]  These trees can be viewed as
+tree-shaped adornments [BR86] that depict the bindings of the input
+objects.  In the relational model, adornments are strings [...] but in
+an object-oriented model they are trees."
+
+A tree label is denoted by a set ``{(Att, tree, variable)}`` of its
+children: ``Att`` is None for set/list element nodes, ``variable`` is
+None when no variable binds at the node, and an atomic node has no
+children.  Two branches may repeat the same attribute with different
+variables — that is how Figure 2 binds ``i1`` and ``i2`` to two
+(possibly different) instruments of the *same* work, and it is the
+paper's claimed advantage over string adornments ("the ability of using
+several variables along the same path").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryModelError
+
+__all__ = ["TreeLabel", "VariableBinding"]
+
+
+class VariableBinding:
+    """Where a variable binds inside a tree label.
+
+    ``path`` is the sequence of attribute names from the arc's name
+    node down to the binding node (collection element hops contribute
+    their owning attribute once; the element hop itself adds nothing
+    to the dotted path).  ``through_collections`` counts how many
+    set/list element hops the path crosses — 0 means the binding is
+    single-valued per input instance.
+    """
+
+    __slots__ = ("variable", "path", "through_collections")
+
+    def __init__(
+        self, variable: str, path: Tuple[str, ...], through_collections: int
+    ) -> None:
+        self.variable = variable
+        self.path = path
+        self.through_collections = through_collections
+
+    def dotted(self) -> str:
+        return ".".join(self.path) if self.path else "<root>"
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return f"{self.variable}@{self.dotted()}"
+
+
+class TreeLabel:
+    """One node of a tree label.
+
+    ``children`` is a list of ``(attribute, subtree)`` pairs where
+    ``attribute`` is None for a collection-element child.  ``variable``
+    optionally names the value at this node.  ``is_element`` marks the
+    node as a set/list element node (drawn circled-in-constructor in
+    the paper's figures).
+    """
+
+    __slots__ = ("variable", "children", "is_element")
+
+    def __init__(
+        self,
+        variable: Optional[str] = None,
+        children: Optional[Sequence[Tuple[Optional[str], "TreeLabel"]]] = None,
+        is_element: bool = False,
+    ) -> None:
+        self.variable = variable
+        self.children: List[Tuple[Optional[str], TreeLabel]] = (
+            list(children) if children else []
+        )
+        self.is_element = is_element
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_bindings(cls, bindings: Dict[str, str]) -> "TreeLabel":
+        """Build a tree label from ``{variable: dotted_path}``.
+
+        A ``*`` component denotes descending into a collection's
+        elements: ``works.*.title`` binds inside each work.  Repeated
+        paths get separate branches when they bind different variables
+        at the *same* collection attribute — callers wanting shared
+        prefixes (the Figure 2 factorization) get them automatically up
+        to the last common component; a trailing ``#n`` suffix on a
+        component forces a distinct branch (``instruments#2``).
+
+        An empty path or ``"."`` binds the variable at the root.
+        """
+        root = cls()
+        for variable, dotted in bindings.items():
+            if dotted in ("", "."):
+                if root.variable is not None and root.variable != variable:
+                    raise QueryModelError(
+                        "two distinct variables at the tree-label root"
+                    )
+                root.variable = variable
+                continue
+            root._add_path(dotted.split("."), variable)
+        return root
+
+    def _add_path(self, components: List[str], variable: str) -> None:
+        node = self
+        for position, raw in enumerate(components):
+            if raw == "*":
+                node = node._descend_element()
+                continue
+            name = raw.split("#")[0]
+            forced_branch = "#" in raw
+            node = node._descend_attribute(name, force_new=forced_branch)
+        if node.variable is not None and node.variable != variable:
+            raise QueryModelError(
+                f"conflicting variables {node.variable!r} and {variable!r} "
+                f"at path {'.'.join(components)!r}"
+            )
+        node.variable = variable
+
+    def _descend_attribute(self, name: str, force_new: bool = False) -> "TreeLabel":
+        if not force_new:
+            for child_name, child in self.children:
+                if child_name == name:
+                    return child
+        child = TreeLabel()
+        self.children.append((name, child))
+        return child
+
+    def _descend_element(self) -> "TreeLabel":
+        for child_name, child in self.children:
+            if child_name is None:
+                return child
+        child = TreeLabel(is_element=True)
+        self.children.append((None, child))
+        return child
+
+    # -- inspection -------------------------------------------------------------
+
+    def is_atomic(self) -> bool:
+        return not self.children
+
+    def bindings(self) -> List[VariableBinding]:
+        """All variable bindings in the subtree, with their paths."""
+        result: List[VariableBinding] = []
+        self._collect(tuple(), 0, result)
+        return result
+
+    def _collect(
+        self,
+        path: Tuple[str, ...],
+        collections: int,
+        out: List[VariableBinding],
+    ) -> None:
+        if self.variable is not None:
+            out.append(VariableBinding(self.variable, path, collections))
+        for name, child in self.children:
+            if name is None:
+                child._collect(path, collections + 1, out)
+            else:
+                child._collect(path + (name,), collections, out)
+
+    def variables(self) -> List[str]:
+        return [binding.variable for binding in self.bindings()]
+
+    def attribute_paths(self) -> List[Tuple[str, ...]]:
+        """Distinct attribute paths descending from the root."""
+        paths: List[Tuple[str, ...]] = []
+
+        def walk(node: "TreeLabel", path: Tuple[str, ...]) -> None:
+            if node.is_atomic() and path:
+                paths.append(path)
+            for name, child in node.children:
+                walk(child, path + ((name,) if name is not None else ()))
+
+        walk(self, tuple())
+        # De-duplicate while preserving order (two branches on the same
+        # attribute yield the same dotted path).
+        seen = set()
+        unique: List[Tuple[str, ...]] = []
+        for path in paths:
+            if path not in seen:
+                seen.add(path)
+                unique.append(path)
+        return unique
+
+    def depth(self) -> int:
+        if not self.children:
+            return 0
+        return 1 + max(child.depth() for _name, child in self.children)
+
+    def find(self, variable: str) -> Optional[VariableBinding]:
+        for binding in self.bindings():
+            if binding.variable == variable:
+                return binding
+        return None
+
+    # -- structural equality --------------------------------------------------------
+
+    def _key(self) -> object:
+        return (
+            self.variable,
+            self.is_element,
+            tuple((name, child._key()) for name, child in self.children),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TreeLabel) and other._key() == self._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        parts: List[str] = []
+        if self.variable is not None:
+            parts.append(f"?{self.variable}")
+        for name, child in self.children:
+            label = name if name is not None else "*"
+            parts.append(f"{label}:{child!r}")
+        inner = ", ".join(parts)
+        open_, close = ("{", "}") if self.is_element else ("(", ")")
+        return f"{open_}{inner}{close}"

@@ -1,0 +1,221 @@
+"""Recursion analysis for query graphs (Sections 2.3, 4.2, 4.5).
+
+Provides:
+
+* ``fixpointRecursion(Name)`` — the constraint of the ``fixpoint``
+  rewriting action: the rules producing ``Name`` must be computable as
+  the fixpoint of an equation referencing ``Name`` (linear recursion
+  with at least one non-recursive base part);
+* provenance analysis of the recursive rule's output projection,
+  classifying each output field as **invariant** (copied unchanged from
+  the recursive input, like ``master``), **rebound** (taken from a
+  different input each iteration, like ``disciple``) or **computed**
+  (produced by a function, like ``gen``);
+* ``canPush`` — the constraint of the ``filter`` transformation
+  (Section 4.5, after [KL86]): a selection/join can be pushed through
+  the recursion iff every path it applies to the recursion's output is
+  rooted at an invariant field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import QueryModelError
+from repro.querygraph.graph import FixNode, QueryGraph, Rule, SPJNode, UnionNode
+from repro.querygraph.predicates import (
+    Expr,
+    FunctionApp,
+    PathRef,
+    Predicate,
+)
+
+__all__ = [
+    "FieldProvenance",
+    "RecursionInfo",
+    "analyze_recursion",
+    "is_fixpoint_recursion",
+    "can_push_paths",
+]
+
+INVARIANT = "invariant"
+REBOUND = "rebound"
+COMPUTED = "computed"
+
+
+@dataclass
+class FieldProvenance:
+    """How one output field of a recursive rule is produced.
+
+    ``kind`` is one of ``invariant``/``rebound``/``computed``.  For an
+    invariant field, the recursive rule emits exactly the same-named
+    field of the recursive input, so a predicate on (a path rooted at)
+    the field commutes with every iteration of the fixpoint.
+    """
+
+    name: str
+    kind: str
+
+
+@dataclass
+class RecursionInfo:
+    """The result of analyzing a recursively defined name node."""
+
+    name: str
+    base_parts: List[SPJNode]
+    recursive_parts: List[SPJNode]
+    # Per recursive part, the variable bound to the recursive input arc.
+    recursive_variables: List[str]
+    provenance: Dict[str, FieldProvenance]
+
+    @property
+    def invariant_fields(self) -> Set[str]:
+        return {
+            name
+            for name, prov in self.provenance.items()
+            if prov.kind == INVARIANT
+        }
+
+    def is_linear(self) -> bool:
+        """Each recursive part references the recursion exactly once."""
+        return all(
+            len(part.arcs_on(self.name)) == 1 for part in self.recursive_parts
+        )
+
+
+def _spj_parts(rule_node: object) -> List[SPJNode]:
+    """Flatten a rule body into its SPJ parts (through Union nodes)."""
+    if isinstance(rule_node, SPJNode):
+        return [rule_node]
+    if isinstance(rule_node, UnionNode):
+        parts: List[SPJNode] = []
+        for part in rule_node.parts:
+            parts.extend(_spj_parts(part))
+        return parts
+    if isinstance(rule_node, FixNode):
+        return _spj_parts(rule_node.body)
+    raise QueryModelError(f"unexpected rule body {rule_node!r}")
+
+
+def analyze_recursion(graph: QueryGraph, name: str) -> Optional[RecursionInfo]:
+    """Analyze the rules producing ``name``; None when not recursive.
+
+    Raises :class:`QueryModelError` when the recursion is not
+    computable as a fixpoint (no base part, or a non-linear part —
+    the paper's model, like semi-naive evaluation, assumes linear
+    recursion).
+    """
+    rules = graph.producers_of(name)
+    if not rules:
+        return None
+    parts: List[SPJNode] = []
+    for rule in rules:
+        parts.extend(_spj_parts(rule.node))
+    base_parts = [p for p in parts if name not in p.referenced_names()]
+    recursive_parts = [p for p in parts if name in p.referenced_names()]
+    if not recursive_parts:
+        return None
+    if not base_parts:
+        raise QueryModelError(
+            f"recursive name {name!r} has no non-recursive base part"
+        )
+    recursive_variables: List[str] = []
+    for part in recursive_parts:
+        arcs = part.arcs_on(name)
+        if len(arcs) != 1:
+            raise QueryModelError(
+                f"non-linear recursion on {name!r}: "
+                f"{len(arcs)} recursive input arcs in one part"
+            )
+        root_vars = [
+            binding.variable
+            for binding in arcs[0].tree.bindings()
+            if not binding.path
+        ]
+        if len(root_vars) != 1:
+            raise QueryModelError(
+                f"recursive arc on {name!r} must bind exactly one root "
+                f"variable (found {root_vars})"
+            )
+        recursive_variables.append(root_vars[0])
+    provenance = _field_provenance(base_parts, recursive_parts, recursive_variables)
+    return RecursionInfo(
+        name, base_parts, recursive_parts, recursive_variables, provenance
+    )
+
+
+def _field_provenance(
+    base_parts: Sequence[SPJNode],
+    recursive_parts: Sequence[SPJNode],
+    recursive_variables: Sequence[str],
+) -> Dict[str, FieldProvenance]:
+    field_names = base_parts[0].output.field_names()
+    for part in list(base_parts[1:]) + list(recursive_parts):
+        if part.output.field_names() != field_names:
+            raise QueryModelError(
+                "all parts of a recursive definition must project the "
+                f"same fields (got {part.output.field_names()} vs "
+                f"{field_names})"
+            )
+    provenance: Dict[str, FieldProvenance] = {}
+    for field_name in field_names:
+        kind = INVARIANT
+        for part, rec_var in zip(recursive_parts, recursive_variables):
+            expr = part.output.field(field_name).expr
+            part_kind = _classify(expr, rec_var, field_name)
+            kind = _worst(kind, part_kind)
+        provenance[field_name] = FieldProvenance(field_name, kind)
+    return provenance
+
+
+def _classify(expr: Expr, rec_var: str, field_name: str) -> str:
+    """Classify one output expression of a recursive part."""
+    if isinstance(expr, PathRef):
+        if expr.var == rec_var and expr.attrs == (field_name,):
+            return INVARIANT
+        return REBOUND
+    if isinstance(expr, FunctionApp):
+        return COMPUTED
+    return REBOUND
+
+
+_SEVERITY = {INVARIANT: 0, REBOUND: 1, COMPUTED: 2}
+
+
+def _worst(a: str, b: str) -> str:
+    return a if _SEVERITY[a] >= _SEVERITY[b] else b
+
+
+def is_fixpoint_recursion(graph: QueryGraph, name: str) -> bool:
+    """The ``fixpointRecursion(Name)`` constraint of Section 4.2."""
+    try:
+        info = analyze_recursion(graph, name)
+    except QueryModelError:
+        return False
+    return info is not None and info.is_linear()
+
+
+def can_push_paths(
+    paths: Sequence[PathRef],
+    fix_output_variables: Set[str],
+    invariant_fields: Set[str],
+) -> bool:
+    """The ``canPush(pred, Rec)`` constraint of the ``filter`` action.
+
+    ``paths`` are the path references of the predicate being pushed;
+    ``fix_output_variables`` are the variables bound to the recursion's
+    output.  Every path rooted at the recursion must start with an
+    invariant field; paths rooted elsewhere (e.g. at a joined class)
+    are unconstrained.
+    """
+    for path in paths:
+        if path.var not in fix_output_variables:
+            continue
+        if not path.attrs:
+            # The whole recursive tuple: never pushable, it changes
+            # each iteration by construction.
+            return False
+        if path.attrs[0] not in invariant_fields:
+            return False
+    return True

@@ -1,0 +1,60 @@
+"""Conceptual schema model (Section 2.1 of the paper).
+
+Public surface:
+
+* :mod:`repro.schema.types` — atomic types and the tuple/set/list
+  constructors.
+* :mod:`repro.schema.conceptual` — :class:`ClassDef`,
+  :class:`RelationDef`, :class:`Attribute`, :class:`Method`.
+* :mod:`repro.schema.catalog` — the validated registry with ``isa``
+  resolution and path-expression resolution.
+* :mod:`repro.schema.sample` — the Figure 1 music schema.
+"""
+
+from repro.schema.catalog import Catalog, PathStep, ResolvedPath
+from repro.schema.conceptual import (
+    Attribute,
+    ClassDef,
+    InversePair,
+    Method,
+    RelationDef,
+)
+from repro.schema.sample import build_music_catalog
+from repro.schema.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    AtomicType,
+    ClassRef,
+    ListType,
+    SetType,
+    TupleType,
+    Type,
+    element_type,
+    is_collection,
+)
+
+__all__ = [
+    "Catalog",
+    "PathStep",
+    "ResolvedPath",
+    "Attribute",
+    "ClassDef",
+    "InversePair",
+    "Method",
+    "RelationDef",
+    "build_music_catalog",
+    "AtomicType",
+    "ClassRef",
+    "ListType",
+    "SetType",
+    "TupleType",
+    "Type",
+    "BOOL",
+    "FLOAT",
+    "INT",
+    "STRING",
+    "element_type",
+    "is_collection",
+]

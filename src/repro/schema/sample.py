@@ -1,0 +1,101 @@
+"""The sample conceptual schema of Figure 1.
+
+Builds the music catalog used throughout the paper::
+
+    class Person:      [ name: string, birthyear: int ]   + method age
+    class Composer:    isa Person and
+                       [ master: Composer, works: {Composition} ]
+    class Composition: [ title: string,
+                         author: Composer inverse of Composer.works,
+                         instruments: {Instrument} ]
+    class Instrument:  [ name: string, family: string ]
+    relation Play:     [ who: Person, instrument: Instrument ]
+
+The paper only sketches Person and Instrument; we give them the minimal
+attributes its queries need (``name`` for both, ``family`` to have a
+second selectable attribute, ``birthyear`` to back the ``age`` method).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.schema.catalog import Catalog
+from repro.schema.conceptual import (
+    Attribute,
+    ClassDef,
+    InversePair,
+    Method,
+    RelationDef,
+)
+from repro.schema.types import INT, STRING, ClassRef, SetType
+
+__all__ = ["build_music_catalog", "CURRENT_YEAR"]
+
+CURRENT_YEAR = 1992  # the paper's publication year; age() is relative to it
+
+
+def _age(attributes: Dict[str, object]) -> object:
+    birthyear = attributes.get("birthyear")
+    if not isinstance(birthyear, int):
+        return None
+    return CURRENT_YEAR - birthyear
+
+
+def build_music_catalog() -> Catalog:
+    """Build and validate the Figure 1 catalog."""
+    catalog = Catalog()
+    catalog.add_class(
+        ClassDef(
+            "Person",
+            attributes=[
+                Attribute("name", STRING),
+                Attribute("birthyear", INT),
+            ],
+            methods=[Method("age", INT, _age, eval_weight=1.0)],
+        )
+    )
+    catalog.add_class(
+        ClassDef(
+            "Composer",
+            isa="Person",
+            attributes=[
+                Attribute("master", ClassRef("Composer")),
+                Attribute("works", SetType(ClassRef("Composition"))),
+            ],
+        )
+    )
+    catalog.add_class(
+        ClassDef(
+            "Composition",
+            attributes=[
+                Attribute("title", STRING),
+                Attribute(
+                    "author",
+                    ClassRef("Composer"),
+                    inverse_of=InversePair("Composer", "works"),
+                ),
+                Attribute("instruments", SetType(ClassRef("Instrument"))),
+            ],
+        )
+    )
+    catalog.add_class(
+        ClassDef(
+            "Instrument",
+            attributes=[
+                Attribute("name", STRING),
+                Attribute("family", STRING),
+            ],
+        )
+    )
+    catalog.add_relation(
+        RelationDef(
+            "Play",
+            attributes=[
+                Attribute("who", ClassRef("Person")),
+                Attribute("instrument", ClassRef("Instrument")),
+            ],
+        )
+    )
+    catalog.validate()
+    return catalog

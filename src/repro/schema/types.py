@@ -1,0 +1,179 @@
+"""Conceptual type system.
+
+The paper's conceptual model (Section 2.1) builds types from *atomic
+types* and three constructors: tuple ``[...]``, set ``{...}`` and list
+``<...>``.  A class or relation name maps to a type; attributes whose
+type is (a collection of) another class are *reference* attributes and
+induce implicit joins at the physical level.
+
+Types are immutable value objects: two structurally equal types compare
+equal and hash equally, which the optimizer relies on when comparing
+tree labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.errors import TypeCheckError, UnknownAttributeError
+
+__all__ = [
+    "Type",
+    "AtomicType",
+    "ClassRef",
+    "TupleType",
+    "SetType",
+    "ListType",
+    "INT",
+    "FLOAT",
+    "STRING",
+    "BOOL",
+    "is_collection",
+    "element_type",
+]
+
+
+class Type:
+    """Abstract base of all conceptual types."""
+
+    def is_atomic(self) -> bool:
+        return False
+
+    def type_name(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience
+        return self.type_name()
+
+
+class AtomicType(Type):
+    """A named atomic type such as ``int`` or ``string``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def is_atomic(self) -> bool:
+        return True
+
+    def type_name(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AtomicType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("atomic", self.name))
+
+
+INT = AtomicType("int")
+FLOAT = AtomicType("float")
+STRING = AtomicType("string")
+BOOL = AtomicType("bool")
+
+
+class ClassRef(Type):
+    """A reference to a class (or relation) by name.
+
+    Using a by-name reference instead of the class object itself lets a
+    schema be defined with forward and mutually recursive references
+    (e.g. ``Composer.works: {Composition}`` while
+    ``Composition.author: Composer``), exactly like Figure 1.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def type_name(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ClassRef) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("classref", self.name))
+
+
+class TupleType(Type):
+    """A tuple type ``[a1: T1, ..., an: Tn]`` with named fields."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields: Mapping[str, Type]) -> None:
+        self.fields: Tuple[Tuple[str, Type], ...] = tuple(fields.items())
+
+    def field_type(self, name: str) -> Type:
+        for field_name, field_type in self.fields:
+            if field_name == name:
+                return field_type
+        raise UnknownAttributeError(self.type_name(), name)
+
+    def has_field(self, name: str) -> bool:
+        return any(field_name == name for field_name, _ in self.fields)
+
+    def field_names(self) -> Iterator[str]:
+        return (name for name, _ in self.fields)
+
+    def type_name(self) -> str:
+        inner = ", ".join(f"{n}: {t.type_name()}" for n, t in self.fields)
+        return f"[{inner}]"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TupleType) and other.fields == self.fields
+
+    def __hash__(self) -> int:
+        return hash(("tuple", self.fields))
+
+
+class SetType(Type):
+    """A set type ``{T}``."""
+
+    __slots__ = ("element",)
+
+    def __init__(self, element: Type) -> None:
+        self.element = element
+
+    def type_name(self) -> str:
+        return "{" + self.element.type_name() + "}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SetType) and other.element == self.element
+
+    def __hash__(self) -> int:
+        return hash(("set", self.element))
+
+
+class ListType(Type):
+    """A list type ``<T>``."""
+
+    __slots__ = ("element",)
+
+    def __init__(self, element: Type) -> None:
+        self.element = element
+
+    def type_name(self) -> str:
+        return "<" + self.element.type_name() + ">"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ListType) and other.element == self.element
+
+    def __hash__(self) -> int:
+        return hash(("list", self.element))
+
+
+def is_collection(type_: Type) -> bool:
+    """Return True for set- and list-typed values."""
+    return isinstance(type_, (SetType, ListType))
+
+
+def element_type(type_: Type) -> Type:
+    """Return the element type of a collection type.
+
+    Raises :class:`TypeCheckError` when ``type_`` is not a collection.
+    """
+    if isinstance(type_, (SetType, ListType)):
+        return type_.element
+    raise TypeCheckError(f"{type_.type_name()} is not a collection type")

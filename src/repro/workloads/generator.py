@@ -1,0 +1,226 @@
+"""Synthetic music-database generator.
+
+Generates instances of the Figure 1 schema with controllable knobs:
+
+* ``lineages`` × ``generations`` composers arranged in master-chains
+  (the recursion the ``Influencer`` view closes over);
+* works per composer and instruments per work (implicit-join fan-outs);
+* the fraction of works scored for the *selective instrument*
+  (``harpsichord``) — the selectivity that decides whether pushing the
+  selection through recursion pays off;
+* page sizes, so ``|C|``/``||C||`` ratios can be swept.
+
+Everything is driven by a seeded :class:`random.Random`; identical
+configs produce identical databases.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.physical.buffer import BufferPool
+from repro.physical.schema import PhysicalSchema
+from repro.physical.storage import ObjectStore, Oid
+from repro.schema.catalog import Catalog
+from repro.schema.sample import build_music_catalog
+
+__all__ = ["MusicConfig", "MusicDatabase", "generate_music_database"]
+
+SELECTIVE_INSTRUMENT = "harpsichord"
+SECOND_INSTRUMENT = "flute"
+FAMOUS_COMPOSER = "Bach"
+
+
+@dataclass
+class MusicConfig:
+    """Knobs for the synthetic music database."""
+
+    lineages: int = 8
+    generations: int = 8
+    works_per_composer: int = 3
+    instruments: int = 12
+    instruments_per_work: int = 2
+    selective_fraction: float = 0.15
+    records_per_page: int = 20
+    buffer_pages: int = 256
+    seed: int = 1992
+
+    @property
+    def composer_count(self) -> int:
+        return self.lineages * self.generations
+
+
+@dataclass
+class MusicDatabase:
+    """A generated database plus handles the benchmarks need."""
+
+    config: MusicConfig
+    catalog: Catalog
+    store: ObjectStore
+    physical: PhysicalSchema
+    composer_oids: List[Oid] = field(default_factory=list)
+    famous_oid: Optional[Oid] = None
+
+    def build_paper_indexes(self) -> None:
+        """Create the paper's physical design: the path index on
+        ``works.instruments`` (Section 3) and a selection index on
+        ``Composer.name``."""
+        if self.physical.path_index("Composer", ("works", "instruments")) is None:
+            self.physical.build_path_index(
+                "Composer",
+                ["works", "instruments"],
+                ["Composer", "Composition", "Instrument"],
+                terminal_attribute="name",
+            )
+        if not self.physical.has_selection_index("Composer", "name"):
+            self.physical.build_selection_index("Composer", "name")
+
+
+def generate_music_database(config: Optional[MusicConfig] = None) -> MusicDatabase:
+    """Generate a database according to ``config`` (defaults apply)."""
+    if config is None:
+        config = MusicConfig()
+    rng = random.Random(config.seed)
+    catalog = build_music_catalog()
+    store = ObjectStore(
+        BufferPool(config.buffer_pages), records_per_page=config.records_per_page
+    )
+    physical = PhysicalSchema(store, catalog)
+    for name in ("Person", "Composer", "Composition", "Instrument", "Play"):
+        physical.register_extent(name)
+
+    instrument_oids = _generate_instruments(store, config)
+    composer_oids, famous = _generate_composers(store, config, rng)
+    _generate_works(store, config, rng, composer_oids, instrument_oids)
+    _generate_play(store, config, rng, composer_oids, instrument_oids)
+    physical.refresh_statistics()
+    return MusicDatabase(
+        config, catalog, store, physical, composer_oids, famous
+    )
+
+
+def _generate_instruments(store: ObjectStore, config: MusicConfig) -> List[Oid]:
+    names = [SELECTIVE_INSTRUMENT, SECOND_INSTRUMENT]
+    families = {SELECTIVE_INSTRUMENT: "keyboard", SECOND_INSTRUMENT: "wind"}
+    for index in range(max(0, config.instruments - 2)):
+        names.append(f"instrument_{index:03d}")
+    oids = []
+    for name in names:
+        family = families.get(name, f"family_{hash(name) % 5}")
+        oids.append(store.insert("Instrument", {"name": name, "family": family}))
+    return oids
+
+
+def _generate_composers(
+    store: ObjectStore, config: MusicConfig, rng: random.Random
+) -> Tuple[List[Oid], Optional[Oid]]:
+    """Composers in ``lineages`` master-chains of length ``generations``.
+
+    Chains run oldest → youngest: each composer's ``master`` is the
+    previous one in the chain (None for chain founders).  The famous
+    composer ("Bach") sits a couple of generations into the first
+    lineage so that he both *has* a master (the Section 4.5 join-push
+    query needs ``Bach.master``) and has a long tail of disciples below
+    him.
+    """
+    oids: List[Oid] = []
+    famous: Optional[Oid] = None
+    serial = 0
+    famous_generation = min(2, config.generations - 1)
+    for lineage in range(config.lineages):
+        previous: Optional[Oid] = None
+        for generation in range(config.generations):
+            if lineage == 0 and generation == famous_generation:
+                name = FAMOUS_COMPOSER
+            else:
+                name = f"composer_{serial:04d}"
+            birthyear = 1600 + generation * 30 + rng.randint(0, 25)
+            oid = store.insert(
+                "Composer",
+                {
+                    "name": name,
+                    "birthyear": birthyear,
+                    "master": previous,
+                    "works": (),
+                },
+            )
+            if name == FAMOUS_COMPOSER:
+                famous = oid
+            oids.append(oid)
+            previous = oid
+            serial += 1
+    return oids, famous
+
+
+def _generate_play(
+    store: ObjectStore,
+    config: MusicConfig,
+    rng: random.Random,
+    composer_oids: List[Oid],
+    instrument_oids: List[Oid],
+) -> None:
+    """The ``Play`` relation of Figure 1: who plays which instrument.
+
+    Each composer plays one or two instruments; relation instances are
+    *values* (no inverse references)."""
+    for composer_oid in composer_oids:
+        plays = rng.sample(
+            instrument_oids, k=min(len(instrument_oids), rng.randint(1, 2))
+        )
+        for instrument_oid in plays:
+            store.insert(
+                "Play", {"who": composer_oid, "instrument": instrument_oid}
+            )
+
+
+def _generate_works(
+    store: ObjectStore,
+    config: MusicConfig,
+    rng: random.Random,
+    composer_oids: List[Oid],
+    instrument_oids: List[Oid],
+) -> None:
+    """Works with back-references; a ``selective_fraction`` of works is
+    scored for the selective instrument (plus the second instrument, so
+    the Figure 2 two-instrument query has answers)."""
+    selective = instrument_oids[0]
+    second = instrument_oids[1]
+    others = instrument_oids[2:] if len(instrument_oids) > 2 else instrument_oids
+    serial = 0
+    famous = {
+        record.oid
+        for record in store.extent("Composer").records
+        if record.values.get("name") == FAMOUS_COMPOSER
+    }
+    for composer_oid in composer_oids:
+        work_oids: List[Oid] = []
+        for work_index in range(config.works_per_composer):
+            uses_selective = rng.random() < config.selective_fraction
+            if composer_oid in famous and work_index == 0:
+                # The Figure 2 query ("works of Bach including a
+                # harpsichord and a flute") must have an answer at any
+                # selectivity setting.
+                uses_selective = True
+            if uses_selective:
+                chosen = [selective, second]
+                extra_needed = max(0, config.instruments_per_work - 2)
+            else:
+                chosen = []
+                extra_needed = config.instruments_per_work
+            pool = [oid for oid in others if oid not in chosen]
+            rng.shuffle(pool)
+            chosen.extend(pool[:extra_needed])
+            work_oid = store.insert(
+                "Composition",
+                {
+                    "title": f"work_{serial:05d}",
+                    "author": composer_oid,
+                    "instruments": tuple(chosen),
+                },
+            )
+            work_oids.append(work_oid)
+            serial += 1
+        composer = store.peek(composer_oid)
+        composer.values["works"] = tuple(work_oids)

@@ -1,0 +1,255 @@
+"""Engineering-database workload: recursive part/subpart queries.
+
+The paper motivates object-oriented recursion with engineering DBs
+([CS90]): "execute a method for each subpart (recursively) connected to
+a given part object".  This module provides that workload:
+
+* a conceptual schema — ``Part`` objects with a *set-valued*
+  ``subparts`` reference (the recursion closes over a multivalued
+  attribute, unlike the single-valued ``master`` of the music schema);
+* a generator building assembly trees of configurable depth/fan-out
+  with optional component sharing (a DAG, not just a tree);
+* the recursive ``Contains`` view (assembly, component, level) and
+  canned queries, including one whose selection invokes a *method*
+  (``weight_class``) — the expensive-selection case the paper's
+  cost-controlled push decision exists for.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.physical.buffer import BufferPool
+from repro.physical.schema import PhysicalSchema
+from repro.physical.storage import ObjectStore, Oid
+from repro.querygraph.builder import (
+    add,
+    and_,
+    arc,
+    const,
+    eq,
+    ge,
+    out,
+    path,
+    query,
+    rule,
+    spj,
+    var,
+)
+from repro.querygraph.graph import QueryGraph, Rule
+from repro.schema.catalog import Catalog
+from repro.schema.conceptual import Attribute, ClassDef, Method
+from repro.schema.types import FLOAT, INT, STRING, ClassRef, SetType
+
+__all__ = [
+    "PartsConfig",
+    "PartsDatabase",
+    "build_parts_catalog",
+    "generate_parts_database",
+    "contains_rules",
+    "components_of_query",
+    "heavy_components_query",
+    "CONTAINS",
+]
+
+CONTAINS = "Contains"
+ROOT_ASSEMBLY = "assembly_root"
+
+
+def _weight_class(values: Dict[str, object]) -> object:
+    mass = values.get("mass")
+    if not isinstance(mass, (int, float)):
+        return None
+    if mass >= 50.0:
+        return "heavy"
+    if mass >= 5.0:
+        return "medium"
+    return "light"
+
+
+def build_parts_catalog() -> Catalog:
+    """``class Part: [pname, cost, mass, subparts: {Part}]`` plus the
+    computed attribute ``weight_class``."""
+    catalog = Catalog()
+    catalog.add_class(
+        ClassDef(
+            "Part",
+            attributes=[
+                Attribute("pname", STRING),
+                Attribute("cost", FLOAT),
+                Attribute("mass", FLOAT),
+                Attribute("category", STRING),
+                Attribute("subparts", SetType(ClassRef("Part"))),
+            ],
+            methods=[Method("weight_class", STRING, _weight_class, eval_weight=2.0)],
+        )
+    )
+    catalog.validate()
+    return catalog
+
+
+@dataclass
+class PartsConfig:
+    """Knobs for the synthetic bill-of-materials."""
+
+    assemblies: int = 4
+    depth: int = 4
+    fanout: int = 3
+    sharing: float = 0.1  # probability a slot reuses an existing part
+    categories: int = 5
+    records_per_page: int = 20
+    buffer_pages: int = 256
+    seed: int = 1992
+
+
+@dataclass
+class PartsDatabase:
+    """A generated bill-of-materials plus its physical schema."""
+
+    config: PartsConfig
+    catalog: Catalog
+    store: ObjectStore
+    physical: PhysicalSchema
+    root_oids: List[Oid] = field(default_factory=list)
+
+
+def generate_parts_database(config: Optional[PartsConfig] = None) -> PartsDatabase:
+    """Generate assemblies of nested parts.
+
+    Each of ``assemblies`` root parts gets a tree of ``depth`` levels
+    with ``fanout`` children per node; with probability ``sharing`` a
+    child slot points at an already-generated part of the same level
+    (making the structure a DAG and exercising the fixpoint's duplicate
+    elimination)."""
+    if config is None:
+        config = PartsConfig()
+    rng = random.Random(config.seed)
+    catalog = build_parts_catalog()
+    store = ObjectStore(
+        BufferPool(config.buffer_pages), records_per_page=config.records_per_page
+    )
+    physical = PhysicalSchema(store, catalog)
+    physical.register_extent("Part")
+
+    database = PartsDatabase(config, catalog, store, physical)
+    by_level: Dict[int, List[Oid]] = {}
+    serial = [0]
+
+    def make_part(level: int) -> Oid:
+        children: List[Oid] = []
+        if level < config.depth:
+            for _slot in range(config.fanout):
+                pool = by_level.get(level + 1, [])
+                if pool and rng.random() < config.sharing:
+                    children.append(rng.choice(pool))
+                else:
+                    children.append(make_part(level + 1))
+        name = (
+            ROOT_ASSEMBLY + f"_{len(database.root_oids)}"
+            if level == 0
+            else f"part_{serial[0]:05d}"
+        )
+        serial[0] += 1
+        oid = store.insert(
+            "Part",
+            {
+                "pname": name,
+                "cost": round(rng.uniform(1.0, 100.0), 2),
+                "mass": round(rng.uniform(0.1, 80.0), 2),
+                "category": f"cat_{rng.randrange(config.categories)}",
+                "subparts": tuple(children),
+            },
+        )
+        by_level.setdefault(level, []).append(oid)
+        return oid
+
+    for _assembly in range(config.assemblies):
+        database.root_oids.append(make_part(0))
+    physical.refresh_statistics()
+    return database
+
+
+def contains_rules() -> List[Rule]:
+    """The recursive Contains view over the *multivalued* ``subparts``::
+
+        view Contains as
+          select [assembly: p, component: c, level: 1]
+          from p in Part, c in Part where p.subparts = c
+          union
+          select [assembly: r.assembly, component: c, level: r.level + 1]
+          from r in Contains, c in Part where r.component.subparts = c
+
+    The equality ``p.subparts = c`` uses the model's existential
+    semantics over set-valued paths (membership).  ``assembly`` is the
+    invariant field; ``component`` rebinds and ``level`` is computed.
+    """
+    base = rule(
+        CONTAINS,
+        spj(
+            [arc("Part", p="."), arc("Part", c=".")],
+            where=eq(path("p", "subparts"), var("c")),
+            select=out(assembly=var("p"), component=var("c"), level=const(1)),
+        ),
+    )
+    recursive = rule(
+        CONTAINS,
+        spj(
+            [arc(CONTAINS, r="."), arc("Part", c=".")],
+            where=eq(path("r", "component", "subparts"), var("c")),
+            select=out(
+                assembly=path("r", "assembly"),
+                component=var("c"),
+                level=add(path("r", "level"), const(1)),
+            ),
+        ),
+    )
+    return [base, recursive]
+
+
+def components_of_query(assembly_name: str = ROOT_ASSEMBLY + "_0") -> QueryGraph:
+    """All components (recursively) of a named assembly — the selection
+    ``assembly.pname = ...`` is on the invariant field and therefore a
+    candidate for pushing through the recursion."""
+    base, recursive = contains_rules()
+    answer = rule(
+        "Answer",
+        spj(
+            [arc(CONTAINS, k=".")],
+            where=eq(path("k", "assembly", "pname"), const(assembly_name)),
+            select=out(
+                component=path("k", "component", "pname"),
+                level=path("k", "level"),
+            ),
+        ),
+    )
+    return query(base, recursive, answer)
+
+
+def heavy_components_query(
+    assembly_name: str = ROOT_ASSEMBLY + "_0", min_level: int = 2
+) -> QueryGraph:
+    """Deep heavy components of an assembly.
+
+    Mixes an invariant-field selection (pushable), a *method* call
+    (``component.weight_class`` — rebound field, not pushable) and a
+    computed-field range (``level``, not pushable): the optimizer must
+    split the conjunction correctly."""
+    base, recursive = contains_rules()
+    answer = rule(
+        "Answer",
+        spj(
+            [arc(CONTAINS, k=".")],
+            where=and_(
+                eq(path("k", "assembly", "pname"), const(assembly_name)),
+                eq(path("k", "component", "weight_class"), const("heavy")),
+                ge(path("k", "level"), const(min_level)),
+            ),
+            select=out(
+                component=path("k", "component", "pname"),
+                level=path("k", "level"),
+            ),
+        ),
+    )
+    return query(base, recursive, answer)

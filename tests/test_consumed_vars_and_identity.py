@@ -1,0 +1,168 @@
+"""Tests for consumed-variable analysis, lazy PIJ fetching and the
+simplified model's identity-size mode."""
+
+import pytest
+
+from repro.cost import SimplifiedCostModel
+from repro.engine import Engine
+from repro.plans import (
+    EJ,
+    IJ,
+    PIJ,
+    EntityLeaf,
+    Fix,
+    Proj,
+    RecLeaf,
+    Sel,
+    UnionOp,
+)
+from repro.plans.patterns import consumed_variables
+from repro.querygraph.builder import add, const, eq, ge, out, path, var
+
+
+def pij_plan(project_intermediate: bool):
+    fields = (
+        out(n=path("x", "name"), title=path("w", "title"))
+        if project_intermediate
+        else out(n=path("x", "name"))
+    )
+    return Proj(
+        Sel(
+            PIJ(
+                EntityLeaf("Composer", "x"),
+                [EntityLeaf("Composition", "w"), EntityLeaf("Instrument", "i")],
+                ["works", "instruments"],
+                var("x"),
+                ["w", "i"],
+            ),
+            eq(path("i", "name"), const("harpsichord")),
+        ),
+        fields,
+    )
+
+
+class TestConsumedVariables:
+    def test_collects_from_all_operator_kinds(self):
+        plan = pij_plan(project_intermediate=True)
+        consumed = consumed_variables(plan)
+        assert consumed == {"x", "w", "i"}
+
+    def test_unused_intermediate_not_consumed(self):
+        plan = pij_plan(project_intermediate=False)
+        consumed = consumed_variables(plan)
+        assert "w" not in consumed
+        assert {"x", "i"} <= consumed
+
+    def test_ej_and_ij_sources_counted(self):
+        plan = Proj(
+            IJ(
+                EJ(
+                    EntityLeaf("Composer", "a"),
+                    EntityLeaf("Composer", "b"),
+                    eq(path("a", "master"), path("b", "master")),
+                ),
+                EntityLeaf("Composer", "m"),
+                path("a", "master"),
+                "m",
+            ),
+            out(n=path("m", "name")),
+        )
+        assert consumed_variables(plan) == {"a", "b", "m"}
+
+
+class TestLazyPIJFetch:
+    def test_unconsumed_target_not_fetched(self, indexed_db):
+        engine = Engine(indexed_db.physical)
+        indexed_db.store.buffer.clear()
+        lean = engine.execute(pij_plan(project_intermediate=False))
+        lean_reads = lean.metrics.buffer.logical_reads
+        indexed_db.store.buffer.clear()
+        full = engine.execute(pij_plan(project_intermediate=True))
+        full_reads = full.metrics.buffer.logical_reads
+        # Fetching the Composition records costs strictly more reads.
+        assert lean_reads < full_reads
+
+    def test_answers_unaffected(self, indexed_db):
+        engine = Engine(indexed_db.physical)
+        lean = engine.execute(pij_plan(project_intermediate=False))
+        names = {row["n"] for row in lean.rows}
+        full = engine.execute(pij_plan(project_intermediate=True))
+        assert names == {row["n"] for row in full.rows}
+
+
+class TestIdentitySizes:
+    def make_fix(self):
+        base = Proj(
+            EntityLeaf("Composer", "x"),
+            out(master=path("x", "master"), disciple=var("x"), gen=const(1)),
+        )
+        recursive = Proj(
+            EJ(
+                RecLeaf("Influencer", "i"),
+                EntityLeaf("Composer", "x"),
+                eq(path("i", "disciple"), path("x", "master")),
+            ),
+            out(
+                master=path("i", "master"),
+                disciple=var("x"),
+                gen=add(path("i", "gen"), const(1)),
+            ),
+        )
+        return Fix(
+            "Influencer",
+            UnionOp(base, recursive),
+            "i",
+            "Composer",
+            "master",
+            {"master"},
+        )
+
+    def test_selection_does_not_shrink(self, indexed_db):
+        """Under identity sizes a selective filter does not reduce the
+        stream, so a *downstream* operator stays as expensive as the
+        upstream one; under estimated sizes it gets cheaper."""
+        plan = Sel(
+            Sel(
+                Proj(EntityLeaf("Composer", "x"), out(n=path("x", "name"))),
+                eq(var("n"), const("Bach")),
+            ),
+            eq(var("n"), const("Bach")),
+        )
+        identity_rows = SimplifiedCostModel(
+            indexed_db.physical, identity_sizes=True
+        ).table(plan, symbolic=False)
+        estimated_rows = SimplifiedCostModel(indexed_db.physical).table(
+            plan, symbolic=False
+        )
+        # The second selection's input: unshrunk vs shrunk to ~1 tuple.
+        assert identity_rows[-1].formula >= estimated_rows[-1].formula
+
+    def test_fix_cost_finite_under_identity(self, indexed_db):
+        model = SimplifiedCostModel(indexed_db.physical, identity_sizes=True)
+        cost = model.cost(self.make_fix())
+        estimated = SimplifiedCostModel(indexed_db.physical).cost(self.make_fix())
+        assert 0 < cost < 1e9
+        assert 0 < estimated < 1e9
+
+    def test_identity_mode_costs_more_for_filtered_fix(self, indexed_db):
+        """A filter inside the fixpoint shrinks deltas under estimated
+        sizes but not under identity sizes, so identity costs more."""
+        fix = self.make_fix()
+        base, recursive = fix.body.left, fix.body.right
+        filtered = Fix(
+            fix.name,
+            UnionOp(
+                Proj(
+                    Sel(base.child, eq(path("x", "name"), const("Bach"))),
+                    base.fields,
+                ),
+                recursive,
+            ),
+            fix.out_var,
+            fix.recursion_entity,
+            fix.recursion_attribute,
+            set(fix.invariant_fields),
+        )
+        identity = SimplifiedCostModel(indexed_db.physical, identity_sizes=True)
+        estimated = SimplifiedCostModel(indexed_db.physical)
+        assert identity.cost(filtered) > estimated.cost(filtered)

@@ -1,0 +1,198 @@
+"""Tests for the fold rewriting action (view inlining)."""
+
+import pytest
+
+from repro.core import Optimizer, OptimizerConfig, cost_controlled_optimizer
+from repro.core.fold import fold_action, fold_views
+from repro.engine import Engine, ReferenceEvaluator
+from repro.plans import EJ, Materialize, find_all
+from repro.querygraph.builder import (
+    and_,
+    arc,
+    const,
+    eq,
+    fn,
+    ge,
+    out,
+    path,
+    query,
+    rule,
+    spj,
+    var,
+)
+from repro.querygraph.graph import SPJNode
+from repro.workloads import fig3_query
+
+
+def simple_view_graph():
+    """Late := composers born >= 1700; Answer filters Late further."""
+    view = rule(
+        "Late",
+        spj(
+            [arc("Composer", x=".")],
+            where=ge(path("x", "birthyear"), const(1700)),
+            select=out(n=path("x", "name"), m=path("x", "master")),
+        ),
+    )
+    answer = rule(
+        "Answer",
+        spj(
+            [arc("Late", v=".")],
+            where=eq(path("v", "m", "name"), const("Bach")),
+            select=out(n=path("v", "n")),
+        ),
+    )
+    return query(view, answer)
+
+
+def join_with_view_graph():
+    """A view joined with a base class: folding widens the SPJ."""
+    view = rule(
+        "Masters",
+        spj(
+            [arc("Composer", x=".")],
+            select=out(m=path("x", "master"), n=path("x", "name")),
+        ),
+    )
+    answer = rule(
+        "Answer",
+        spj(
+            [arc("Masters", v="."), arc("Composer", c=".")],
+            where=and_(
+                eq(path("v", "m"), var("c")),
+                eq(path("c", "name"), const("Bach")),
+            ),
+            select=out(n=path("v", "n")),
+        ),
+    )
+    return query(view, answer)
+
+
+class TestFoldAction:
+    def test_fold_inlines_and_drops_view(self):
+        folded = fold_views(simple_view_graph())
+        assert folded.produced_names() == ["Answer"]
+        node = folded.producers_of("Answer")[0].node
+        assert isinstance(node, SPJNode)
+        assert node.input_names() == ["Composer"]
+        # Both the view's and the consumer's predicates survive.
+        rendered = repr(node.predicate)
+        assert "birthyear" in rendered and "Bach" in rendered
+
+    def test_fold_rewrites_paths_through_fields(self):
+        folded = fold_views(simple_view_graph())
+        node = folded.producers_of("Answer")[0].node
+        paths = node.predicate.paths()
+        # v.m.name became x.master.name (over the view's variable).
+        assert any(p.attrs == ("master", "name") for p in paths)
+
+    def test_fold_preserves_answers(self, indexed_db):
+        graph = simple_view_graph()
+        reference = ReferenceEvaluator(indexed_db.physical)
+        assert reference.answer_set(graph) == reference.answer_set(
+            fold_views(graph)
+        )
+
+    def test_fold_join_variant_preserves_answers(self, indexed_db):
+        graph = join_with_view_graph()
+        reference = ReferenceEvaluator(indexed_db.physical)
+        folded = fold_views(graph)
+        assert reference.answer_set(graph) == reference.answer_set(folded)
+        node = folded.producers_of("Answer")[0].node
+        assert sorted(node.input_names()) == ["Composer", "Composer"]
+
+    def test_recursive_views_not_folded(self):
+        graph = fig3_query()
+        assert fold_action.first_application(graph) is None
+
+    def test_union_views_not_folded(self, indexed_db):
+        r1 = rule(
+            "V", spj([arc("Composer", x=".")], select=out(n=path("x", "name")))
+        )
+        r2 = rule(
+            "V", spj([arc("Instrument", y=".")], select=out(n=path("y", "name")))
+        )
+        answer = rule("Answer", spj([arc("V", v=".")], select=out(n=path("v", "n"))))
+        graph = query(r1, r2, answer)
+        assert fold_action.first_application(graph) is None
+
+    def test_computed_field_blocks_path_fold(self):
+        view = rule(
+            "V",
+            spj(
+                [arc("Composer", x=".")],
+                select=out(
+                    n=fn("upper", path("x", "name"), callable=str.upper)
+                ),
+            ),
+        )
+        answer = rule(
+            "Answer",
+            spj(
+                [arc("V", v=".")],
+                where=eq(path("v", "n", "oops"), const("X")),
+                select=out(n=path("v", "n")),
+            ),
+        )
+        graph = query(view, answer)
+        # A path *through* a computed field cannot fold; the action
+        # skips the site instead of corrupting the query.
+        assert fold_action.first_application(graph) is None
+
+    def test_computed_field_direct_use_folds(self, indexed_db):
+        view = rule(
+            "V",
+            spj(
+                [arc("Composer", x=".")],
+                select=out(
+                    n=fn("upper", path("x", "name"), callable=str.upper)
+                ),
+            ),
+        )
+        answer = rule(
+            "Answer",
+            spj(
+                [arc("V", v=".")],
+                where=eq(path("v", "n"), const("BACH")),
+                select=out(n=path("v", "n")),
+            ),
+        )
+        graph = query(view, answer)
+        folded = fold_views(graph)
+        assert folded.produced_names() == ["Answer"]
+        reference = ReferenceEvaluator(indexed_db.physical)
+        assert reference.answer_set(graph) == reference.answer_set(folded)
+
+
+class TestFoldInOptimizer:
+    def test_optimizer_folds_away_materialize(self, indexed_db):
+        graph = simple_view_graph()
+        with_fold = cost_controlled_optimizer(indexed_db.physical).optimize(graph)
+        assert not find_all(with_fold.plan, Materialize)
+        without = Optimizer(
+            indexed_db.physical,
+            config=OptimizerConfig(fold_nonrecursive_views=False),
+        ).optimize(graph)
+        assert find_all(without.plan, Materialize)
+
+    def test_folded_plan_matches_reference(self, indexed_db):
+        graph = join_with_view_graph()
+        result = cost_controlled_optimizer(indexed_db.physical).optimize(graph)
+        got = Engine(indexed_db.physical).execute(result.plan).answer_set()
+        want = ReferenceEvaluator(indexed_db.physical).answer_set(graph)
+        assert got == want
+
+    def test_folding_enables_joint_optimization(self, indexed_db):
+        """After folding, the view's arcs join the consumer's SPJ —
+        the plan contains one explicit join instead of a materialized
+        view feeding a join."""
+        graph = join_with_view_graph()
+        result = cost_controlled_optimizer(indexed_db.physical).optimize(graph)
+        assert len(find_all(result.plan, EJ)) == 1
+        assert not find_all(result.plan, Materialize)
+
+    def test_fold_trace_recorded(self, indexed_db):
+        result = cost_controlled_optimizer(indexed_db.physical).optimize(
+            simple_view_graph()
+        )
+        assert any("fold" in step for step in result.rewrite_trace)

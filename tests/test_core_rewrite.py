@@ -1,0 +1,111 @@
+"""Tests for the rewrite step (union + fixpoint actions)."""
+
+import pytest
+
+from repro.core.actions import Action, Application, saturate
+from repro.core.rewrite import fixpoint_action, rewrite, union_action
+from repro.querygraph.graph import FixNode, SPJNode, UnionNode
+from repro.querygraph.builder import arc, out, path, query, rule, spj, var
+from repro.workloads import fig2_query, fig3_query
+
+
+class TestActionFramework:
+    def test_saturate_applies_until_fixpoint(self):
+        def finder(value):
+            if value < 5:
+                yield Application(counter_action, f"inc {value}", lambda: value + 1)
+
+        counter_action = Action("inc", finder)
+        assert saturate(0, [counter_action]) == 5
+
+    def test_saturate_trace(self):
+        def finder(value):
+            if value < 2:
+                yield Application(action, f"inc {value}", lambda: value + 1)
+
+        action = Action("inc", finder)
+        trace = []
+        saturate(0, [action], trace=trace)
+        assert trace == ["inc: inc 0", "inc: inc 1"]
+
+    def test_action_without_finder_raises(self):
+        with pytest.raises(NotImplementedError):
+            list(Action("empty").applications(None))
+
+    def test_first_application_none_when_inapplicable(self):
+        action = Action("never", lambda granule: iter(()))
+        assert action.first_application(object()) is None
+
+
+class TestUnionAction:
+    def test_merges_multiple_rules(self):
+        graph = fig3_query()
+        application = union_action.first_application(graph)
+        assert application is not None
+        merged = application.apply()
+        producers = merged.producers_of("Influencer")
+        assert len(producers) == 1
+        assert isinstance(producers[0].node, UnionNode)
+
+    def test_not_applicable_to_single_rule(self):
+        graph = fig2_query()
+        assert union_action.first_application(graph) is None
+
+
+class TestFixpointAction:
+    def test_wraps_recursive_name(self):
+        graph = fig3_query()
+        merged = union_action.first_application(graph).apply()
+        application = fixpoint_action.first_application(merged)
+        assert application is not None
+        wrapped = application.apply()
+        node = wrapped.producers_of("Influencer")[0].node
+        assert isinstance(node, FixNode)
+        assert node.name == "Influencer"
+
+    def test_waits_for_union(self):
+        # With two rules still separate, fixpoint does not fire.
+        graph = fig3_query()
+        assert fixpoint_action.first_application(graph) is None
+
+    def test_not_applicable_to_non_recursive(self):
+        graph = fig2_query()
+        assert fixpoint_action.first_application(graph) is None
+
+
+class TestRewriteProcedure:
+    def test_rewrite_fig3(self):
+        graph = fig3_query()
+        rewritten = rewrite(graph)
+        node = rewritten.producers_of("Influencer")[0].node
+        assert isinstance(node, FixNode)
+        assert isinstance(node.body, UnionNode)
+        answer = rewritten.producers_of("Answer")[0].node
+        assert isinstance(answer, SPJNode)
+
+    def test_rewrite_is_idempotent(self):
+        rewritten = rewrite(fig3_query())
+        again = rewrite(rewritten)
+        assert len(again.rules) == len(rewritten.rules)
+
+    def test_rewrite_leaves_non_recursive_untouched(self):
+        graph = fig2_query()
+        rewritten = rewrite(graph)
+        assert isinstance(rewritten.producers_of("Answer")[0].node, SPJNode)
+
+    def test_rewrite_trace_records_actions(self):
+        trace = []
+        rewrite(fig3_query(), trace)
+        assert any("union" in entry for entry in trace)
+        assert any("fixpoint" in entry for entry in trace)
+
+    def test_union_of_three_rules(self):
+        r1 = rule("V", spj([arc("Composer", x=".")], select=out(n=path("x", "name"))))
+        r2 = rule("V", spj([arc("Instrument", y=".")], select=out(n=path("y", "name"))))
+        r3 = rule("V", spj([arc("Composition", z=".")], select=out(n=path("z", "title"))))
+        answer = rule("Answer", spj([arc("V", v=".")], select=out(n=path("v", "n"))))
+        graph = query(r1, r2, r3, answer)
+        rewritten = rewrite(graph)
+        node = rewritten.producers_of("V")[0].node
+        assert isinstance(node, UnionNode)
+        assert len(node.parts) == 3

@@ -1,0 +1,272 @@
+"""Tests for transformPT: the filter action and candidate comparison."""
+
+import pytest
+
+from repro.core.transform import (
+    apply_filter,
+    find_filter_sites,
+    transform_candidates,
+)
+from repro.engine import Engine
+from repro.plans import (
+    EJ,
+    IJ,
+    PIJ,
+    EntityLeaf,
+    Fix,
+    Proj,
+    RecLeaf,
+    Sel,
+    UnionOp,
+    find_all,
+    validate_plan,
+)
+from repro.querygraph.builder import add, const, eq, ge, out, path, var
+
+
+def make_fix():
+    base = Proj(
+        EntityLeaf("Composer", "x"),
+        out(master=path("x", "master"), disciple=var("x"), gen=const(1)),
+    )
+    recursive = Proj(
+        EJ(
+            RecLeaf("Influencer", "i"),
+            EntityLeaf("Composer", "x"),
+            eq(path("i", "disciple"), path("x", "master")),
+        ),
+        out(
+            master=path("i", "master"),
+            disciple=var("x"),
+            gen=add(path("i", "gen"), const(1)),
+        ),
+    )
+    return Fix(
+        "Influencer", UnionOp(base, recursive), "i", "Composer", "master", {"master"}
+    )
+
+
+def selection_pipeline(fix):
+    """PT 4(i): the harpsichord selection (with its hops) above Fix."""
+    return Proj(
+        IJ(
+            Sel(
+                PIJ(
+                    IJ(
+                        Sel(fix, ge(path("i", "gen"), const(6))),
+                        EntityLeaf("Composer", "m"),
+                        path("i", "master"),
+                        "m",
+                    ),
+                    [
+                        EntityLeaf("Composition", "w"),
+                        EntityLeaf("Instrument", "ins"),
+                    ],
+                    ["works", "instruments"],
+                    var("m"),
+                    ["w", "ins"],
+                ),
+                eq(path("ins", "name"), const("harpsichord")),
+            ),
+            EntityLeaf("Composer", "d"),
+            path("i", "disciple"),
+            "d",
+        ),
+        out(name=path("d", "name")),
+    )
+
+
+def join_pipeline(fix):
+    """The Section 4.5 shape: a selective join above the Fix."""
+    return Proj(
+        IJ(
+            EJ(
+                fix,
+                Sel(
+                    EntityLeaf("Composer", "c"),
+                    eq(path("c", "name"), const("Bach")),
+                ),
+                eq(path("i", "master"), path("c", "master")),
+            ),
+            EntityLeaf("Composer", "d"),
+            path("i", "disciple"),
+            "d",
+        ),
+        out(name=path("d", "name")),
+    )
+
+
+class TestSegmentExtraction:
+    def test_selection_segment_found(self):
+        plan = selection_pipeline(make_fix())
+        sites = find_filter_sites(plan)
+        assert len(sites) == 1
+        labels = [node.label() for node in sites[0].pushed]
+        assert labels[0].startswith("IJ[i.master")
+        assert labels[-1].startswith("Sel")
+        # gen >= 6 is computed -> skippable, not pushed.
+        assert any("gen" in node.label() for node in sites[0].kept)
+
+    def test_gen_only_selection_not_pushable(self):
+        plan = Proj(
+            Sel(make_fix(), ge(path("i", "gen"), const(6))),
+            out(g=path("i", "gen")),
+        )
+        assert find_filter_sites(plan) == []
+
+    def test_join_segment_found_left_and_right(self):
+        plan = join_pipeline(make_fix())
+        sites = find_filter_sites(plan)
+        assert len(sites) == 1
+        assert sites[0].has_join
+
+        # Commuted: Fix on the right side of the EJ.
+        swapped = Proj(
+            IJ(
+                EJ(
+                    Sel(
+                        EntityLeaf("Composer", "c"),
+                        eq(path("c", "name"), const("Bach")),
+                    ),
+                    make_fix(),
+                    eq(path("i", "master"), path("c", "master")),
+                ),
+                EntityLeaf("Composer", "d"),
+                path("i", "disciple"),
+                "d",
+            ),
+            out(name=path("d", "name")),
+        )
+        swapped_sites = find_filter_sites(swapped)
+        assert len(swapped_sites) == 1
+        assert swapped_sites[0].has_join
+
+    def test_join_on_rebound_field_blocked(self):
+        plan = Proj(
+            EJ(
+                make_fix(),
+                Sel(
+                    EntityLeaf("Composer", "c"),
+                    eq(path("c", "name"), const("Bach")),
+                ),
+                eq(path("i", "disciple"), path("c", "master")),  # rebound!
+            ),
+            out(g=path("i", "gen")),
+        )
+        assert find_filter_sites(plan) == []
+
+    def test_join_allowed_flag(self):
+        plan = join_pipeline(make_fix())
+        assert find_filter_sites(plan, allow_join=False) == []
+
+    def test_no_invariants_no_sites(self):
+        fix = make_fix()
+        stripped = Fix(fix.name, fix.body, fix.out_var, invariant_fields=set())
+        plan = selection_pipeline(stripped)
+        assert find_filter_sites(plan) == []
+
+    def test_consumer_of_segment_vars_blocks_push(self):
+        """If something above the segment reads a segment variable,
+        the segment cannot disappear into the recursion."""
+        fix = make_fix()
+        plan = Proj(
+            Sel(
+                PIJ(
+                    IJ(
+                        fix,
+                        EntityLeaf("Composer", "m"),
+                        path("i", "master"),
+                        "m",
+                    ),
+                    [
+                        EntityLeaf("Composition", "w"),
+                        EntityLeaf("Instrument", "ins"),
+                    ],
+                    ["works", "instruments"],
+                    var("m"),
+                    ["w", "ins"],
+                ),
+                eq(path("ins", "name"), const("harpsichord")),
+            ),
+            out(work=path("w", "title")),  # reads a segment variable
+        )
+        assert find_filter_sites(plan) == []
+
+
+class TestApplyFilter:
+    def test_pushed_plan_matches_fig4ii_shape(self, indexed_db):
+        plan = selection_pipeline(make_fix())
+        segment = find_filter_sites(plan)[0]
+        pushed = apply_filter(plan, segment)
+        validate_plan(pushed, indexed_db.physical)
+        fix = find_all(pushed, Fix)[0]
+        inner_sels = find_all(fix.body, Sel)
+        assert len(inner_sels) == 2  # one per union part
+        # gen >= 6 stays above the Fix.
+        outer_sels = [
+            s
+            for s in find_all(pushed, Sel)
+            if s not in inner_sels
+        ]
+        assert any("gen" in repr(s.predicate) for s in outer_sels)
+
+    def test_push_preserves_answers(self, indexed_db):
+        plan = selection_pipeline(make_fix())
+        segment = find_filter_sites(plan)[0]
+        pushed = apply_filter(plan, segment)
+        engine = Engine(indexed_db.physical)
+        assert (
+            engine.execute(plan).answer_set()
+            == engine.execute(pushed).answer_set()
+        )
+
+    def test_join_push_preserves_answers(self, indexed_db):
+        plan = join_pipeline(make_fix())
+        segment = find_filter_sites(plan)[0]
+        pushed = apply_filter(plan, segment)
+        validate_plan(pushed, indexed_db.physical)
+        engine = Engine(indexed_db.physical)
+        assert (
+            engine.execute(plan).answer_set()
+            == engine.execute(pushed).answer_set()
+        )
+
+    def test_pushed_join_copies_inner_per_part(self, indexed_db):
+        plan = join_pipeline(make_fix())
+        segment = find_filter_sites(plan)[0]
+        pushed = apply_filter(plan, segment)
+        fix = find_all(pushed, Fix)[0]
+        inner_joins = [
+            n
+            for n in find_all(fix.body, EJ)
+            if "c_p" in repr(n.predicate)
+        ]
+        assert len(inner_joins) == 2
+
+    def test_variables_renamed_per_part(self, indexed_db):
+        plan = selection_pipeline(make_fix())
+        segment = find_filter_sites(plan)[0]
+        pushed = apply_filter(plan, segment)
+        fix = find_all(pushed, Fix)[0]
+        sels = find_all(fix.body, Sel)
+        variables = set()
+        for sel in sels:
+            variables |= sel.predicate.variables()
+        # Two distinct renamed instrument variables.
+        assert len(variables) == 2
+
+
+class TestCandidateClosure:
+    def test_candidates_include_original_and_pushed(self):
+        plan = selection_pipeline(make_fix())
+        candidates = transform_candidates(plan)
+        assert len(candidates) == 2
+        descriptions = [d for d, _p in candidates]
+        assert "original" in descriptions
+
+    def test_no_fix_means_single_candidate(self):
+        plan = Proj(
+            Sel(EntityLeaf("Composer", "x"), eq(path("x", "name"), const("Bach"))),
+            out(n=path("x", "name")),
+        )
+        assert len(transform_candidates(plan)) == 1

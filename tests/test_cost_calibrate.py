@@ -1,0 +1,126 @@
+"""Tests for cost-model calibration."""
+
+import pytest
+
+from repro.cost import (
+    CostParameters,
+    DetailedCostModel,
+    calibrate,
+    collect_probes,
+    fit_weights,
+)
+from repro.cost.calibrate import EVENT_NAMES, ProbeResult
+from repro.plans import EJ, IJ, PIJ, EntityLeaf, Proj, Sel
+from repro.querygraph.builder import const, eq, ge, out, path, var
+
+
+def probe_plans():
+    return [
+        (
+            "scan+sel",
+            Sel(
+                EntityLeaf("Composer", "x"),
+                ge(path("x", "birthyear"), const(1700)),
+            ),
+        ),
+        (
+            "indexed sel",
+            Sel(EntityLeaf("Composer", "x"), eq(path("x", "name"), const("Bach"))),
+        ),
+        (
+            "ij",
+            IJ(
+                EntityLeaf("Composer", "x"),
+                EntityLeaf("Composition", "w"),
+                path("x", "works"),
+                "w",
+            ),
+        ),
+        (
+            "pij",
+            PIJ(
+                EntityLeaf("Composer", "x"),
+                [EntityLeaf("Composition", "w"), EntityLeaf("Instrument", "i")],
+                ["works", "instruments"],
+                var("x"),
+                ["w", "i"],
+            ),
+        ),
+        (
+            "ej",
+            EJ(
+                Sel(
+                    EntityLeaf("Composer", "a"),
+                    eq(path("a", "name"), const("Bach")),
+                ),
+                EntityLeaf("Composer", "b"),
+                eq(path("b", "master"), var("a")),
+            ),
+        ),
+        (
+            "proj",
+            Proj(EntityLeaf("Instrument", "i"), out(n=path("i", "name"))),
+        ),
+        (
+            "method sel",
+            Sel(EntityLeaf("Composer", "x"), ge(path("x", "age"), const(250))),
+        ),
+    ]
+
+
+class TestCollectAndFit:
+    def test_collect_probes_counts_events(self, indexed_db):
+        probes = collect_probes(indexed_db.physical, probe_plans())
+        assert len(probes) == len(probe_plans())
+        for probe in probes:
+            assert set(probe.events) == set(EVENT_NAMES)
+            assert probe.target_cost > 0
+
+    def test_fit_recovers_known_weights(self, indexed_db):
+        """Fitting against a target built from known weights recovers
+        them (up to collinearity between correlated events)."""
+        known = {"page": 2.0, "eval": 0.25}
+        probes = collect_probes(
+            indexed_db.physical,
+            probe_plans(),
+            target_fn=lambda metrics: (
+                known["page"]
+                * (metrics.buffer.physical_reads + metrics.index_page_reads)
+                + known["eval"] * metrics.predicate_evals
+            ),
+        )
+        fitted = fit_weights(probes)
+        assert fitted.residual < 0.05
+        # The fitted model must reproduce every probe's target closely.
+        for probe in probes:
+            predicted = sum(
+                fitted.weights[name] * probe.events[name]
+                for name in EVENT_NAMES
+            )
+            assert predicted == pytest.approx(probe.target_cost, rel=0.15)
+
+    def test_weights_nonnegative(self, indexed_db):
+        fitted = calibrate(indexed_db.physical, probe_plans())
+        assert all(value >= 0 for value in fitted.weights.values())
+
+    def test_too_few_probes_rejected(self):
+        with pytest.raises(ValueError):
+            fit_weights(
+                [ProbeResult("one", dict.fromkeys(EVENT_NAMES, 1.0), 1.0)]
+            )
+
+    def test_cost_of_metrics(self, indexed_db):
+        from repro.engine import Engine
+
+        fitted = calibrate(indexed_db.physical, probe_plans())
+        engine = Engine(indexed_db.physical)
+        result = engine.execute(probe_plans()[0][1])
+        assert fitted.cost_of(result.metrics) >= 0
+
+    def test_to_parameters_roundtrip(self, indexed_db):
+        fitted = calibrate(indexed_db.physical, probe_plans())
+        params = fitted.to_parameters(CostParameters(buffer_pages=8))
+        assert params.buffer_pages == 8
+        assert params.page_read > 0
+        model = DetailedCostModel(indexed_db.physical, params)
+        assert model.cost(probe_plans()[0][1]) > 0

@@ -1,0 +1,96 @@
+"""Tests for the symbolic cost algebra, including hypothesis checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.symbolic import Sym, as_sym, sym
+
+
+class TestBasics:
+    def test_var_and_const(self):
+        assert sym("pr").variables() == ["pr"]
+        assert Sym.const(3).is_constant()
+
+    def test_addition_collects_terms(self):
+        expr = sym("a") + sym("a") + 2
+        assert expr == Sym({("a",): 2.0}, 2.0)
+
+    def test_multiplication_distributes(self):
+        expr = (sym("a") + 1) * (sym("b") + 2)
+        expected = (
+            sym("a") * sym("b") + 2 * sym("a") + sym("b") + 2
+        )
+        assert expr == expected
+
+    def test_zero_terms_dropped(self):
+        expr = sym("a") - sym("a")
+        assert expr == 0
+        assert expr.is_constant()
+
+    def test_subtraction_and_rsub(self):
+        assert (3 - sym("a")).evaluate({"a": 1}) == 2
+        assert (sym("a") - 3).evaluate({"a": 5}) == 2
+
+    def test_product_key_sorted(self):
+        assert sym("b") * sym("a") == sym("a") * sym("b")
+
+    def test_evaluate(self):
+        expr = sym("pr") * sym("n") + 3
+        assert expr.evaluate({"pr": 2, "n": 5}) == 13
+
+    def test_evaluate_missing_symbol_raises(self):
+        with pytest.raises(KeyError):
+            sym("x").evaluate({})
+
+    def test_as_sym(self):
+        assert as_sym(2) == Sym.const(2)
+        assert as_sym(sym("a")) == sym("a")
+        with pytest.raises(TypeError):
+            as_sym("nope")
+
+    def test_repr_readable(self):
+        expr = sym("pr") * sym("|C|") + sym("ev")
+        rendered = repr(expr)
+        assert "pr" in rendered and "ev" in rendered and "|C|" in rendered
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c"]),
+            st.integers(min_value=-5, max_value=5),
+        ),
+        max_size=6,
+    ),
+    st.integers(min_value=1, max_value=7),
+    st.integers(min_value=1, max_value=7),
+    st.integers(min_value=1, max_value=7),
+)
+def test_property_symbolic_matches_numeric(terms, a, b, c):
+    """Building an expression symbolically then evaluating equals
+    computing it numerically directly."""
+    assignment = {"a": a, "b": b, "c": c}
+    symbolic = Sym.const(0)
+    numeric = 0.0
+    for name, coefficient in terms:
+        symbolic = symbolic + sym(name) * coefficient
+        numeric += assignment[name] * coefficient
+    assert symbolic.evaluate(assignment) == pytest.approx(numeric)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=-4, max_value=4),
+    st.integers(min_value=-4, max_value=4),
+    st.integers(min_value=1, max_value=9),
+)
+def test_property_ring_laws(x, y, v):
+    """Commutativity and distributivity under evaluation."""
+    sa, sb = sym("a") + x, sym("a") * y
+    assignment = {"a": v}
+    assert (sa * sb).evaluate(assignment) == (sb * sa).evaluate(assignment)
+    assert ((sa + sb) * 2).evaluate(assignment) == pytest.approx(
+        (sa * 2 + sb * 2).evaluate(assignment)
+    )

@@ -1,0 +1,73 @@
+"""Tests for query-graph rendering and sweep scenarios."""
+
+import pytest
+
+from repro.core import rewrite
+from repro.querygraph import render_graph, render_node
+from repro.workloads import (
+    MusicConfig,
+    compare_push_policies,
+    fig2_query,
+    fig3_query,
+    selection_push_sweep,
+)
+
+
+class TestGraphRendering:
+    def test_fig2_render(self):
+        rendered = render_graph(fig2_query())
+        assert "Q[answer=Answer]" in rendered
+        assert "(Answer <-" in rendered
+        assert "Composer" in rendered
+        assert "'Bach'" in rendered
+        assert "?i1" in rendered and "?i2" in rendered  # tree labels
+
+    def test_fig3_render_has_all_rules(self):
+        rendered = render_graph(fig3_query())
+        assert rendered.count("(Influencer <-") == 2
+        assert "(Answer <-" in rendered
+
+    def test_rewritten_graph_shows_fix_and_union(self):
+        rendered = render_graph(rewrite(fig3_query()))
+        assert "Fix(Influencer" in rendered
+        assert "Union(" in rendered
+
+    def test_render_node_on_spj(self):
+        node = fig2_query().producers_of("Answer")[0].node
+        rendered = render_node(node)
+        assert rendered.startswith("SPJ(")
+
+
+class TestScenarios:
+    def test_compare_push_policies_fields(self):
+        comparison = compare_push_policies(
+            MusicConfig(
+                lineages=3,
+                generations=5,
+                works_per_composer=2,
+                selective_fraction=0.1,
+                buffer_pages=4,
+                seed=13,
+            )
+        )
+        assert comparison.measured_unpushed > 0
+        assert comparison.measured_pushed > 0
+        assert comparison.measured_winner in ("push", "no-push")
+        assert comparison.model_winner in ("push", "no-push")
+
+    def test_sweep_varies_selectivity(self):
+        results = selection_push_sweep(
+            [0.05, 0.9],
+            base_config=MusicConfig(
+                lineages=3,
+                generations=5,
+                works_per_composer=2,
+                buffer_pages=4,
+                seed=13,
+            ),
+        )
+        assert len(results) == 2
+        assert results[0].config.selective_fraction == 0.05
+        assert results[1].config.selective_fraction == 0.9
+        # Estimated push cost must grow with selectivity.
+        assert results[1].estimated_pushed > results[0].estimated_pushed

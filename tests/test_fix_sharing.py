@@ -1,0 +1,128 @@
+"""Tests for sharing materialized fixpoints across plan instances."""
+
+import pytest
+
+from repro.core import cost_controlled_optimizer
+from repro.engine import Engine, ReferenceEvaluator
+from repro.plans import EJ, EntityLeaf, Fix, Proj, RecLeaf, Sel, UnionOp
+from repro.querygraph.builder import (
+    add,
+    and_,
+    arc,
+    const,
+    eq,
+    out,
+    path,
+    query,
+    rule,
+    spj,
+    var,
+)
+from repro.workloads.queries import influencer_rules
+
+
+def make_fix(out_var):
+    base = Proj(
+        EntityLeaf("Composer", "x"),
+        out(master=path("x", "master"), disciple=var("x"), gen=const(1)),
+    )
+    recursive = Proj(
+        EJ(
+            RecLeaf("Influencer", "i"),
+            EntityLeaf("Composer", "x"),
+            eq(path("i", "disciple"), path("x", "master")),
+        ),
+        out(
+            master=path("i", "master"),
+            disciple=var("x"),
+            gen=add(path("i", "gen"), const(1)),
+        ),
+    )
+    return Fix(
+        "Influencer",
+        UnionOp(base, recursive),
+        out_var,
+        "Composer",
+        "master",
+        {"master"},
+    )
+
+
+class TestFixSharing:
+    def test_self_join_evaluates_fixpoint_once(self, indexed_db):
+        """Influencer ⋈ Influencer: successive-generation pairs with a
+        shared master; the fixpoint must run once, not twice."""
+        plan = Proj(
+            EJ(
+                make_fix("i1"),
+                make_fix("i2"),
+                and_(
+                    eq(path("i1", "master"), path("i2", "master")),
+                    eq(
+                        add(path("i1", "gen"), const(1)),
+                        path("i2", "gen"),
+                    ),
+                ),
+            ),
+            out(a=path("i1", "disciple"), b=path("i2", "disciple")),
+        )
+        engine = Engine(indexed_db.physical)
+        result = engine.execute(plan)
+        iterations = engine.metrics.fix_iterations
+        assert iterations == indexed_db.config.generations - 1  # once!
+        assert len(result) > 0
+
+    def test_self_join_answers_correct(self, indexed_db):
+        """Cross-check the shared-fix self-join against the reference
+        evaluator on the equivalent query graph."""
+        p1, p2 = influencer_rules()
+        answer = rule(
+            "Answer",
+            spj(
+                [arc("Influencer", i1="."), arc("Influencer", i2=".")],
+                where=and_(
+                    eq(path("i1", "master"), path("i2", "master")),
+                    eq(
+                        add(path("i1", "gen"), const(1)),
+                        path("i2", "gen"),
+                    ),
+                ),
+                select=out(a=path("i1", "disciple"), b=path("i2", "disciple")),
+            ),
+        )
+        graph = query(p1, p2, answer)
+        want = ReferenceEvaluator(indexed_db.physical).answer_set(graph)
+        result = cost_controlled_optimizer(indexed_db.physical).optimize(graph)
+        got = Engine(indexed_db.physical).execute(result.plan).answer_set()
+        assert got == want
+
+    def test_different_bodies_not_shared(self, indexed_db):
+        filtered = make_fix("i1")
+        base, recursive = filtered.body.left, filtered.body.right
+        other = Fix(
+            "Influencer",
+            UnionOp(
+                Proj(
+                    Sel(base.child, eq(path("x", "name"), const("Bach"))),
+                    base.fields,
+                ),
+                recursive,
+            ),
+            "i2",
+            "Composer",
+            "master",
+            {"master"},
+        )
+        plan = Proj(
+            EJ(
+                make_fix("i1"),
+                other,
+                eq(path("i1", "master"), path("i2", "master")),
+            ),
+            out(a=path("i1", "gen"), b=path("i2", "gen")),
+        )
+        engine = Engine(indexed_db.physical)
+        engine.execute(plan)
+        generations = indexed_db.config.generations - 1
+        # Two distinct bodies: both fixpoints ran.
+        assert engine.metrics.fix_iterations > generations

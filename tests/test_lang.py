@@ -1,0 +1,230 @@
+"""Tests for the query-language front-end: lexer, parser, compiler."""
+
+import pytest
+
+from repro.engine import Engine, ReferenceEvaluator
+from repro.errors import CompileError, LexError, ParseError
+from repro.lang import compile_text, parse, tokenize
+from repro.lang.ast import (
+    AndNode,
+    BinaryOp,
+    Call,
+    ComparisonNode,
+    Literal,
+    NotNode,
+    OrNode,
+    Path,
+)
+from repro.workloads import fig3_query, join_push_query
+
+FIG3_TEXT = """
+view Influencer as
+  select [master: x.master, disciple: x, gen: 1]
+  from x in Composer
+  union
+  select [master: i.master, disciple: x, gen: i.gen + 1]
+  from i in Influencer, x in Composer
+  where i.disciple = x.master;
+
+select [name: i.disciple.name]
+from i in Influencer
+where i.master.works.instruments.name = "harpsichord" and i.gen >= 6;
+"""
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT x FROM y In Z")
+        assert tokens[0].is_("keyword", "select")
+        assert tokens[2].is_("keyword", "from")
+        assert tokens[4].is_("keyword", "in")
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("Composer")
+        assert tokens[0].is_("ident", "Composer")
+
+    def test_numbers_and_paths_disambiguated(self):
+        tokens = tokenize("x.gen + 1.5")
+        kinds = [(t.kind, t.value) for t in tokens[:-1]]
+        assert ("number", "1.5") in kinds
+        assert ("punct", ".") in kinds
+
+    def test_string_literals_with_escapes(self):
+        tokens = tokenize(r'"har\"psichord"')
+        assert tokens[0].value == 'har"psichord'
+
+    def test_single_quoted_strings(self):
+        assert tokenize("'flute'")[0].value == "flute"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("select -- a comment\n x from y in Z")
+        assert tokens[0].is_("keyword", "select")
+        assert tokens[1].is_("ident", "x")
+
+    def test_multichar_operators(self):
+        tokens = tokenize("a <= b >= c != d")
+        ops = [t.value for t in tokens if t.kind == "op"]
+        assert ops == ["<=", ">=", "!="]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"never closed')
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("select @")
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestParser:
+    def test_fig3_program_shape(self):
+        program = parse(FIG3_TEXT)
+        assert len(program.views) == 1
+        view = program.views[0]
+        assert view.name == "Influencer"
+        assert len(view.body.selects) == 2
+        assert len(program.query.selects) == 1
+
+    def test_projection_fields(self):
+        program = parse("select [a: x.p, b: 1] from x in C")
+        fields = program.query.selects[0].fields
+        assert [f.name for f in fields] == ["a", "b"]
+        assert fields[0].expr == Path("x", ("p",))
+        assert fields[1].expr == Literal(1)
+
+    def test_bare_projection_named_after_path(self):
+        program = parse("select x.name from x in C")
+        field = program.query.selects[0].fields[0]
+        assert field.name == "name"
+
+    def test_bare_variable_projection(self):
+        program = parse("select x from x in C")
+        assert program.query.selects[0].fields[0].name == "x"
+
+    def test_arithmetic_precedence(self):
+        program = parse("select [v: a.x + a.y * 2] from a in C")
+        expr = program.query.selects[0].fields[0].expr
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_boolean_precedence(self):
+        program = parse(
+            "select x from x in C where x.a = 1 or x.b = 2 and x.c = 3"
+        )
+        predicate = program.query.selects[0].predicate
+        assert isinstance(predicate, OrNode)
+        assert isinstance(predicate.parts[1], AndNode)
+
+    def test_parenthesized_predicate(self):
+        program = parse(
+            "select x from x in C where (x.a = 1 or x.b = 2) and x.c = 3"
+        )
+        predicate = program.query.selects[0].predicate
+        assert isinstance(predicate, AndNode)
+        assert isinstance(predicate.parts[0], OrNode)
+
+    def test_parenthesized_arithmetic_in_comparison(self):
+        program = parse("select x from x in C where (x.a + 1) * 2 = 4")
+        predicate = program.query.selects[0].predicate
+        assert isinstance(predicate, ComparisonNode)
+
+    def test_not_predicate(self):
+        program = parse("select x from x in C where not x.a = 1")
+        assert isinstance(program.query.selects[0].predicate, NotNode)
+
+    def test_function_call(self):
+        program = parse("select [g: add1gen(i.gen)] from i in V")
+        expr = program.query.selects[0].fields[0].expr
+        assert isinstance(expr, Call)
+        assert expr.name == "add1gen"
+
+    def test_missing_from_raises(self):
+        with pytest.raises(ParseError):
+            parse("select x where x.a = 1")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse("select x from x in C extra")
+
+    def test_view_requires_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("view V as select x from x in C select y from y in D")
+
+
+class TestCompiler:
+    def test_fig3_text_equals_builder_graph(self, indexed_db):
+        graph = compile_text(FIG3_TEXT, indexed_db.catalog)
+        reference = ReferenceEvaluator(indexed_db.physical)
+        assert reference.answer_set(graph) == reference.answer_set(fig3_query())
+
+    def test_join_push_text(self, indexed_db):
+        text = """
+        view Influencer as
+          select [master: x.master, disciple: x, gen: 1] from x in Composer
+          union
+          select [master: i.master, disciple: x, gen: i.gen + 1]
+          from i in Influencer, x in Composer
+          where i.disciple = x.master;
+
+        select [name: i.disciple.name]
+        from i in Influencer, c in Composer
+        where i.master = c.master and c.name = "Bach";
+        """
+        graph = compile_text(text, indexed_db.catalog)
+        reference = ReferenceEvaluator(indexed_db.physical)
+        assert reference.answer_set(graph) == reference.answer_set(
+            join_push_query()
+        )
+
+    def test_compiled_graph_optimizes_and_executes(self, indexed_db):
+        from repro.core import cost_controlled_optimizer
+
+        graph = compile_text(FIG3_TEXT, indexed_db.catalog)
+        result = cost_controlled_optimizer(indexed_db.physical).optimize(graph)
+        got = Engine(indexed_db.physical).execute(result.plan).answer_set()
+        want = ReferenceEvaluator(indexed_db.physical).answer_set(graph)
+        assert got == want
+
+    def test_unknown_source_rejected(self, indexed_db):
+        with pytest.raises(CompileError):
+            compile_text("select x from x in Nowhere", indexed_db.catalog)
+
+    def test_unbound_variable_rejected(self, indexed_db):
+        with pytest.raises(CompileError):
+            compile_text(
+                "select y.name from x in Composer", indexed_db.catalog
+            )
+
+    def test_duplicate_binding_rejected(self, indexed_db):
+        with pytest.raises(CompileError):
+            compile_text(
+                "select x from x in Composer, x in Composer",
+                indexed_db.catalog,
+            )
+
+    def test_unknown_function_rejected(self, indexed_db):
+        with pytest.raises(CompileError):
+            compile_text(
+                "select [g: mystery(x.birthyear)] from x in Composer",
+                indexed_db.catalog,
+            )
+
+    def test_registered_function_compiles_and_runs(self, indexed_db):
+        functions = {"double": (lambda v: v * 2, 3.0)}
+        graph = compile_text(
+            "select [d: double(x.birthyear)] from x in Composer "
+            'where x.name = "Bach"',
+            indexed_db.catalog,
+            functions,
+        )
+        rows = ReferenceEvaluator(indexed_db.physical).evaluate(graph)
+        assert len(rows) == 1
+        assert rows[0]["d"] % 2 == 0
+
+    def test_views_without_catalog_allowed(self):
+        graph = compile_text("select x from x in Anything")
+        assert graph.base_names() == {"Anything"}

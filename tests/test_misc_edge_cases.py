@@ -1,0 +1,178 @@
+"""Edge-case coverage: expression evaluation errors, nested fixpoints,
+buffer management, error hierarchy, display of uncommon nodes."""
+
+import pytest
+
+from repro.engine import Engine, ExpressionEvaluator, RuntimeMetrics
+from repro.engine.eval_expr import canonical_row, normalize_value
+from repro.errors import (
+    ExecutionError,
+    LanguageError,
+    LexError,
+    OptimizationError,
+    ParseError,
+    PlanError,
+    QueryModelError,
+    ReproError,
+    SchemaError,
+    StorageError,
+)
+from repro.plans import (
+    EJ,
+    EntityLeaf,
+    Fix,
+    Materialize,
+    Proj,
+    RecLeaf,
+    Sel,
+    UnionOp,
+    render_functional,
+    render_tree,
+)
+from repro.querygraph.builder import add, const, eq, fn, ge, out, path, var
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for error_type in (
+            ExecutionError,
+            LanguageError,
+            LexError,
+            OptimizationError,
+            ParseError,
+            PlanError,
+            QueryModelError,
+            SchemaError,
+            StorageError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_lex_error_carries_position(self):
+        error = LexError("bad char", 3, 7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error)
+
+
+class TestExpressionEvaluator:
+    def make_evaluator(self, small_db):
+        return ExpressionEvaluator(
+            small_db.store, RuntimeMetrics(), charged=False
+        )
+
+    def test_unbound_variable_raises(self, small_db):
+        evaluator = self.make_evaluator(small_db)
+        with pytest.raises(ExecutionError):
+            evaluator.path_values({}, path("ghost", "name"))
+
+    def test_attribute_on_atomic_raises(self, small_db):
+        evaluator = self.make_evaluator(small_db)
+        with pytest.raises(ExecutionError):
+            evaluator.path_values({"v": 42}, path("v", "name"))
+
+    def test_missing_tuple_field_raises(self, small_db):
+        evaluator = self.make_evaluator(small_db)
+        with pytest.raises(ExecutionError):
+            evaluator.path_values({"v": {"a": 1}}, path("v", "b"))
+
+    def test_function_without_implementation_raises(self, small_db):
+        evaluator = self.make_evaluator(small_db)
+        expr = fn("mystery", const(1))
+        with pytest.raises(ExecutionError):
+            evaluator.expr_values({}, expr)
+
+    def test_comparison_type_mismatch_is_false(self, small_db):
+        evaluator = self.make_evaluator(small_db)
+        predicate = ge(const("text"), const(5))
+        assert evaluator.holds({}, predicate) is False
+
+    def test_normalize_record_to_oid(self, small_db):
+        record = small_db.store.extent("Composer").records[0]
+        assert normalize_value(record) == record.oid
+
+    def test_canonical_row_orders_keys(self):
+        assert canonical_row({"b": 2, "a": 1}) == (("a", 1), ("b", 2))
+
+
+class TestNestedFixpoints:
+    def test_fix_inside_fix_body(self, indexed_db):
+        """An (artificial) nested fixpoint: the outer recursion's base
+        part contains a complete inner fixpoint."""
+        inner_base = Proj(
+            EntityLeaf("Composer", "x"),
+            out(a=var("x"), b=path("x", "master")),
+        )
+        inner_rec = Proj(
+            EJ(
+                RecLeaf("Inner", "r"),
+                EntityLeaf("Composer", "y"),
+                eq(path("r", "b"), var("y")),
+            ),
+            out(a=path("r", "a"), b=path("y", "master")),
+        )
+        inner_fix = Fix(
+            "Inner",
+            UnionOp(inner_base, inner_rec),
+            "inner",
+            "Composer",
+            "master",
+            {"a"},
+        )
+        outer_base = Proj(
+            inner_fix,
+            out(a=path("inner", "a"), b=path("inner", "b"), k=const(0)),
+        )
+        outer_rec = Proj(
+            Sel(RecLeaf("Outer", "o"), ge(path("o", "k"), const(1))),
+            out(a=path("o", "a"), b=path("o", "b"), k=add(path("o", "k"), const(1))),
+        )
+        outer_fix = Fix("Outer", UnionOp(outer_base, outer_rec), "out")
+        engine = Engine(indexed_db.physical)
+        result = engine.execute(Proj(outer_fix, out(a=path("out", "a"))))
+        # The inner closure: (descendant, ancestor) pairs. The outer
+        # adds nothing (its recursive part filters k >= 1, never true).
+        assert len(result) > 0
+
+    def test_rec_leaf_of_wrong_fix_rejected(self, indexed_db):
+        body = UnionOp(
+            Proj(EntityLeaf("Composer", "x"), out(a=var("x"))),
+            Proj(
+                Sel(RecLeaf("Other", "r"), ge(const(1), const(0))),
+                out(a=path("r", "a")),
+            ),
+        )
+        fix = Fix("Mine", body, "m")
+        engine = Engine(indexed_db.physical)
+        from repro.errors import PlanError as PE
+
+        with pytest.raises((PE, ExecutionError)):
+            engine.execute(Proj(fix, out(a=path("m", "a"))))
+
+
+class TestBufferManagement:
+    def test_clear_preserves_counters(self, small_db):
+        buffer = small_db.store.buffer
+        list(small_db.store.scan("Composer"))
+        reads = buffer.stats.logical_reads
+        buffer.clear()
+        assert buffer.stats.logical_reads == reads
+        assert buffer.resident_count() == 0
+
+    def test_reset_stats(self, small_db):
+        buffer = small_db.store.buffer
+        list(small_db.store.scan("Composer"))
+        buffer.reset_stats()
+        assert buffer.stats.logical_reads == 0
+
+
+class TestDisplayUncommonNodes:
+    def test_materialize_functional_rendering(self):
+        plan = Materialize(
+            "V", Proj(EntityLeaf("C", "x"), out(a=var("x"))), "v"
+        )
+        assert render_functional(plan).startswith("Mat(V,")
+        assert "Materialize[V]" in render_tree(plan)
+
+    def test_rec_leaf_rendering(self):
+        leaf = RecLeaf("R", "r")
+        assert render_functional(leaf) == "R"
+        assert leaf.label() == "ΔR"

@@ -1,0 +1,141 @@
+"""Tests for queries involving more than one recursive view, and for
+optimizer error paths on malformed recursion."""
+
+import pytest
+
+from repro.core import cost_controlled_optimizer
+from repro.engine import Engine, ReferenceEvaluator
+from repro.errors import QueryModelError
+from repro.plans import Fix, find_all
+from repro.querygraph.builder import (
+    add,
+    and_,
+    arc,
+    const,
+    eq,
+    ge,
+    out,
+    path,
+    query,
+    rule,
+    spj,
+    var,
+)
+from repro.workloads.queries import influencer_rules
+
+
+def descendants_rules():
+    """A second recursion: closure over works' authorship is silly, so
+    close over master in the *opposite* direction — who a composer's
+    (transitive) masters are, keyed by the disciple."""
+    base = rule(
+        "Ancestors",
+        spj(
+            [arc("Composer", x=".")],
+            select=out(
+                who=var("x"), ancestor=path("x", "master"), depth=const(1)
+            ),
+        ),
+    )
+    recursive = rule(
+        "Ancestors",
+        spj(
+            [arc("Ancestors", a="."), arc("Composer", y=".")],
+            where=eq(path("a", "ancestor"), var("y")),
+            select=out(
+                who=path("a", "who"),
+                ancestor=path("y", "master"),
+                depth=add(path("a", "depth"), const(1)),
+            ),
+        ),
+    )
+    return [base, recursive]
+
+
+class TestTwoRecursions:
+    def make_query(self):
+        """Join the two closures: pairs where X influenced Y exactly as
+        far down as Y has ancestors up (a contrived but well-defined
+        cross-recursion join)."""
+        p1, p2 = influencer_rules()
+        a1, a2 = descendants_rules()
+        answer = rule(
+            "Answer",
+            spj(
+                [arc("Influencer", i="."), arc("Ancestors", a=".")],
+                where=and_(
+                    eq(path("i", "disciple"), path("a", "who")),
+                    eq(path("i", "gen"), path("a", "depth")),
+                ),
+                select=out(
+                    who=path("a", "who", "name"), gen=path("i", "gen")
+                ),
+            ),
+        )
+        return query(p1, p2, a1, a2, answer)
+
+    def test_two_fix_nodes_generated(self, indexed_db):
+        result = cost_controlled_optimizer(indexed_db.physical).optimize(
+            self.make_query()
+        )
+        fixes = find_all(result.plan, Fix)
+        assert {fix.name for fix in fixes} == {"Influencer", "Ancestors"}
+
+    def test_answers_match_reference(self, indexed_db):
+        graph = self.make_query()
+        result = cost_controlled_optimizer(indexed_db.physical).optimize(graph)
+        got = Engine(indexed_db.physical).execute(result.plan).answer_set()
+        want = ReferenceEvaluator(indexed_db.physical).answer_set(graph)
+        assert got == want
+        assert want  # the join is non-empty on chain-structured data
+
+    def test_both_invariant_analyses_independent(self, indexed_db):
+        from repro.querygraph.views import analyze_recursion
+
+        graph = self.make_query()
+        influencer = analyze_recursion(graph, "Influencer")
+        ancestors = analyze_recursion(graph, "Ancestors")
+        assert influencer.invariant_fields == {"master"}
+        assert ancestors.invariant_fields == {"who"}
+
+
+class TestMalformedRecursion:
+    def test_nonlinear_recursion_rejected(self, indexed_db):
+        base = rule(
+            "Pairs",
+            spj(
+                [arc("Composer", x=".")],
+                select=out(a=var("x"), b=path("x", "master")),
+            ),
+        )
+        nonlinear = rule(
+            "Pairs",
+            spj(
+                [arc("Pairs", p="."), arc("Pairs", q=".")],
+                where=eq(path("p", "b"), path("q", "a")),
+                select=out(a=path("p", "a"), b=path("q", "b")),
+            ),
+        )
+        answer = rule(
+            "Answer",
+            spj([arc("Pairs", r=".")], select=out(a=path("r", "a"))),
+        )
+        graph = query(base, nonlinear, answer)
+        with pytest.raises(QueryModelError):
+            cost_controlled_optimizer(indexed_db.physical).optimize(graph)
+
+    def test_recursion_without_base_rejected(self, indexed_db):
+        only_recursive = rule(
+            "Loop",
+            spj(
+                [arc("Loop", l="."), arc("Composer", x=".")],
+                where=eq(path("l", "a"), var("x")),
+                select=out(a=path("x", "master")),
+            ),
+        )
+        answer = rule(
+            "Answer", spj([arc("Loop", v=".")], select=out(a=path("v", "a")))
+        )
+        graph = query(only_recursive, answer)
+        with pytest.raises(QueryModelError):
+            cost_controlled_optimizer(indexed_db.physical).optimize(graph)

@@ -1,0 +1,141 @@
+"""Tests for the B⁺-tree, including hypothesis property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physical.btree import BPlusTree
+
+
+class TestBasics:
+    def test_insert_and_search(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "a")
+        tree.insert(3, "b")
+        assert tree.search(5) == ["a"]
+        assert tree.search(3) == ["b"]
+        assert tree.search(99) == []
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert sorted(tree.search(1)) == ["a", "b"]
+        assert len(tree) == 2
+        assert tree.distinct_keys == 1
+
+    def test_contains(self):
+        tree = BPlusTree(order=4)
+        tree.insert(7, None)
+        assert tree.contains(7)
+        assert not tree.contains(8)
+
+    def test_order_minimum(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_structural_parameters_grow(self):
+        tree = BPlusTree(order=4)
+        assert tree.nblevels == 1
+        assert tree.nbleaves == 1
+        for i in range(100):
+            tree.insert(i, i)
+        assert tree.nblevels >= 3
+        assert tree.nbleaves >= 25
+        tree.check_invariants()
+
+    def test_keys_sorted(self):
+        tree = BPlusTree(order=4)
+        for key in (9, 1, 5, 3, 7):
+            tree.insert(key, key)
+        assert list(tree.keys()) == [1, 3, 5, 7, 9]
+
+    def test_string_keys(self):
+        tree = BPlusTree(order=4)
+        for name in ("flute", "harpsichord", "oboe"):
+            tree.insert(name, name)
+        assert tree.search("harpsichord") == ["harpsichord"]
+
+
+class TestRangeSearch:
+    def make_tree(self):
+        tree = BPlusTree(order=4)
+        for i in range(0, 20, 2):  # 0, 2, ..., 18
+            tree.insert(i, f"v{i}")
+        return tree
+
+    def test_closed_range(self):
+        tree = self.make_tree()
+        keys = [k for k, _v in tree.range_search(4, 10)]
+        assert keys == [4, 6, 8, 10]
+
+    def test_open_low(self):
+        tree = self.make_tree()
+        keys = [k for k, _v in tree.range_search(None, 4)]
+        assert keys == [0, 2, 4]
+
+    def test_open_high(self):
+        tree = self.make_tree()
+        keys = [k for k, _v in tree.range_search(14, None)]
+        assert keys == [14, 16, 18]
+
+    def test_exclusive_bounds(self):
+        tree = self.make_tree()
+        keys = [
+            k
+            for k, _v in tree.range_search(
+                4, 10, include_low=False, include_high=False
+            )
+        ]
+        assert keys == [6, 8]
+
+    def test_full_scan_via_items(self):
+        tree = self.make_tree()
+        assert len(list(tree.items())) == 10
+
+    def test_bounds_between_keys(self):
+        tree = self.make_tree()
+        keys = [k for k, _v in tree.range_search(3, 7)]
+        assert keys == [4, 6]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=-1000, max_value=1000)))
+def test_property_insert_search_roundtrip(keys):
+    """Every inserted key is findable; counts match; invariants hold."""
+    tree = BPlusTree(order=4)
+    for position, key in enumerate(keys):
+        tree.insert(key, position)
+    tree.check_invariants()
+    assert len(tree) == len(keys)
+    for key in set(keys):
+        expected = [p for p, k in enumerate(keys) if k == key]
+        assert sorted(tree.search(key)) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=200), min_size=1),
+    st.integers(min_value=0, max_value=200),
+    st.integers(min_value=0, max_value=200),
+)
+def test_property_range_search_matches_filter(keys, low, high):
+    if low > high:
+        low, high = high, low
+    tree = BPlusTree(order=5)
+    for key in keys:
+        tree.insert(key, key)
+    got = sorted(k for k, _v in tree.range_search(low, high))
+    want = sorted(k for k in keys if low <= k <= high)
+    assert got == want
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.text(max_size=8), min_size=0, max_size=60))
+def test_property_leaf_chain_sorted(keys):
+    tree = BPlusTree(order=4)
+    for key in keys:
+        tree.insert(key, None)
+    ordered = list(tree.keys())
+    assert ordered == sorted(set(keys))
+    tree.check_invariants()

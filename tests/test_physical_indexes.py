@@ -1,0 +1,123 @@
+"""Tests for selection and path indices ([MS86], [Va87])."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.physical.path_index import (
+    PathIndex,
+    build_path_index,
+    build_selection_index,
+)
+from repro.physical.storage import Oid
+
+
+class TestSelectionIndex:
+    def test_lookup_by_value(self, small_db):
+        index = build_selection_index(small_db.store, "Composer", "name")
+        oids = index.lookup("Bach")
+        assert len(oids) == 1
+        assert small_db.store.peek(oids[0]).values["name"] == "Bach"
+
+    def test_entry_count_matches_extent(self, small_db):
+        index = build_selection_index(small_db.store, "Composer", "name")
+        assert index.entry_count == len(small_db.store.extent("Composer"))
+
+    def test_missing_key_empty(self, small_db):
+        index = build_selection_index(small_db.store, "Composer", "name")
+        assert index.lookup("Nobody") == []
+
+    def test_range_over_birthyears(self, small_db):
+        index = build_selection_index(small_db.store, "Composer", "birthyear")
+        years = [k for k, _oid in index.range(1600, 1650)]
+        assert years == sorted(years)
+        assert all(1600 <= y <= 1650 for y in years)
+
+    def test_structural_parameters_exposed(self, small_db):
+        index = build_selection_index(small_db.store, "Composer", "name")
+        assert index.nblevels >= 1
+        assert index.nbleaves >= 1
+        assert index.name == "Composer.name"
+
+
+class TestPathIndex:
+    def build(self, db):
+        return build_path_index(
+            db.store,
+            "Composer",
+            ["works", "instruments"],
+            ["Composer", "Composition", "Instrument"],
+            terminal_attribute="name",
+        )
+
+    def test_forward_lookup_returns_triples(self, small_db):
+        index = self.build(small_db)
+        composer = small_db.store.extent("Composer").records[0]
+        triples = index.forward(composer.oid)
+        for triple in triples:
+            assert len(triple) == 3
+            assert triple[0] == composer.oid
+            assert small_db.store.peek(triple[1]).entity == "Composition"
+            assert small_db.store.peek(triple[2]).entity == "Instrument"
+
+    def test_forward_matches_manual_traversal(self, small_db):
+        index = self.build(small_db)
+        store = small_db.store
+        for composer in store.extent("Composer").records:
+            manual = set()
+            for work_oid in composer.values.get("works", ()):
+                work = store.peek(work_oid)
+                for instrument_oid in work.values.get("instruments", ()):
+                    manual.add((composer.oid, work_oid, instrument_oid))
+            assert set(map(tuple, index.forward(composer.oid))) == manual
+
+    def test_reverse_lookup_by_terminal_value(self, small_db):
+        index = self.build(small_db)
+        triples = index.reverse("harpsichord")
+        assert triples  # the generator guarantees some harpsichord works
+        for triple in triples:
+            terminal = small_db.store.peek(triple[-1])
+            assert terminal.values["name"] == "harpsichord"
+
+    def test_entry_count_and_scan_agree(self, small_db):
+        index = self.build(small_db)
+        assert index.entry_count == len(list(index.scan()))
+
+    def test_names(self, small_db):
+        index = self.build(small_db)
+        assert index.name == "works.instruments"
+        assert index.full_name == "Composer.works.instruments"
+
+    def test_arity_validation(self):
+        with pytest.raises(StorageError):
+            PathIndex("C", ["a"], ["C"])  # needs k+1 entities
+
+    def test_add_wrong_arity_rejected(self):
+        index = PathIndex("C", ["a"], ["C", "D"])
+        with pytest.raises(StorageError):
+            index.add((Oid(1),))
+
+    def test_reverse_by_oid_when_no_terminal_attribute(self, small_db):
+        index = build_path_index(
+            small_db.store,
+            "Composer",
+            ["works"],
+            ["Composer", "Composition"],
+        )
+        work = small_db.store.extent("Composition").records[0]
+        pairs = index.reverse(work.oid)
+        assert pairs
+        assert all(pair[1] == work.oid for pair in pairs)
+
+
+class TestPhysicalSchemaIndexRegistry:
+    def test_find_path_index_by_attributes(self, indexed_db):
+        index = indexed_db.physical.find_path_index(("works", "instruments"))
+        assert index is not None
+        assert index.root_entity == "Composer"
+
+    def test_find_path_index_missing(self, indexed_db):
+        assert indexed_db.physical.find_path_index(("master",)) is None
+
+    def test_selection_index_lookup(self, indexed_db):
+        assert indexed_db.physical.has_selection_index("Composer", "name")
+        assert not indexed_db.physical.has_selection_index("Composer", "x")

@@ -1,0 +1,169 @@
+"""Tests for pages, the buffer pool and the object store."""
+
+import pytest
+
+from repro.errors import OidError, StorageError, UnknownEntityError
+from repro.physical.buffer import BufferPool
+from repro.physical.pages import Page, PagedSegment, PageId
+from repro.physical.storage import ObjectStore, Oid
+
+
+class TestPages:
+    def test_page_fills_to_capacity(self):
+        page = Page(PageId("seg", 0), 2)
+        page.add(1)
+        page.add(2)
+        assert page.is_full()
+        with pytest.raises(ValueError):
+            page.add(3)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Page(PageId("seg", 0), 0)
+
+    def test_segment_opens_pages_on_demand(self):
+        segment = PagedSegment("seg", records_per_page=3)
+        ids = [segment.append_record(i) for i in range(7)]
+        assert segment.page_count() == 3
+        assert ids[0] == ids[2] == PageId("seg", 0)
+        assert ids[3].number == 1
+        assert segment.record_count() == 7
+
+    def test_open_new_page_forces_boundary(self):
+        segment = PagedSegment("seg", records_per_page=10)
+        segment.append_record(1)
+        segment.open_new_page()
+        page_id = segment.append_record(2)
+        assert page_id.number == 1
+
+    def test_open_new_page_noop_when_empty(self):
+        segment = PagedSegment("seg", records_per_page=10)
+        segment.open_new_page()
+        assert segment.page_count() == 0
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self):
+        pool = BufferPool(capacity=4)
+        page = PageId("seg", 0)
+        assert pool.touch(page) is False
+        assert pool.touch(page) is True
+        assert pool.stats.logical_reads == 2
+        assert pool.stats.physical_reads == 1
+        assert pool.stats.hits == 1
+
+    def test_lru_eviction(self):
+        pool = BufferPool(capacity=2)
+        a, b, c = (PageId("seg", i) for i in range(3))
+        pool.touch(a)
+        pool.touch(b)
+        pool.touch(c)  # evicts a
+        assert pool.stats.evictions == 1
+        assert pool.touch(a) is False  # a was evicted
+        assert pool.touch(c) is True  # c still resident
+
+    def test_touch_refreshes_recency(self):
+        pool = BufferPool(capacity=2)
+        a, b, c = (PageId("seg", i) for i in range(3))
+        pool.touch(a)
+        pool.touch(b)
+        pool.touch(a)  # a is now most recent
+        pool.touch(c)  # evicts b, not a
+        assert pool.touch(a) is True
+
+    def test_zero_capacity_never_caches(self):
+        pool = BufferPool(capacity=0)
+        page = PageId("seg", 0)
+        pool.touch(page)
+        assert pool.touch(page) is False
+        assert pool.stats.hit_ratio == 0.0
+
+    def test_stats_delta(self):
+        pool = BufferPool(capacity=4)
+        pool.touch(PageId("seg", 0))
+        before = pool.stats.snapshot()
+        pool.touch(PageId("seg", 1))
+        delta = pool.stats.delta_since(before)
+        assert delta.logical_reads == 1
+        assert delta.physical_reads == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(capacity=-1)
+
+
+class TestObjectStore:
+    def make_store(self):
+        store = ObjectStore(BufferPool(16), records_per_page=2)
+        store.create_extent("E")
+        return store
+
+    def test_insert_and_fetch(self):
+        store = self.make_store()
+        oid = store.insert("E", {"x": 1})
+        record = store.fetch(oid)
+        assert record.values["x"] == 1
+        assert record.entity == "E"
+
+    def test_fetch_charges_io_peek_does_not(self):
+        store = self.make_store()
+        oid = store.insert("E", {"x": 1})
+        before = store.buffer.stats.logical_reads
+        store.peek(oid)
+        assert store.buffer.stats.logical_reads == before
+        store.fetch(oid)
+        assert store.buffer.stats.logical_reads == before + 1
+
+    def test_oids_are_distinct_and_typed(self):
+        store = self.make_store()
+        first = store.insert("E", {})
+        second = store.insert("E", {})
+        assert first != second
+        assert isinstance(first, Oid)
+
+    def test_dangling_oid_raises(self):
+        store = self.make_store()
+        with pytest.raises(OidError):
+            store.fetch(Oid(999))
+
+    def test_scan_touches_each_page_once(self):
+        store = self.make_store()
+        for i in range(6):  # 3 pages at 2 records/page
+            store.insert("E", {"i": i})
+        before = store.buffer.stats.logical_reads
+        records = list(store.scan("E"))
+        assert len(records) == 6
+        assert store.buffer.stats.logical_reads - before == 3
+
+    def test_unknown_extent_raises(self):
+        store = self.make_store()
+        with pytest.raises(UnknownEntityError):
+            store.extent("Nope")
+        with pytest.raises(UnknownEntityError):
+            list(store.scan("Nope"))
+
+    def test_duplicate_extent_rejected(self):
+        store = self.make_store()
+        with pytest.raises(StorageError):
+            store.create_extent("E")
+
+    def test_drop_extent_removes_records(self):
+        store = self.make_store()
+        oid = store.insert("E", {})
+        store.drop_extent("E")
+        assert not store.has_extent("E")
+        with pytest.raises(OidError):
+            store.fetch(oid)
+
+    def test_entity_of(self):
+        store = self.make_store()
+        oid = store.insert("E", {})
+        assert store.entity_of(oid) == "E"
+
+    def test_page_count_over_whole_store(self):
+        store = self.make_store()
+        store.create_extent("F")
+        for _ in range(3):
+            store.insert("E", {})
+        store.insert("F", {})
+        assert store.page_count() == 3  # two pages of E + one of F

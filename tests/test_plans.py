@@ -1,0 +1,235 @@
+"""Tests for the processing-tree algebra, patterns and validation."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plans import (
+    EJ,
+    IJ,
+    PIJ,
+    EntityLeaf,
+    Fix,
+    Materialize,
+    Proj,
+    RecLeaf,
+    Sel,
+    TempLeaf,
+    UnionOp,
+    find_all,
+    paths_to,
+    render_functional,
+    render_tree,
+    rewrite_saturate,
+    validate_plan,
+)
+from repro.querygraph.builder import add, const, eq, ge, out, path, var
+
+
+def make_fix():
+    base = Proj(
+        EntityLeaf("Composer", "x"),
+        out(master=path("x", "master"), disciple=var("x"), gen=const(1)),
+    )
+    recursive = Proj(
+        EJ(
+            RecLeaf("Influencer", "i"),
+            EntityLeaf("Composer", "x"),
+            eq(path("i", "disciple"), path("x", "master")),
+        ),
+        out(
+            master=path("i", "master"),
+            disciple=var("x"),
+            gen=add(path("i", "gen"), const(1)),
+        ),
+    )
+    return Fix(
+        "Influencer", UnionOp(base, recursive), "i", "Composer", "master", {"master"}
+    )
+
+
+def make_plan():
+    return Proj(
+        IJ(
+            Sel(make_fix(), ge(path("i", "gen"), const(6))),
+            EntityLeaf("Composer", "d"),
+            path("i", "disciple"),
+            "d",
+        ),
+        out(name=path("d", "name")),
+    )
+
+
+class TestStructure:
+    def test_output_vars_propagate(self):
+        plan = make_plan()
+        assert plan.output_vars() == {"name"}
+        fix = find_all(plan, Fix)[0]
+        assert fix.output_vars() == {"i"}
+
+    def test_structural_equality(self):
+        assert make_plan() == make_plan()
+        assert hash(make_plan()) == hash(make_plan())
+
+    def test_walk_counts_nodes(self):
+        plan = make_plan()
+        assert plan.size() == len(list(plan.walk()))
+
+    def test_substitute_replaces_subtree(self):
+        plan = make_plan()
+        old_leaf = EntityLeaf("Composer", "d")
+        new_leaf = EntityLeaf("Composer", "d2")
+        replaced = plan.substitute(old_leaf, new_leaf)
+        assert replaced != plan
+        assert replaced.contains(new_leaf)
+
+    def test_with_children_preserves_params(self):
+        fix = make_fix()
+        rebuilt = fix.with_children([fix.body])
+        assert rebuilt == fix
+        assert rebuilt.invariant_fields == fix.invariant_fields
+
+    def test_leaf_entities(self):
+        plan = make_plan()
+        assert plan.leaf_entities().count("Composer") == 3
+
+    def test_ij_requires_entity_target(self):
+        with pytest.raises(PlanError):
+            IJ(EntityLeaf("A", "a"), Sel(EntityLeaf("B", "b"), ge(path("b", "x"), const(1))), path("a", "r"), "o")  # type: ignore[arg-type]
+
+    def test_ij_requires_attribute(self):
+        with pytest.raises(PlanError):
+            IJ(EntityLeaf("A", "a"), EntityLeaf("B", "b"), var("a"), "o")
+
+    def test_pij_arity_checks(self):
+        with pytest.raises(PlanError):
+            PIJ(
+                EntityLeaf("A", "a"),
+                [EntityLeaf("B", "b")],
+                ["r"],
+                var("a"),
+                ["o"],
+            )
+
+    def test_unknown_join_algorithm_rejected(self):
+        with pytest.raises(PlanError):
+            EJ(
+                EntityLeaf("A", "a"),
+                EntityLeaf("B", "b"),
+                eq(path("a", "x"), path("b", "x")),
+                algorithm="hash",
+            )
+
+    def test_rec_leaves_found(self):
+        fix = make_fix()
+        assert len(fix.rec_leaves()) == 1
+
+
+class TestPatterns:
+    def test_paths_to_locates_fix(self):
+        plan = make_plan()
+        sites = list(paths_to(plan, lambda n: isinstance(n, Fix)))
+        assert len(sites) == 1
+        assert isinstance(sites[0].focus, Fix)
+        labels = [a.label() for a in sites[0].ancestors()]
+        assert labels[0].startswith("Proj")
+
+    def test_rebuild_splices(self):
+        plan = make_plan()
+        site = next(paths_to(plan, lambda n: isinstance(n, EntityLeaf) and n.var == "d"))
+        rebuilt = site.rebuild(EntityLeaf("Composer", "d"))
+        assert rebuilt == plan
+
+    def test_rewrite_saturate_converges(self):
+        plan = make_plan()
+
+        def rename_d(node):
+            if isinstance(node, EntityLeaf) and node.var == "d":
+                return EntityLeaf(node.entity, "dd")
+            return None
+
+        rewritten = rewrite_saturate(plan, rename_d)
+        assert any(
+            isinstance(n, EntityLeaf) and n.var == "dd" for n in rewritten.walk()
+        )
+
+
+class TestValidation:
+    def test_valid_plan_passes(self):
+        validate_plan(make_plan())
+
+    def test_unbound_sel_variable(self):
+        plan = Sel(EntityLeaf("C", "x"), ge(path("y", "gen"), const(1)))
+        with pytest.raises(PlanError):
+            validate_plan(plan)
+
+    def test_rec_leaf_outside_fix(self):
+        plan = Sel(RecLeaf("R", "r"), ge(path("r", "gen"), const(1)))
+        with pytest.raises(PlanError):
+            validate_plan(plan)
+
+    def test_fix_without_rec_leaf(self):
+        body = UnionOp(
+            Proj(EntityLeaf("C", "x"), out(a=var("x"))),
+            Proj(EntityLeaf("C", "y"), out(a=var("y"))),
+        )
+        with pytest.raises(PlanError):
+            validate_plan(Fix("R", body, "r"))
+
+    def test_ej_cartesian_rejected(self):
+        plan = EJ(
+            EntityLeaf("A", "a"),
+            EntityLeaf("B", "b"),
+            ge(path("a", "x"), const(1)),  # references only one side
+        )
+        with pytest.raises(PlanError):
+            validate_plan(plan)
+
+    def test_ej_overlapping_vars_rejected(self):
+        plan = EJ(
+            EntityLeaf("A", "a"),
+            EntityLeaf("B", "a"),
+            eq(path("a", "x"), path("a", "y")),
+        )
+        with pytest.raises(PlanError):
+            validate_plan(plan)
+
+    def test_union_incompatible_vars_rejected(self):
+        plan = UnionOp(EntityLeaf("A", "a"), EntityLeaf("B", "b"))
+        with pytest.raises(PlanError):
+            validate_plan(plan)
+
+    def test_unknown_entity_with_physical_schema(self, small_db):
+        plan = EntityLeaf("Nope", "x")
+        with pytest.raises(PlanError):
+            validate_plan(plan, small_db.physical)
+
+    def test_pij_requires_index_with_physical_schema(self, small_db):
+        plan = PIJ(
+            EntityLeaf("Composer", "c"),
+            [EntityLeaf("Composition", "w"), EntityLeaf("Instrument", "i")],
+            ["works", "instruments"],
+            var("c"),
+            ["w", "i"],
+        )
+        with pytest.raises(PlanError):
+            validate_plan(plan, small_db.physical)  # no index built
+
+    def test_materialize_validates_child(self):
+        plan = Materialize(
+            "V", Proj(EntityLeaf("C", "x"), out(a=var("x"))), "v"
+        )
+        validate_plan(plan)
+
+
+class TestDisplay:
+    def test_functional_rendering_matches_paper_style(self):
+        plan = make_plan()
+        rendered = render_functional(plan)
+        assert "Fix(Influencer" in rendered
+        assert "IJ_{disciple}" in rendered
+        assert "Union(" in rendered
+
+    def test_tree_rendering_has_all_operators(self):
+        rendered = render_tree(make_plan())
+        for token in ("Proj", "IJ", "Sel", "Fix", "Union", "ΔInfluencer"):
+            assert token in rendered

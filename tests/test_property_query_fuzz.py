@@ -1,0 +1,174 @@
+"""Query fuzzing: random query graphs, optimized and executed, must
+match the naive reference evaluator exactly.
+
+The generator draws arcs over the music schema, conjuncts from a pool
+of valid predicates for the bound variables, and output fields from
+valid projections; recursive cases range over the ``Influencer`` view.
+Every generated query runs through the full pipeline under all three
+push policies.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import cost_controlled_optimizer, deductive_optimizer, naive_optimizer
+from repro.engine import Engine, ReferenceEvaluator
+from repro.errors import OptimizationError
+from repro.querygraph.builder import (
+    and_,
+    arc,
+    const,
+    eq,
+    ge,
+    gt,
+    le,
+    ne,
+    out,
+    path,
+    query,
+    rule,
+    spj,
+    var,
+)
+from repro.workloads import MusicConfig, generate_music_database
+from repro.workloads.queries import influencer_rules
+
+# -- building blocks ----------------------------------------------------------
+
+COMPOSER_PREDICATES = [
+    lambda v: eq(path(v, "name"), const("Bach")),
+    lambda v: ge(path(v, "birthyear"), const(1650)),
+    lambda v: le(path(v, "birthyear"), const(1750)),
+    lambda v: ne(path(v, "name"), const("composer_0001")),
+    lambda v: eq(path(v, "works", "title"), const("work_00001")),
+    lambda v: eq(
+        path(v, "works", "instruments", "name"), const("harpsichord")
+    ),
+    lambda v: ge(path(v, "age"), const(250)),
+]
+
+COMPOSER_OUTPUTS = [
+    lambda v: ("name", path(v, "name")),
+    lambda v: ("year", path(v, "birthyear")),
+    lambda v: ("master", path(v, "master")),
+    lambda v: ("mname", path(v, "master", "name")),
+]
+
+INFLUENCER_PREDICATES = [
+    lambda v: ge(path(v, "gen"), const(2)),
+    lambda v: le(path(v, "gen"), const(4)),
+    lambda v: eq(path(v, "master", "name"), const("Bach")),
+    lambda v: eq(
+        path(v, "master", "works", "instruments", "name"),
+        const("harpsichord"),
+    ),
+]
+
+INFLUENCER_OUTPUTS = [
+    lambda v: ("gen", path(v, "gen")),
+    lambda v: ("who", path(v, "disciple", "name")),
+    lambda v: ("master", path(v, "master")),
+]
+
+JOIN_PREDICATES = [
+    lambda a, b: eq(path(b, "master"), var(a)),
+    lambda a, b: eq(path(a, "master"), path(b, "master")),
+    lambda a, b: eq(path(a, "birthyear"), path(b, "birthyear")),
+]
+
+
+@st.composite
+def flat_queries(draw):
+    """One or two Composer arcs with random filters and outputs."""
+    arc_count = draw(st.integers(min_value=1, max_value=2))
+    variables = [f"v{i}" for i in range(arc_count)]
+    arcs = [arc("Composer", **{v: "."}) for v in variables]
+    conjuncts = []
+    for v in variables:
+        for predicate in draw(
+            st.lists(st.sampled_from(COMPOSER_PREDICATES), max_size=2)
+        ):
+            conjuncts.append(predicate(v))
+    if arc_count == 2:
+        join = draw(st.sampled_from(JOIN_PREDICATES))
+        conjuncts.append(join(variables[0], variables[1]))
+    fields = {}
+    for v in variables:
+        name, expr = draw(st.sampled_from(COMPOSER_OUTPUTS))(v)
+        fields[f"{name}_{v}"] = expr
+    return query(
+        rule("Answer", spj(arcs, where=and_(*conjuncts), select=out(**fields)))
+    )
+
+
+@st.composite
+def recursive_queries(draw):
+    """A query over the Influencer view with random filters."""
+    conjuncts = [
+        predicate("i")
+        for predicate in draw(
+            st.lists(
+                st.sampled_from(INFLUENCER_PREDICATES), min_size=1, max_size=2
+            )
+        )
+    ]
+    name, expr = draw(st.sampled_from(INFLUENCER_OUTPUTS))("i")
+    p1, p2 = influencer_rules()
+    answer = rule(
+        "Answer",
+        spj(
+            [arc("Influencer", i=".")],
+            where=and_(*conjuncts),
+            select=out(**{name: expr}),
+        ),
+    )
+    return query(p1, p2, answer)
+
+
+def run_all_policies(db, graph):
+    want = ReferenceEvaluator(db.physical).answer_set(graph)
+    for factory in (cost_controlled_optimizer, deductive_optimizer, naive_optimizer):
+        try:
+            result = factory(db.physical).optimize(graph)
+        except OptimizationError:
+            # Disconnected join graphs (Cartesian products) are
+            # legitimately rejected by the optimizer.
+            return
+        got = Engine(db.physical).execute(result.plan).answer_set()
+        assert got == want, f"{factory.__name__} diverged"
+
+
+@pytest.fixture(scope="module")
+def fuzz_db():
+    db = generate_music_database(
+        MusicConfig(lineages=3, generations=5, works_per_composer=2, seed=99)
+    )
+    db.build_paper_indexes()
+    return db
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+@given(graph=flat_queries())
+def test_fuzz_flat_queries(fuzz_db, graph):
+    run_all_policies(fuzz_db, graph)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+@given(graph=recursive_queries())
+def test_fuzz_recursive_queries(fuzz_db, graph):
+    run_all_policies(fuzz_db, graph)

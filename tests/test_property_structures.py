@@ -1,0 +1,136 @@
+"""Hypothesis property tests on core data structures: tree labels,
+predicate substitution, clustering placement, canonical rows."""
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryModelError
+
+from repro.engine.eval_expr import canonical_row
+from repro.physical.buffer import BufferPool
+from repro.physical.clustering import ClusterTree, apply_clustering
+from repro.physical.storage import ObjectStore
+from repro.querygraph.predicates import Comparison, Const, PathRef
+from repro.querygraph.tree_labels import TreeLabel
+
+ATTRS = ["name", "works", "instruments", "title", "master"]
+
+
+@st.composite
+def binding_paths(draw):
+    """A dict of variable -> dotted binding path (tree-label input)."""
+    count = draw(st.integers(min_value=1, max_value=4))
+    bindings = {}
+    for index in range(count):
+        depth = draw(st.integers(min_value=1, max_value=3))
+        components = []
+        for position in range(depth):
+            attr = draw(st.sampled_from(ATTRS))
+            if draw(st.booleans()) and position > 0:
+                attr += "#2"
+            components.append(attr)
+            if draw(st.booleans()):
+                components.append("*")
+        if components[-1] == "*":
+            components.pop()
+        bindings[f"v{index}"] = ".".join(components)
+    return bindings
+
+
+@settings(max_examples=100, deadline=None)
+@given(binding_paths())
+def test_property_tree_label_bindings_roundtrip(bindings):
+    """Every requested variable appears exactly once, at the requested
+    dotted path (modulo '*' and '#n' markers)."""
+    try:
+        tree = TreeLabel.from_bindings(bindings)
+    except QueryModelError:
+        # Two variables at the exact same node legitimately conflict
+        # (separating them needs a '#n' branch marker).
+        assume(False)
+    found = {b.variable: b for b in tree.bindings()}
+    assert set(found) == set(bindings)
+    for variable, dotted in bindings.items():
+        expected = tuple(
+            component.split("#")[0]
+            for component in dotted.split(".")
+            if component != "*"
+        )
+        assert found[variable].path == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(binding_paths())
+def test_property_tree_label_equality_stable(bindings):
+    try:
+        first = TreeLabel.from_bindings(bindings)
+    except QueryModelError:
+        assume(False)
+    assert first == TreeLabel.from_bindings(bindings)
+    assert hash(first) == hash(TreeLabel.from_bindings(bindings))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.sampled_from(ATTRS), min_size=0, max_size=4),
+    st.lists(st.sampled_from(ATTRS), min_size=0, max_size=3),
+)
+def test_property_path_substitution_concatenates(prefix, suffix):
+    """Substituting v -> x.prefix into v.suffix yields x.prefix.suffix."""
+    original = PathRef("v", tuple(suffix))
+    replacement = PathRef("x", tuple(prefix))
+    result = original.substitute({"v": replacement})
+    assert result == PathRef("x", tuple(prefix) + tuple(suffix))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_property_clustering_places_every_record(
+    owners, children_per_owner, records_per_page, seed
+):
+    """After clustering, every record has exactly one page and all
+    records are reachable; counts are preserved."""
+    import random
+
+    rng = random.Random(seed)
+    store = ObjectStore(BufferPool(8), records_per_page=records_per_page)
+    store.create_extent("Owner")
+    store.create_extent("Child")
+    child_oids = []
+    for _ in range(owners * children_per_owner):
+        child_oids.append(store.insert("Child", {"v": rng.random()}))
+    cursor = 0
+    for _ in range(owners):
+        refs = tuple(child_oids[cursor:cursor + children_per_owner])
+        cursor += children_per_owner
+        store.insert("Owner", {"kids": refs})
+    before_total = store.record_count()
+    apply_clustering(store, ClusterTree("Owner", {"kids": None}))
+    assert store.record_count() == before_total
+    for name in ("Owner", "Child"):
+        for record in store.extent(name).records:
+            assert record.page_id is not None
+            assert store.fetch(record.oid) is record
+    # Scans still see every record exactly once.
+    assert len(list(store.scan("Owner"))) == owners
+    assert len(list(store.scan("Child"))) == owners * children_per_owner
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.one_of(st.integers(), st.text(max_size=5), st.none()),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_property_canonical_row_order_independent(row):
+    reversed_row = dict(reversed(list(row.items())))
+    assert canonical_row(row) == canonical_row(reversed_row)

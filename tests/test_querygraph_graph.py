@@ -1,0 +1,165 @@
+"""Tests for query graphs and recursion analysis."""
+
+import pytest
+
+from repro.errors import QueryModelError
+from repro.querygraph.builder import (
+    arc,
+    and_,
+    const,
+    eq,
+    out,
+    path,
+    query,
+    rule,
+    spj,
+    union,
+    var,
+)
+from repro.querygraph.graph import OutputSpec, QueryGraph, Rule, SPJNode, UnionNode
+from repro.querygraph.views import (
+    analyze_recursion,
+    can_push_paths,
+    is_fixpoint_recursion,
+)
+from repro.workloads import fig3_query, influencer_rules
+
+
+class TestSPJNode:
+    def test_unbound_predicate_variable_raises(self):
+        with pytest.raises(QueryModelError):
+            spj([arc("C", x=".")], where=eq(var("y"), const(1)))
+
+    def test_unbound_output_variable_raises(self):
+        with pytest.raises(QueryModelError):
+            spj([arc("C", x=".")], select=out(v=var("zzz")))
+
+    def test_variable_bound_twice_raises(self):
+        with pytest.raises(QueryModelError):
+            spj([arc("C", x="."), arc("D", x=".")])
+
+    def test_default_output_projects_root_variables(self):
+        node = spj([arc("C", x="."), arc("D", y=".")])
+        assert node.output.field_names() == ["x", "y"]
+
+    def test_binding_arc(self):
+        node = spj([arc("C", x="."), arc("D", y=".")])
+        assert node.binding_arc("y").name == "D"
+        with pytest.raises(QueryModelError):
+            node.binding_arc("z")
+
+    def test_duplicate_output_fields_raise(self):
+        from repro.querygraph.graph import OutputField
+
+        with pytest.raises(QueryModelError):
+            OutputSpec([
+                OutputField("a", var("x")),
+                OutputField("a", var("x")),
+            ])
+
+
+class TestQueryGraph:
+    def test_answer_must_be_produced(self):
+        with pytest.raises(QueryModelError):
+            query(rule("NotAnswer", spj([arc("C", x=".")])))
+
+    def test_base_names(self):
+        graph = fig3_query()
+        assert graph.base_names() == {"Composer"}
+
+    def test_produced_names_order(self):
+        graph = fig3_query()
+        assert graph.produced_names() == ["Influencer", "Answer"]
+
+    def test_recursive_names(self):
+        graph = fig3_query()
+        assert graph.recursive_names() == ["Influencer"]
+        assert graph.is_recursive_name("Influencer")
+        assert not graph.is_recursive_name("Answer")
+
+    def test_depends_on(self):
+        graph = fig3_query()
+        assert "Composer" in graph.depends_on("Answer")
+        assert "Influencer" in graph.depends_on("Answer")
+        assert "Influencer" in graph.depends_on("Influencer")
+
+    def test_stratification_order(self):
+        graph = fig3_query()
+        order = graph.stratification_order()
+        assert order.index("Influencer") < order.index("Answer")
+
+    def test_replace_rules_merges(self):
+        p1, p2 = influencer_rules()
+        answer = rule("Answer", spj([arc("Influencer", i=".")]))
+        graph = query(p1, p2, answer)
+        merged = UnionNode([p1.node, p2.node])
+        graph.replace_rules("Influencer", Rule("Influencer", merged))
+        assert len(graph.producers_of("Influencer")) == 1
+
+
+class TestRecursionAnalysis:
+    def test_influencer_is_fixpoint_recursion(self):
+        graph = fig3_query()
+        assert is_fixpoint_recursion(graph, "Influencer")
+        assert not is_fixpoint_recursion(graph, "Answer")
+
+    def test_provenance_classification(self):
+        graph = fig3_query()
+        info = analyze_recursion(graph, "Influencer")
+        kinds = {name: p.kind for name, p in info.provenance.items()}
+        assert kinds == {
+            "master": "invariant",
+            "disciple": "rebound",
+            "gen": "computed",
+        }
+        assert info.invariant_fields == {"master"}
+        assert info.is_linear()
+
+    def test_non_recursive_name_returns_none(self):
+        graph = fig3_query()
+        assert analyze_recursion(graph, "Answer") is None
+
+    def test_recursion_without_base_raises(self):
+        recursive_only = rule(
+            "R",
+            spj(
+                [arc("R", r="."), arc("C", x=".")],
+                where=eq(path("r", "f"), var("x")),
+                select=out(f=var("x")),
+            ),
+        )
+        answer = rule("Answer", spj([arc("R", a=".")]))
+        graph = query(recursive_only, answer)
+        with pytest.raises(QueryModelError):
+            analyze_recursion(graph, "R")
+
+    def test_mismatched_part_fields_raise(self):
+        base = rule("R", spj([arc("C", x=".")], select=out(a=var("x"))))
+        recursive = rule(
+            "R",
+            spj(
+                [arc("R", r="."), arc("C", x=".")],
+                where=eq(path("r", "b"), var("x")),
+                select=out(b=var("x")),
+            ),
+        )
+        answer = rule("Answer", spj([arc("R", a=".")]))
+        graph = query(base, recursive, answer)
+        with pytest.raises(QueryModelError):
+            analyze_recursion(graph, "R")
+
+
+class TestCanPush:
+    def test_invariant_rooted_path_pushable(self):
+        assert can_push_paths(
+            [path("i", "master", "works")], {"i"}, {"master"}
+        )
+
+    def test_non_invariant_rooted_path_blocked(self):
+        assert not can_push_paths([path("i", "gen")], {"i"}, {"master"})
+
+    def test_whole_tuple_reference_blocked(self):
+        assert not can_push_paths([var("i")], {"i"}, {"master"})
+
+    def test_foreign_variable_paths_ignored(self):
+        assert can_push_paths([path("c", "name")], {"i"}, {"master"})

@@ -1,0 +1,156 @@
+"""Tests for predicate/expression ASTs and conjunct manipulation."""
+
+import pytest
+
+from repro.errors import InvalidPredicateError
+from repro.querygraph.builder import (
+    add,
+    and_,
+    const,
+    eq,
+    fn,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+    not_,
+    or_,
+    path,
+    true,
+    var,
+)
+from repro.querygraph.predicates import (
+    And,
+    Arith,
+    Comparison,
+    Const,
+    FunctionApp,
+    Not,
+    Or,
+    PathRef,
+    TruePredicate,
+    conjoin,
+    conjuncts,
+)
+
+
+class TestExpressions:
+    def test_pathref_variables_and_dotted(self):
+        p = path("x", "works", "title")
+        assert p.variables() == {"x"}
+        assert p.dotted() == "x.works.title"
+
+    def test_pathref_extend(self):
+        assert path("x", "a").extend("b") == path("x", "a", "b")
+
+    def test_const_has_no_variables(self):
+        assert const(5).variables() == set()
+        assert const(5).paths() == []
+
+    def test_substitute_prepends_path(self):
+        original = path("v", "name")
+        substituted = original.substitute({"v": path("x", "master")})
+        assert substituted == path("x", "master", "name")
+
+    def test_substitute_const_into_bare_var(self):
+        assert var("v").substitute({"v": const(3)}) == const(3)
+
+    def test_substitute_const_under_path_raises(self):
+        with pytest.raises(InvalidPredicateError):
+            path("v", "name").substitute({"v": const(3)})
+
+    def test_function_app_collects_variables(self):
+        f = fn("g", path("a", "x"), path("b", "y"))
+        assert f.variables() == {"a", "b"}
+        assert len(f.paths()) == 2
+
+    def test_arith_operators(self):
+        expr = add(path("i", "gen"), const(1))
+        assert isinstance(expr, Arith)
+        assert expr.fn(2, 1) == 3
+
+    def test_unknown_arith_op_rejected(self):
+        with pytest.raises(InvalidPredicateError):
+            Arith("%", const(1), const(2))
+
+    def test_expression_equality_and_hash(self):
+        assert path("x", "a") == path("x", "a")
+        assert hash(path("x", "a")) == hash(path("x", "a"))
+        assert path("x", "a") != path("x", "b")
+
+
+class TestPredicates:
+    def test_comparison_ops(self):
+        for builder, op in (
+            (eq, "="),
+            (ne, "!="),
+            (lt, "<"),
+            (le, "<="),
+            (gt, ">"),
+            (ge, ">="),
+        ):
+            comparison = builder(var("x"), const(1))
+            assert comparison.op == op
+
+    def test_double_equals_normalized(self):
+        assert Comparison("==", var("x"), const(1)).op == "="
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(InvalidPredicateError):
+            Comparison("~", var("x"), const(1))
+
+    def test_and_flattens(self):
+        nested = And(And(eq(var("a"), const(1)), eq(var("b"), const(2))),
+                     eq(var("c"), const(3)))
+        assert len(nested.parts) == 3
+
+    def test_and_drops_true(self):
+        combined = And(true(), eq(var("a"), const(1)))
+        assert len(combined.parts) == 1
+
+    def test_or_requires_two(self):
+        with pytest.raises(InvalidPredicateError):
+            Or(eq(var("a"), const(1)))
+
+    def test_or_flattens(self):
+        nested = or_(or_(eq(var("a"), const(1)), eq(var("b"), const(2))),
+                     eq(var("c"), const(3)))
+        assert len(nested.parts) == 3
+
+    def test_not_variables(self):
+        assert not_(eq(path("x", "a"), const(1))).variables() == {"x"}
+
+    def test_predicate_substitution(self):
+        predicate = eq(path("v", "name"), const("Bach"))
+        rewritten = predicate.substitute({"v": path("x", "master")})
+        assert rewritten == eq(path("x", "master", "name"), const("Bach"))
+
+
+class TestConjuncts:
+    def test_true_gives_empty(self):
+        assert conjuncts(TruePredicate()) == []
+
+    def test_single_predicate(self):
+        predicate = eq(var("x"), const(1))
+        assert conjuncts(predicate) == [predicate]
+
+    def test_and_splits(self):
+        a = eq(var("x"), const(1))
+        b = eq(var("y"), const(2))
+        assert conjuncts(and_(a, b)) == [a, b]
+
+    def test_or_stays_whole(self):
+        disjunction = or_(eq(var("x"), const(1)), eq(var("y"), const(2)))
+        assert conjuncts(disjunction) == [disjunction]
+
+    def test_conjoin_inverse(self):
+        a = eq(var("x"), const(1))
+        b = eq(var("y"), const(2))
+        assert conjoin([a, b]) == and_(a, b)
+        assert conjoin([a]) == a
+        assert isinstance(conjoin([]), TruePredicate)
+
+    def test_conjoin_filters_true(self):
+        a = eq(var("x"), const(1))
+        assert conjoin([TruePredicate(), a]) == a

@@ -1,0 +1,100 @@
+"""Tests for tree labels (tree-shaped adornments)."""
+
+import pytest
+
+from repro.errors import QueryModelError
+from repro.querygraph.tree_labels import TreeLabel
+
+
+class TestConstruction:
+    def test_root_binding(self):
+        tree = TreeLabel.from_bindings({"x": "."})
+        assert tree.variable == "x"
+        assert tree.is_atomic()
+
+    def test_empty_path_means_root(self):
+        tree = TreeLabel.from_bindings({"x": ""})
+        assert tree.variable == "x"
+
+    def test_conflicting_root_variables_raise(self):
+        with pytest.raises(QueryModelError):
+            TreeLabel.from_bindings({"x": ".", "y": "."})
+
+    def test_simple_attribute_binding(self):
+        tree = TreeLabel.from_bindings({"n": "name"})
+        bindings = tree.bindings()
+        assert len(bindings) == 1
+        assert bindings[0].variable == "n"
+        assert bindings[0].path == ("name",)
+        assert bindings[0].through_collections == 0
+
+    def test_collection_descent(self):
+        tree = TreeLabel.from_bindings({"t": "works.*.title"})
+        binding = tree.find("t")
+        assert binding.path == ("works", "title")
+        assert binding.through_collections == 1
+
+    def test_shared_prefix_factorized(self):
+        tree = TreeLabel.from_bindings(
+            {"t": "works.*.title", "i": "works.*.instruments.*.name"}
+        )
+        # One 'works' child at the root: the prefix was shared.
+        works_children = [name for name, _child in tree.children]
+        assert works_children.count("works") == 1
+
+    def test_forced_branches_stay_separate(self):
+        tree = TreeLabel.from_bindings(
+            {
+                "i1": "works.*.instruments.*.name",
+                "i2": "works.*.instruments#2.*.name",
+            }
+        )
+        bindings = {b.variable: b for b in tree.bindings()}
+        # Same dotted path, different branches.
+        assert bindings["i1"].path == bindings["i2"].path
+        element = tree.children[0][1].children[0][1]
+        instrument_branches = [
+            name for name, _child in element.children if name == "instruments"
+        ]
+        assert len(instrument_branches) == 2
+
+    def test_conflicting_variable_at_same_node_raises(self):
+        with pytest.raises(QueryModelError):
+            TreeLabel.from_bindings({"a": "name", "b": "name"})
+
+
+class TestInspection:
+    def figure2_tree(self):
+        return TreeLabel.from_bindings(
+            {
+                "n": "name",
+                "t": "works.*.title",
+                "i1": "works.*.instruments.*.name",
+                "i2": "works.*.instruments#2.*.name",
+            }
+        )
+
+    def test_variables(self):
+        assert set(self.figure2_tree().variables()) == {"n", "t", "i1", "i2"}
+
+    def test_attribute_paths_deduplicated(self):
+        paths = self.figure2_tree().attribute_paths()
+        assert ("name",) in paths
+        assert ("works", "title") in paths
+        assert paths.count(("works", "instruments", "name")) == 1
+
+    def test_depth(self):
+        assert self.figure2_tree().depth() == 5  # works > * > instruments > * > name
+        assert TreeLabel.from_bindings({"x": "."}).depth() == 0
+
+    def test_find_missing(self):
+        assert self.figure2_tree().find("zzz") is None
+
+    def test_structural_equality(self):
+        assert self.figure2_tree() == self.figure2_tree()
+        assert TreeLabel.from_bindings({"n": "name"}) != TreeLabel.from_bindings(
+            {"n": "title"}
+        )
+
+    def test_repr_is_stable(self):
+        assert repr(self.figure2_tree()) == repr(self.figure2_tree())

@@ -1,0 +1,202 @@
+"""Tests for retrieval by reverse path index ([MS86] extension)."""
+
+import pytest
+
+from repro.core import cost_controlled_optimizer
+from repro.core.generate import SPJGenerator
+from repro.core.translate import Translator
+from repro.cost import CostParameters, DetailedCostModel
+from repro.engine import Engine, ReferenceEvaluator
+from repro.plans import IJ, PIJ, EntityLeaf, Proj, Sel, find_all
+from repro.querygraph.builder import (
+    and_,
+    arc,
+    const,
+    eq,
+    ge,
+    out,
+    path,
+    query,
+    rule,
+    spj,
+    var,
+)
+from repro.workloads import MusicConfig, generate_music_database
+
+
+@pytest.fixture()
+def rev_db():
+    db = generate_music_database(
+        MusicConfig(
+            lineages=8,
+            generations=6,
+            works_per_composer=4,
+            selective_fraction=0.1,
+            buffer_pages=2,
+            seed=91,
+        )
+    )
+    db.build_paper_indexes()  # works.instruments with terminal "name"
+    return db
+
+
+def whole_path_plan():
+    return Proj(
+        Sel(
+            EntityLeaf("Composer", "x"),
+            eq(
+                path("x", "works", "instruments", "name"),
+                const("harpsichord"),
+            ),
+        ),
+        out(n=path("x", "name")),
+    )
+
+
+def navigated_plan():
+    return Proj(
+        Sel(
+            PIJ(
+                EntityLeaf("Composer", "x"),
+                [EntityLeaf("Composition", "w"), EntityLeaf("Instrument", "i")],
+                ["works", "instruments"],
+                var("x"),
+                ["w", "i"],
+            ),
+            eq(path("i", "name"), const("harpsichord")),
+        ),
+        out(n=path("x", "name")),
+    )
+
+
+class TestEngineReverseAccess:
+    def test_same_answer_set_as_navigation(self, rev_db):
+        engine = Engine(rev_db.physical)
+        reverse = engine.execute(whole_path_plan())
+        navigated = engine.execute(navigated_plan())
+        assert reverse.answer_set() == navigated.answer_set()
+
+    def test_uses_index_not_navigation(self, rev_db):
+        engine = Engine(rev_db.physical)
+        rev_db.store.buffer.clear()
+        result = engine.execute(whole_path_plan())
+        assert result.metrics.index_lookups == 1
+        # No Composition/Instrument pages are read: only qualifying
+        # Composer records are fetched.
+        composer_pages = rev_db.physical.statistics.pages("Composer")
+        assert result.metrics.buffer.physical_reads <= composer_pages
+
+    def test_cheaper_than_navigation_cold(self, rev_db):
+        engine = Engine(rev_db.physical)
+        rev_db.store.buffer.clear()
+        reverse = engine.execute(whole_path_plan())
+        rev_db.store.buffer.clear()
+        navigated = engine.execute(navigated_plan())
+        assert (
+            reverse.metrics.measured_cost()
+            < navigated.metrics.measured_cost()
+        )
+
+    def test_no_matching_index_falls_back_to_scan(self, rev_db):
+        engine = Engine(rev_db.physical)
+        plan = Proj(
+            Sel(
+                EntityLeaf("Composer", "x"),
+                eq(path("x", "works", "title"), const("work_00001")),
+            ),
+            out(n=path("x", "name")),
+        )
+        result = engine.execute(plan)
+        assert result.metrics.index_lookups == 0
+        assert len(result) == 1
+
+    def test_one_binding_per_head(self, rev_db):
+        """Reverse access dedups heads: one row per composer even when
+        several of their works use the instrument."""
+        engine = Engine(rev_db.physical)
+        result = engine.execute(whole_path_plan())
+        names = [row["n"] for row in result.rows]
+        assert len(names) == len(set(names))
+
+
+class TestModelReverseAccess:
+    def test_model_prices_reverse_below_scan_navigation(self, rev_db):
+        model = DetailedCostModel(
+            rev_db.physical, CostParameters(buffer_pages=2)
+        )
+        assert model.cost(whole_path_plan()) < model.cost(navigated_plan())
+
+    def test_model_tracks_terminal_selectivity(self):
+        costs = []
+        for fraction in (0.05, 0.8):
+            db = generate_music_database(
+                MusicConfig(
+                    lineages=8,
+                    generations=6,
+                    works_per_composer=4,
+                    selective_fraction=fraction,
+                    seed=92,
+                )
+            )
+            db.build_paper_indexes()
+            model = DetailedCostModel(db.physical, CostParameters(buffer_pages=2))
+            costs.append(model.cost(whole_path_plan()))
+        assert costs[1] > costs[0]
+
+
+class TestGeneratorReverseVariant:
+    def make_node(self):
+        return spj(
+            [arc("Composer", x=".")],
+            where=and_(
+                eq(
+                    path("x", "works", "instruments", "name"),
+                    const("harpsichord"),
+                ),
+                ge(path("x", "birthyear"), const(0)),
+            ),
+            select=out(n=path("x", "name")),
+        )
+
+    def test_variant_generated_and_wins_cold(self, rev_db):
+        translator = Translator(rev_db.physical)
+        model = DetailedCostModel(rev_db.physical, CostParameters(buffer_pages=2))
+        generator = SPJGenerator(rev_db.physical, model)
+        translated = translator.translate_node(self.make_node())
+        sources = [EntityLeaf(a.entity, a.root_var) for a in translated.arcs]
+        generated = generator.generate(translated, sources)
+        # The winner should be the navigation-free variant: no IJ/PIJ.
+        assert not find_all(generated.plan, IJ)
+        assert not find_all(generated.plan, PIJ)
+        sels = find_all(generated.plan, Sel)
+        assert any(
+            "works.instruments.name" in repr(s.predicate) for s in sels
+        )
+
+    def test_variant_blocked_when_chain_needed_elsewhere(self, rev_db):
+        node = spj(
+            [arc("Composer", x=".", t="works.*.title")],
+            where=eq(
+                path("x", "works", "instruments", "name"),
+                const("harpsichord"),
+            ),
+            select=out(n=path("x", "name"), t=var("t")),
+        )
+        translator = Translator(rev_db.physical)
+        model = DetailedCostModel(rev_db.physical)
+        generator = SPJGenerator(rev_db.physical, model)
+        translated = translator.translate_node(node)
+        sources = [EntityLeaf(a.entity, a.root_var) for a in translated.arcs]
+        generated = generator.generate(translated, sources)
+        # The title projection needs the works hop: navigation stays.
+        assert find_all(generated.plan, IJ) or find_all(generated.plan, PIJ)
+
+    def test_end_to_end_matches_reference(self, rev_db):
+        graph = query(rule("Answer", self.make_node()))
+        result = cost_controlled_optimizer(
+            rev_db.physical,
+            DetailedCostModel(rev_db.physical, CostParameters(buffer_pages=2)),
+        ).optimize(graph)
+        got = Engine(rev_db.physical).execute(result.plan).answer_set()
+        want = ReferenceEvaluator(rev_db.physical).answer_set(graph)
+        assert got == want

@@ -1,0 +1,168 @@
+"""Unit tests for the schema catalog: inheritance, inverses, paths."""
+
+import pytest
+
+from repro.errors import (
+    CyclicInheritanceError,
+    SchemaError,
+    UnknownAttributeError,
+    UnknownClassError,
+)
+from repro.schema.catalog import Catalog
+from repro.schema.conceptual import Attribute, ClassDef, InversePair, Method, RelationDef
+from repro.schema.types import INT, STRING, ClassRef, SetType
+
+
+def make_catalog():
+    catalog = Catalog()
+    catalog.add_class(ClassDef("A", [Attribute("x", INT)]))
+    catalog.add_class(
+        ClassDef("B", [Attribute("a_ref", ClassRef("A"))], isa="A")
+    )
+    return catalog
+
+
+class TestRegistration:
+    def test_duplicate_definition_raises(self):
+        catalog = make_catalog()
+        with pytest.raises(SchemaError):
+            catalog.add_class(ClassDef("A", []))
+
+    def test_unknown_lookup_raises(self):
+        catalog = make_catalog()
+        with pytest.raises(UnknownClassError):
+            catalog.get("Nope")
+
+    def test_contains(self):
+        catalog = make_catalog()
+        assert "A" in catalog
+        assert "Nope" not in catalog
+
+    def test_is_class_distinguishes_relations(self):
+        catalog = make_catalog()
+        catalog.add_relation(RelationDef("R", [Attribute("x", INT)]))
+        assert catalog.is_class("A")
+        assert not catalog.is_class("R")
+
+
+class TestInheritance:
+    def test_ancestry(self):
+        catalog = make_catalog()
+        assert catalog.ancestry("B") == ["B", "A"]
+        assert catalog.ancestry("A") == ["A"]
+
+    def test_is_subclass(self):
+        catalog = make_catalog()
+        assert catalog.is_subclass("B", "A")
+        assert not catalog.is_subclass("A", "B")
+
+    def test_subclasses(self):
+        catalog = make_catalog()
+        assert set(catalog.subclasses("A")) == {"A", "B"}
+
+    def test_inherited_attribute_lookup(self):
+        catalog = make_catalog()
+        assert catalog.attribute("B", "x").type == INT
+
+    def test_missing_attribute_raises(self):
+        catalog = make_catalog()
+        with pytest.raises(UnknownAttributeError):
+            catalog.attribute("B", "nope")
+
+    def test_cycle_detection(self):
+        catalog = Catalog()
+        catalog.add_class(ClassDef("X", [], isa="Y"))
+        catalog.add_class(ClassDef("Y", [], isa="X"))
+        with pytest.raises(CyclicInheritanceError):
+            catalog.ancestry("X")
+
+    def test_all_attributes_merges_hierarchy(self):
+        catalog = make_catalog()
+        merged = catalog.all_attributes("B")
+        assert set(merged) == {"x", "a_ref"}
+
+
+class TestMethods:
+    def test_method_lookup_through_isa(self):
+        catalog = Catalog()
+        catalog.add_class(
+            ClassDef(
+                "P",
+                [Attribute("birth", INT)],
+                methods=[Method("age", INT, lambda v: 1992 - v["birth"])],
+            )
+        )
+        catalog.add_class(ClassDef("C", [], isa="P"))
+        method = catalog.method("C", "age")
+        assert method is not None
+        assert method.compute({"birth": 1900}) == 92
+
+    def test_method_terminates_path_only(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.resolve_path("Composer", ["age", "name"])
+
+    def test_has_member_covers_methods(self, catalog):
+        assert catalog.has_member("Composer", "age")
+        assert catalog.has_member("Composer", "works")
+        assert not catalog.has_member("Composer", "nope")
+
+
+class TestPathResolution:
+    def test_simple_atomic_path(self, catalog):
+        resolved = catalog.resolve_path("Composer", ["name"])
+        assert resolved.classes == ("Composer",)
+        assert resolved.reference_hops() == 0
+
+    def test_multi_hop_path(self, catalog):
+        resolved = catalog.resolve_path(
+            "Composer", ["works", "instruments", "name"]
+        )
+        assert resolved.classes == ("Composer", "Composition", "Instrument")
+        assert resolved.reference_hops() == 2
+        assert resolved.dotted() == "Composer.works.instruments.name"
+
+    def test_self_referencing_path(self, catalog):
+        resolved = catalog.resolve_path("Composer", ["master", "master", "name"])
+        assert resolved.classes == ("Composer", "Composer", "Composer")
+
+    def test_path_through_atomic_raises(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.resolve_path("Composer", ["name", "x"])
+
+    def test_empty_path_raises(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.resolve_path("Composer", [])
+
+    def test_multivalued_steps_flagged(self, catalog):
+        resolved = catalog.resolve_path("Composer", ["works", "title"])
+        assert resolved.steps[0].multivalued
+        assert not resolved.steps[1].multivalued
+
+
+class TestInverseValidation:
+    def test_consistent_inverse_passes(self, catalog):
+        catalog.validate()  # Figure 1 declares a valid inverse
+
+    def test_inconsistent_inverse_raises(self):
+        catalog = Catalog()
+        catalog.add_class(ClassDef("A", [Attribute("x", INT)]))
+        catalog.add_class(
+            ClassDef(
+                "B",
+                [
+                    Attribute(
+                        "back",
+                        ClassRef("A"),
+                        inverse_of=InversePair("A", "x"),
+                    )
+                ],
+            )
+        )
+        with pytest.raises(SchemaError):
+            catalog.validate()
+
+    def test_dangling_reference_raises(self):
+        catalog = Catalog()
+        catalog.add_class(ClassDef("A", [Attribute("r", ClassRef("Gone"))]))
+        with pytest.raises(UnknownClassError):
+            catalog.validate()

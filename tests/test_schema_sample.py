@@ -1,0 +1,40 @@
+"""Tests for the Figure 1 sample catalog."""
+
+from repro.schema.sample import CURRENT_YEAR, build_music_catalog
+from repro.schema.types import ClassRef, SetType
+
+
+class TestMusicCatalog:
+    def test_all_names_present(self, catalog):
+        for name in ("Person", "Composer", "Composition", "Instrument", "Play"):
+            assert name in catalog
+
+    def test_composer_isa_person(self, catalog):
+        assert catalog.is_subclass("Composer", "Person")
+
+    def test_composer_inherits_name(self, catalog):
+        assert catalog.attribute("Composer", "name").type.type_name() == "string"
+
+    def test_works_is_set_of_compositions(self, catalog):
+        works = catalog.attribute("Composer", "works")
+        assert works.type == SetType(ClassRef("Composition"))
+        assert works.is_multivalued()
+        assert works.referenced_class() == "Composition"
+
+    def test_author_inverse_declared(self, catalog):
+        author = catalog.attribute("Composition", "author")
+        assert author.inverse_of is not None
+        assert author.inverse_of.other_class == "Composer"
+        assert author.inverse_of.other_attribute == "works"
+
+    def test_age_method(self, catalog):
+        method = catalog.method("Composer", "age")
+        assert method is not None
+        assert method.compute({"birthyear": CURRENT_YEAR - 50}) == 50
+        assert method.compute({}) is None
+
+    def test_play_is_relation(self, catalog):
+        assert not catalog.is_class("Play")
+
+    def test_catalog_is_freshly_built_each_call(self):
+        assert build_music_catalog() is not build_music_catalog()

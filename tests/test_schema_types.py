@@ -1,0 +1,95 @@
+"""Unit tests for the conceptual type system."""
+
+import pytest
+
+from repro.errors import TypeCheckError, UnknownAttributeError
+from repro.schema.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    AtomicType,
+    ClassRef,
+    ListType,
+    SetType,
+    TupleType,
+    element_type,
+    is_collection,
+)
+
+
+class TestAtomicTypes:
+    def test_predefined_atomics_are_atomic(self):
+        for atomic in (INT, FLOAT, STRING, BOOL):
+            assert atomic.is_atomic()
+
+    def test_equality_is_structural(self):
+        assert AtomicType("int") == INT
+        assert AtomicType("int") != AtomicType("float")
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({INT, AtomicType("int"), FLOAT}) == 2
+
+    def test_type_name(self):
+        assert INT.type_name() == "int"
+
+
+class TestClassRef:
+    def test_equality_by_name(self):
+        assert ClassRef("Composer") == ClassRef("Composer")
+        assert ClassRef("Composer") != ClassRef("Person")
+
+    def test_not_atomic(self):
+        assert not ClassRef("Composer").is_atomic()
+
+    def test_distinct_from_atomic_of_same_name(self):
+        assert ClassRef("int") != AtomicType("int")
+
+
+class TestTupleType:
+    def test_field_lookup(self):
+        tuple_type = TupleType({"name": STRING, "age": INT})
+        assert tuple_type.field_type("name") == STRING
+        assert tuple_type.field_type("age") == INT
+
+    def test_missing_field_raises(self):
+        tuple_type = TupleType({"name": STRING})
+        with pytest.raises(UnknownAttributeError):
+            tuple_type.field_type("nope")
+
+    def test_has_field(self):
+        tuple_type = TupleType({"name": STRING})
+        assert tuple_type.has_field("name")
+        assert not tuple_type.has_field("other")
+
+    def test_field_order_matters_for_equality(self):
+        left = TupleType({"a": INT, "b": STRING})
+        right = TupleType({"b": STRING, "a": INT})
+        assert left != right
+
+    def test_type_name_renders_constructor(self):
+        tuple_type = TupleType({"name": STRING})
+        assert tuple_type.type_name() == "[name: string]"
+
+
+class TestCollections:
+    def test_set_and_list_are_collections(self):
+        assert is_collection(SetType(INT))
+        assert is_collection(ListType(INT))
+        assert not is_collection(INT)
+        assert not is_collection(TupleType({"a": INT}))
+
+    def test_element_type(self):
+        assert element_type(SetType(ClassRef("X"))) == ClassRef("X")
+        assert element_type(ListType(INT)) == INT
+
+    def test_element_type_of_non_collection_raises(self):
+        with pytest.raises(TypeCheckError):
+            element_type(INT)
+
+    def test_set_vs_list_not_equal(self):
+        assert SetType(INT) != ListType(INT)
+
+    def test_nested_constructor_names(self):
+        nested = SetType(TupleType({"x": ListType(INT)}))
+        assert nested.type_name() == "{[x: <int>]}"

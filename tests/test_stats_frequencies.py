@@ -1,0 +1,148 @@
+"""Tests for value-frequency statistics and their use in selectivity."""
+
+import pytest
+
+from repro.cost.cardinality import CardinalityEstimator
+from repro.physical.stats import Statistics
+from repro.plans import IJ, PIJ, EntityLeaf, Sel
+from repro.querygraph.builder import const, eq, path, var
+from repro.workloads import MusicConfig, generate_music_database
+
+
+@pytest.fixture()
+def skewed_db():
+    """30% of works use the harpsichord; instrument extent is uniform.
+
+    (The ``Play`` relation also references instruments uniformly, so
+    the fraction must dominate the uniform background for the skew to
+    show.)"""
+    db = generate_music_database(
+        MusicConfig(
+            lineages=6,
+            generations=6,
+            works_per_composer=4,
+            instruments=20,
+            instruments_per_work=2,
+            selective_fraction=0.3,
+            seed=77,
+        )
+    )
+    db.build_paper_indexes()
+    return db
+
+
+class TestFrequencyStatistics:
+    def test_plain_frequency_counts_extent(self, skewed_db):
+        stats = skewed_db.physical.statistics
+        entity = stats.entity("Instrument")
+        selectivity = entity.value_selectivity("name", "harpsichord")
+        # One harpsichord record among `instruments` records.
+        assert selectivity == pytest.approx(
+            1.0 / skewed_db.config.instruments
+        )
+
+    def test_weighted_frequency_reflects_references(self, skewed_db):
+        stats = skewed_db.physical.statistics
+        entity = stats.entity("Instrument")
+        weighted = entity.weighted_value_selectivity("name", "harpsichord")
+        plain = entity.value_selectivity("name", "harpsichord")
+        assert weighted is not None
+        # Harpsichord appears in ~15% of works (each with 2 slots), so
+        # its share of reference slots far exceeds its extent share.
+        assert weighted > plain
+
+    def test_unknown_value_zero(self, skewed_db):
+        stats = skewed_db.physical.statistics
+        entity = stats.entity("Instrument")
+        assert entity.value_selectivity("name", "theremin") == 0.0
+        assert entity.weighted_value_selectivity("name", "theremin") == 0.0
+
+    def test_oid_attributes_not_tracked(self, skewed_db):
+        stats = skewed_db.physical.statistics
+        entity = stats.entity("Composer")
+        assert "master" not in entity.frequency
+
+    def test_overflow_disables_tracking(self, skewed_db):
+        store = skewed_db.store
+        store.create_extent("Wide")
+        for i in range(600):  # above MAX_TRACKED_VALUES
+            store.insert("Wide", {"v": i})
+        stats = Statistics(store)
+        entity = stats.entity("Wide")
+        assert entity.frequency["v"] is None
+        assert entity.value_selectivity("v", 5) is None
+
+
+class TestSelectivityUsesFrequencies:
+    def test_scan_selection_uses_plain_frequency(self, skewed_db):
+        estimator = CardinalityEstimator(skewed_db.physical)
+        plan = Sel(
+            EntityLeaf("Instrument", "i"),
+            eq(path("i", "name"), const("harpsichord")),
+        )
+        estimate = estimator.estimate(plan)
+        assert estimate.tuples == pytest.approx(1.0)
+
+    def test_stream_selection_uses_weighted_frequency(self, skewed_db):
+        estimator = CardinalityEstimator(skewed_db.physical)
+        expand = PIJ(
+            EntityLeaf("Composer", "x"),
+            [EntityLeaf("Composition", "w"), EntityLeaf("Instrument", "i")],
+            ["works", "instruments"],
+            var("x"),
+            ["w", "i"],
+        )
+        filtered = Sel(expand, eq(path("i", "name"), const("harpsichord")))
+        stream = estimator.estimate(expand)
+        selected = estimator.estimate(filtered)
+        stats = skewed_db.physical.statistics
+        weighted = stats.entity("Instrument").weighted_value_selectivity(
+            "name", "harpsichord"
+        )
+        assert selected.tuples == pytest.approx(
+            stream.tuples * weighted, rel=0.01
+        )
+
+    def test_ij_output_marked_as_stream(self, skewed_db):
+        estimator = CardinalityEstimator(skewed_db.physical)
+        plan = IJ(
+            EntityLeaf("Composer", "x"),
+            EntityLeaf("Composition", "w"),
+            path("x", "works"),
+            "w",
+        )
+        estimate = estimator.estimate(plan)
+        assert "w" in estimate.stream_vars
+        assert "x" not in estimate.stream_vars
+
+    def test_estimate_tracks_generator_selectivity(self):
+        """The estimated pushed-plan cost must move with the data's
+        actual selectivity (the crossover driver)."""
+        estimates = []
+        for fraction in (0.05, 0.5):
+            db = generate_music_database(
+                MusicConfig(
+                    lineages=6,
+                    generations=6,
+                    works_per_composer=4,
+                    selective_fraction=fraction,
+                    seed=78,
+                )
+            )
+            db.build_paper_indexes()
+            estimator = CardinalityEstimator(db.physical)
+            plan = Sel(
+                PIJ(
+                    EntityLeaf("Composer", "x"),
+                    [
+                        EntityLeaf("Composition", "w"),
+                        EntityLeaf("Instrument", "i"),
+                    ],
+                    ["works", "instruments"],
+                    var("x"),
+                    ["w", "i"],
+                ),
+                eq(path("i", "name"), const("harpsichord")),
+            )
+            estimates.append(estimator.estimate(plan).tuples)
+        assert estimates[1] > estimates[0] * 3

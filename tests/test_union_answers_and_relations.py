@@ -1,0 +1,105 @@
+"""Tests for union-produced answers and the Play relation."""
+
+import pytest
+
+from repro.core import cost_controlled_optimizer
+from repro.engine import Engine, ReferenceEvaluator
+from repro.lang import compile_text
+from repro.plans import UnionOp, find_all
+from repro.querygraph.builder import arc, const, eq, out, path, query, rule, spj
+from repro.workloads import MusicConfig, generate_music_database
+
+
+class TestUnionAnswers:
+    def union_answer_graph(self):
+        first = rule(
+            "Answer",
+            spj(
+                [arc("Composer", x=".")],
+                where=eq(path("x", "name"), const("Bach")),
+                select=out(n=path("x", "name")),
+            ),
+        )
+        second = rule(
+            "Answer",
+            spj(
+                [arc("Instrument", y=".")],
+                where=eq(path("y", "name"), const("flute")),
+                select=out(n=path("y", "name")),
+            ),
+        )
+        return query(first, second)
+
+    def test_union_answer_optimizes(self, indexed_db):
+        graph = self.union_answer_graph()
+        result = cost_controlled_optimizer(indexed_db.physical).optimize(graph)
+        assert find_all(result.plan, UnionOp)
+        got = Engine(indexed_db.physical).execute(result.plan).answer_set()
+        want = ReferenceEvaluator(indexed_db.physical).answer_set(graph)
+        assert got == want
+        names = {
+            row["n"]
+            for row in Engine(indexed_db.physical).execute(result.plan).rows
+        }
+        assert names == {"Bach", "flute"}
+
+    def test_union_answer_from_text(self, indexed_db):
+        graph = compile_text(
+            """
+            select [n: x.name] from x in Composer where x.name = "Bach"
+            union
+            select [n: y.name] from y in Instrument where y.name = "flute";
+            """,
+            indexed_db.catalog,
+        )
+        result = cost_controlled_optimizer(indexed_db.physical).optimize(graph)
+        got = Engine(indexed_db.physical).execute(result.plan).answer_set()
+        want = ReferenceEvaluator(indexed_db.physical).answer_set(graph)
+        assert got == want
+
+
+class TestPlayRelation:
+    def test_play_populated(self, indexed_db):
+        stats = indexed_db.physical.statistics
+        count = stats.instances("Play")
+        assert count >= indexed_db.config.composer_count
+
+    def test_play_references_valid(self, indexed_db):
+        store = indexed_db.store
+        for record in store.extent("Play").records:
+            who = store.peek(record.values["who"])
+            instrument = store.peek(record.values["instrument"])
+            assert who.entity == "Composer"
+            assert instrument.entity == "Instrument"
+
+    def test_query_over_relation(self, indexed_db):
+        graph = compile_text(
+            """
+            select [who: p.who.name, what: p.instrument.name]
+            from p in Play
+            where p.who.name = "Bach";
+            """,
+            indexed_db.catalog,
+        )
+        result = cost_controlled_optimizer(indexed_db.physical).optimize(graph)
+        got = Engine(indexed_db.physical).execute(result.plan)
+        want = ReferenceEvaluator(indexed_db.physical).answer_set(graph)
+        assert got.answer_set() == want
+        assert all(row["who"] == "Bach" for row in got.rows)
+        assert 1 <= len(got.rows) <= 2
+
+    def test_join_relation_with_class(self, indexed_db):
+        """Play ⋈ Composition: composers playing an instrument used in
+        their own works."""
+        graph = compile_text(
+            """
+            select [name: p.who.name, inst: p.instrument.name]
+            from p in Play, w in Composition
+            where w.author = p.who and w.instruments = p.instrument;
+            """,
+            indexed_db.catalog,
+        )
+        result = cost_controlled_optimizer(indexed_db.physical).optimize(graph)
+        got = Engine(indexed_db.physical).execute(result.plan).answer_set()
+        want = ReferenceEvaluator(indexed_db.physical).answer_set(graph)
+        assert got == want

@@ -1,0 +1,162 @@
+"""Tests for the workload generators and canned queries."""
+
+import pytest
+
+from repro.core import cost_controlled_optimizer, deductive_optimizer
+from repro.engine import Engine, ReferenceEvaluator
+from repro.querygraph.views import analyze_recursion
+from repro.workloads import (
+    MusicConfig,
+    PartsConfig,
+    components_of_query,
+    fig2_query,
+    fig3_query,
+    generate_music_database,
+    generate_parts_database,
+    heavy_components_query,
+    join_push_query,
+)
+from repro.workloads.parts import CONTAINS
+
+
+class TestMusicGenerator:
+    def test_deterministic_per_seed(self):
+        config = MusicConfig(lineages=2, generations=4, seed=5)
+        first = generate_music_database(config)
+        second = generate_music_database(config)
+        assert first.store.record_count() == second.store.record_count()
+        first_names = [
+            r.values["name"] for r in first.store.extent("Composer").records
+        ]
+        second_names = [
+            r.values["name"] for r in second.store.extent("Composer").records
+        ]
+        assert first_names == second_names
+
+    def test_counts_match_config(self, small_db):
+        config = small_db.config
+        assert (
+            len(small_db.store.extent("Composer")) == config.composer_count
+        )
+        assert len(small_db.store.extent("Composition")) == (
+            config.composer_count * config.works_per_composer
+        )
+        assert len(small_db.store.extent("Instrument")) == config.instruments
+
+    def test_bach_exists_and_has_master(self, small_db):
+        bach = small_db.store.peek(small_db.famous_oid)
+        assert bach.values["name"] == "Bach"
+        assert bach.values["master"] is not None
+
+    def test_master_chains_acyclic_and_bounded(self, small_db):
+        store = small_db.store
+        for record in store.extent("Composer").records:
+            seen = set()
+            current = record
+            steps = 0
+            while current.values.get("master") is not None:
+                assert current.oid not in seen
+                seen.add(current.oid)
+                current = store.peek(current.values["master"])
+                steps += 1
+            assert steps < small_db.config.generations
+
+    def test_selective_fraction_respected(self):
+        none_selective = generate_music_database(
+            MusicConfig(lineages=2, generations=3, selective_fraction=0.0, seed=1)
+        )
+        store = none_selective.store
+        harpsichord = [
+            r
+            for r in store.extent("Instrument").records
+            if r.values["name"] == "harpsichord"
+        ][0]
+        # Only Bach's guaranteed first work may use the selective
+        # instrument at selectivity 0 (the Figure 2 anchor).
+        bach_works = set(
+            store.peek(none_selective.famous_oid).values["works"]
+        )
+        for work in store.extent("Composition").records:
+            if work.oid in bach_works:
+                continue
+            assert harpsichord.oid not in work.values["instruments"]
+
+    def test_works_backreference_consistent(self, small_db):
+        store = small_db.store
+        for composer in store.extent("Composer").records:
+            for work_oid in composer.values["works"]:
+                work = store.peek(work_oid)
+                assert work.values["author"] == composer.oid
+
+    def test_paper_indexes_idempotent(self, small_db):
+        small_db.build_paper_indexes()
+        small_db.build_paper_indexes()
+        assert small_db.physical.find_path_index(("works", "instruments"))
+
+
+class TestPartsGenerator:
+    def test_dag_with_sharing(self):
+        db = generate_parts_database(
+            PartsConfig(assemblies=2, depth=3, fanout=2, sharing=0.5, seed=9)
+        )
+        store = db.store
+        referenced = {}
+        for part in store.extent("Part").records:
+            for child in part.values["subparts"]:
+                referenced[child] = referenced.get(child, 0) + 1
+        assert any(count > 1 for count in referenced.values())
+
+    def test_no_sharing_gives_tree(self):
+        config = PartsConfig(assemblies=1, depth=3, fanout=2, sharing=0.0, seed=9)
+        db = generate_parts_database(config)
+        # A full binary tree of depth 3: 1 + 2 + 4 + 8 = 15 parts.
+        assert db.physical.statistics.instances("Part") == 15
+
+    def test_roots_named(self):
+        db = generate_parts_database(PartsConfig(assemblies=2, depth=2, seed=9))
+        names = {
+            db.store.peek(oid).values["pname"] for oid in db.root_oids
+        }
+        assert names == {"assembly_root_0", "assembly_root_1"}
+
+    def test_contains_provenance(self):
+        graph = components_of_query()
+        info = analyze_recursion(graph, CONTAINS)
+        kinds = {name: p.kind for name, p in info.provenance.items()}
+        assert kinds == {
+            "assembly": "invariant",
+            "component": "rebound",
+            "level": "computed",
+        }
+
+    def test_components_query_correct(self):
+        db = generate_parts_database(
+            PartsConfig(assemblies=2, depth=3, fanout=2, sharing=0.0, seed=9)
+        )
+        reference = ReferenceEvaluator(db.physical)
+        rows = reference.evaluate(components_of_query())
+        # Tree of depth 3, fanout 2: 2 + 4 + 8 = 14 contained parts.
+        assert len(rows) == 14
+        levels = {row["level"] for row in rows}
+        assert levels == {1, 2, 3}
+
+    def test_optimized_matches_reference_on_dag(self):
+        db = generate_parts_database(
+            PartsConfig(assemblies=2, depth=3, fanout=2, sharing=0.4, seed=11)
+        )
+        for graph in (components_of_query(), heavy_components_query()):
+            want = ReferenceEvaluator(db.physical).answer_set(graph)
+            result = cost_controlled_optimizer(db.physical).optimize(graph)
+            got = Engine(db.physical).execute(result.plan).answer_set()
+            assert got == want
+
+    def test_deductive_policy_on_parts(self):
+        db = generate_parts_database(
+            PartsConfig(assemblies=2, depth=3, fanout=2, seed=13)
+        )
+        graph = components_of_query()
+        want = ReferenceEvaluator(db.physical).answer_set(graph)
+        result = deductive_optimizer(db.physical).optimize(graph)
+        assert result.chose_push()
+        got = Engine(db.physical).execute(result.plan).answer_set()
+        assert got == want
