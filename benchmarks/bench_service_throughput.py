@@ -1,0 +1,132 @@
+"""SERVICE-THROUGHPUT — plan-cache amortization of optimization cost.
+
+The query service exists to amortize the paper's cost-controlled
+search (rewrite → translate → generatePT → transformPT) across
+repeated requests.  This benchmark serves the same workload twice
+through an in-process :class:`~repro.service.QueryService`:
+
+* **cold** — every request misses the plan cache (it is cleared before
+  each request), paying full optimization + execution;
+* **warm** — every request after the first hits the cache, paying
+  execution only.
+
+Reported per mode: queries/sec and p50/p95 request latency, plus the
+cache hit ratio observed by the service's own metrics registry.
+"""
+
+import time
+
+import pytest
+
+from repro.service import QueryService, ServiceConfig
+from repro.workloads import MusicConfig, generate_music_database
+
+REQUESTS = 30
+
+FIG3 = """
+view Influencer as
+  select [master: x.master, disciple: x, gen: 1] from x in Composer
+  union
+  select [master: i.master, disciple: x, gen: i.gen + 1]
+  from i in Influencer, x in Composer where i.disciple = x.master;
+select [name: i.disciple.name, gen: i.gen] from i in Influencer where i.gen >= 3;
+"""
+
+SELECTIVE = 'select [name: c.name] from c in Composer where c.name = "Bach";'
+
+WORKLOAD = [("fig3 recursive", FIG3), ("indexed selection", SELECTIVE)]
+
+
+def build_service():
+    db = generate_music_database(
+        MusicConfig(lineages=4, generations=7, works_per_composer=2, seed=92)
+    )
+    db.build_paper_indexes()
+    return QueryService(db, ServiceConfig())
+
+
+def percentile(values, fraction):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+def drive(service, text, requests, cold):
+    latencies = []
+    for _ in range(requests):
+        if cold:
+            service.cache.invalidate_all()
+        started = time.perf_counter()
+        service.run_query(text)
+        latencies.append(time.perf_counter() - started)
+    return latencies
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    rows = []
+    for label, text in WORKLOAD:
+        for cold in (True, False):
+            service = build_service()
+            service.run_query(text)  # settle: first miss is not timed in warm mode
+            latencies = drive(service, text, REQUESTS, cold)
+            hit_ratio = service.cache.stats.hit_ratio
+            rows.append(
+                {
+                    "query": label,
+                    "mode": "cold" if cold else "warm",
+                    "qps": REQUESTS / sum(latencies),
+                    "p50": percentile(latencies, 0.50),
+                    "p95": percentile(latencies, 0.95),
+                    "hit_ratio": hit_ratio,
+                }
+            )
+    return rows
+
+
+def test_throughput_report(measurements, benchmark, report, table):
+    rows = benchmark(
+        lambda: [
+            [
+                m["query"],
+                m["mode"],
+                f"{m['qps']:.1f}",
+                f"{m['p50'] * 1000:.2f}ms",
+                f"{m['p95'] * 1000:.2f}ms",
+                f"{m['hit_ratio']:.2f}",
+            ]
+            for m in measurements
+        ]
+    )
+    report(
+        "service_throughput",
+        table(
+            ["query", "cache", "qps", "p50", "p95", "hit ratio"],
+            rows,
+        ),
+    )
+
+
+def test_warm_cache_is_faster(measurements, benchmark):
+    """The whole point of the service layer: serving from the plan
+    cache must beat re-optimizing every request."""
+
+    def speedups():
+        by_query = {}
+        for m in measurements:
+            by_query.setdefault(m["query"], {})[m["mode"]] = m
+        return {
+            query: modes["cold"]["p50"] / max(modes["warm"]["p50"], 1e-9)
+            for query, modes in by_query.items()
+        }
+
+    ratios = benchmark(speedups)
+    # The recursive query spends real time optimizing (strategy search
+    # over transform candidates); caching must win clearly there.
+    assert ratios["fig3 recursive"] > 1.5, ratios
+    assert all(ratio > 0.8 for ratio in ratios.values()), ratios
+
+
+def test_warm_hit_ratio_is_high(measurements):
+    warm = [m for m in measurements if m["mode"] == "warm"]
+    assert all(m["hit_ratio"] > 0.9 for m in warm), warm

@@ -1,0 +1,117 @@
+"""The query service end to end: server, client, cache, invalidation.
+
+Starts a TCP query server over a generated music database, then walks
+the serving story from a client: a cold query (optimize + execute), a
+reformulated repeat served from the plan cache, a prepared
+parameterized statement, a stats mutation that drifts the cached
+plan's estimate past the invalidation threshold, and the service
+metrics that recorded it all.
+
+Run:  PYTHONPATH=src python examples/service_session.py
+"""
+
+from repro.service import (
+    QueryServer,
+    QueryService,
+    ServiceClient,
+    ServiceConfig,
+)
+from repro.workloads import MusicConfig, generate_music_database
+
+FIG3 = """
+view Influencer as
+  select [master: x.master, disciple: x, gen: 1] from x in Composer
+  union
+  select [master: i.master, disciple: x, gen: i.gen + 1]
+  from i in Influencer, x in Composer where i.disciple = x.master;
+
+select [name: i.disciple.name, gen: i.gen]
+from i in Influencer
+where i.gen >= 3;
+"""
+
+# The same query, different aliases and layout — one cache entry.
+FIG3_REFORMULATED = (
+    "view Influencer as "
+    "select [master: c.master, disciple: c, gen: 1] from c in Composer "
+    "union select [master: inf.master, disciple: c, gen: inf.gen + 1] "
+    "from inf in Influencer, c in Composer where inf.disciple = c.master; "
+    "select [name: z.disciple.name, gen: z.gen] "
+    "from z in Influencer where z.gen >= 3;"
+)
+
+
+def main() -> None:
+    db = generate_music_database(
+        MusicConfig(lineages=6, generations=8, selective_fraction=0.15)
+    )
+    db.build_paper_indexes()
+    service = QueryService(
+        db, ServiceConfig(drift_ratio=0.1, default_timeout=30.0)
+    )
+    server = QueryServer(service, port=0)
+    server.start()
+    print(f"server listening on {server.address}\n")
+
+    try:
+        with ServiceClient("127.0.0.1", server.port) as client:
+            client.hello()
+
+            cold = client.query(FIG3)
+            print(
+                f"cold : cache={cold['cache']:<7} rows={cold['row_count']:<4}"
+                f" optimize={cold['optimize_ms']:.1f}ms"
+                f" execute={cold['execute_ms']:.1f}ms"
+            )
+
+            warm = client.query(FIG3_REFORMULATED)
+            print(
+                f"warm : cache={warm['cache']:<7} rows={warm['row_count']:<4}"
+                f" optimize={warm['optimize_ms']:.1f}ms"
+                f" execute={warm['execute_ms']:.1f}ms"
+                "   (aliases/layout differ; canonicalization matched)"
+            )
+
+            stmt = client.prepare(
+                "select [name: c.name, born: c.birthyear] "
+                "from c in Composer where c.name = $who;"
+            )
+            bach = client.execute(stmt, {"who": "Bach"})
+            print(f"\nprepared statement → {bach['rows']}")
+
+            # Bulk-load composers: the closure now covers far more data,
+            # so the cached plan's re-costed estimate drifts.
+            for index in range(800):
+                db.store.insert(
+                    "Composer",
+                    {
+                        "name": f"late_{index:04d}",
+                        "birthyear": 1950,
+                        "master": None,
+                        "works": (),
+                    },
+                )
+            client.refresh_stats()
+            drifted = client.query(FIG3)
+            print(
+                f"\nafter bulk load: cache={drifted['cache']} "
+                f"(plans_costed={drifted['plans_costed']} — re-optimized)"
+            )
+
+            stats = client.stats()
+            print(f"\ncache    : {stats['cache']}")
+            print(f"admission: {stats['admission']}")
+            service_stats = stats["service"]
+            print(
+                "service  : "
+                f"executed={service_stats['executed']} "
+                f"p50={service_stats['execute_p50_ms']}ms "
+                f"p95={service_stats['execute_p95_ms']}ms "
+                f"measured/estimated={service_stats['measured_over_estimated']}"
+            )
+    finally:
+        server.stop()
+
+
+if __name__ == "__main__":
+    main()

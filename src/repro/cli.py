@@ -6,7 +6,9 @@ Subcommands:
   generated database, printing the chosen plan and the answers;
 * ``explain QUERY_FILE`` — optimize only: plan tree, candidate costs,
   per-node cost breakdown;
-* ``demo``               — the paper's Figure 3 walkthrough.
+* ``demo``               — the paper's Figure 3 walkthrough;
+* ``serve``              — long-running TCP query service with a plan
+  cache, admission control and metrics (see ``docs/service.md``).
 
 The database is synthetic and parameterized from the command line
 (``--db music`` or ``--db parts``); queries are written in the OQL-like
@@ -106,6 +108,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo_parser = sub.add_parser("demo", help="run the paper's Figure 3 demo")
     add_common(demo_parser)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="serve queries over TCP with a plan cache and admission control",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=7654, help="0 picks an ephemeral port"
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=8, help="protocol worker threads"
+    )
+    serve_parser.add_argument(
+        "--cache-size", type=int, default=64, help="plan cache capacity"
+    )
+    serve_parser.add_argument(
+        "--drift-ratio",
+        type=float,
+        default=0.5,
+        help="re-optimize a cached plan when its re-costed estimate "
+        "drifts beyond this fraction",
+    )
+    serve_parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="reject queries whose estimated cost exceeds this budget",
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default per-query timeout in seconds",
+    )
+    serve_parser.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=4,
+        help="execution slots before requests queue",
+    )
+    add_common(serve_parser)
     return parser
 
 
@@ -202,6 +245,42 @@ def cmd_explain(args, out) -> int:
     return 0
 
 
+def cmd_serve(args, out, server_box=None) -> int:
+    """Start the query service and block until a client sends
+    ``shutdown`` (or the process is interrupted).
+
+    ``server_box`` is a test hook: when given a list, the started
+    :class:`~repro.service.server.QueryServer` is appended to it so the
+    caller can reach the bound port and stop the server."""
+    from repro.service import QueryServer, QueryService, ServiceConfig
+
+    db = _build_database(args)
+    service = QueryService(
+        db,
+        ServiceConfig(
+            cache_capacity=args.cache_size,
+            drift_ratio=args.drift_ratio,
+            cost_budget=args.budget,
+            default_timeout=args.timeout,
+            max_concurrent=args.max_concurrent,
+        ),
+    )
+    server = QueryServer(
+        service, host=args.host, port=args.port, max_workers=args.workers
+    )
+    if server_box is not None:
+        server_box.append(server)
+    print(f"serving {args.db} database on {server.address}", file=out, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.stop()
+    print("server stopped", file=out, flush=True)
+    return 0
+
+
 def cmd_demo(args, out) -> int:
     import tempfile
 
@@ -224,6 +303,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return cmd_explain(args, out)
         if args.command == "demo":
             return cmd_demo(args, out)
+        if args.command == "serve":
+            return cmd_serve(args, out)
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

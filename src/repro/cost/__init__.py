@@ -14,6 +14,7 @@ from repro.cost.cardinality import (
 )
 from repro.cost.model import CostReport, DetailedCostModel
 from repro.cost.params import CostParameters, SimplifiedParameters
+from repro.cost.recost import recost_plan, recost_report
 from repro.cost.simplified import CostRow, SimplifiedCostModel, Size
 from repro.cost.symbolic import Sym, as_sym, sym
 
@@ -30,6 +31,8 @@ __all__ = [
     "DetailedCostModel",
     "CostParameters",
     "SimplifiedParameters",
+    "recost_plan",
+    "recost_report",
     "CostRow",
     "SimplifiedCostModel",
     "Size",

@@ -1,0 +1,49 @@
+"""Re-costing an existing processing tree without re-searching.
+
+The optimizer's search produces a PT costed against the statistics in
+force at optimization time.  A serving layer that caches PTs needs the
+converse operation: given an already-chosen PT and the *current*
+physical schema/statistics, what would this plan cost now?  That is a
+single bottom-up pass of the Figure 5 formulas — no rewrite, no
+generatePT enumeration, no transformPT candidates — so it is cheap
+enough to run on every cache hit and drive cost-drift invalidation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cost.model import CostReport, DetailedCostModel
+from repro.physical.schema import PhysicalSchema
+from repro.plans.nodes import PlanNode
+
+__all__ = ["recost_plan", "recost_report"]
+
+
+def recost_plan(
+    plan: PlanNode,
+    physical: PhysicalSchema,
+    cost_model: Optional[DetailedCostModel] = None,
+    refresh_stats: bool = False,
+) -> float:
+    """Cost ``plan`` under the current statistics of ``physical``.
+
+    ``refresh_stats=True`` forces an ANALYZE-style statistics
+    recollection first (use after bulk-loading data); otherwise the
+    schema's current (lazily collected) statistics are used.
+    """
+    if refresh_stats:
+        physical.refresh_statistics()
+    model = cost_model or DetailedCostModel(physical)
+    return model.cost(plan)
+
+
+def recost_report(
+    plan: PlanNode,
+    physical: PhysicalSchema,
+    refresh_stats: bool = False,
+) -> CostReport:
+    """Like :func:`recost_plan` but returns the per-node breakdown."""
+    if refresh_stats:
+        physical.refresh_statistics()
+    return DetailedCostModel(physical).report(plan)

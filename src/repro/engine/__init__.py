@@ -1,6 +1,7 @@
 """Execution engine: plan evaluator, semi-naive fixpoint, reference
 (ground-truth) evaluator and runtime metrics."""
 
+from repro.engine.cancel import CancellationToken
 from repro.engine.eval_expr import (
     Binding,
     ExpressionEvaluator,
@@ -14,6 +15,7 @@ from repro.engine.reference import ReferenceEvaluator
 
 __all__ = [
     "Binding",
+    "CancellationToken",
     "ExpressionEvaluator",
     "canonical_row",
     "normalize_value",

@@ -1,0 +1,68 @@
+"""Cooperative cancellation of running plan evaluations.
+
+The semi-naive fixpoint loop can run for a long time (deep recursions,
+large deltas), and a serving layer needs to bound it: a
+:class:`CancellationToken` carries an optional wall-clock deadline and
+an explicit cancel flag, and the engine polls it at safe points — each
+fixpoint iteration, every batch of materialized tuples, every batch of
+scanned records.  Cancellation is *graceful*: the check raises inside
+the evaluation, the engine's normal cleanup drops the temporaries it
+created, and the store is left consistent.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.errors import ExecutionCancelled, ExecutionTimeout
+
+__all__ = ["CancellationToken", "CHECK_INTERVAL"]
+
+#: How many tuples the engine processes between token polls; polling is
+#: two attribute reads plus (rarely) a clock call, so a small interval
+#: keeps cancellation latency low without measurable overhead.
+CHECK_INTERVAL = 128
+
+
+class CancellationToken:
+    """A cancel flag plus an optional deadline, polled by the engine.
+
+    ``timeout`` is in seconds from token creation; ``clock`` is
+    injectable for tests (defaults to :func:`time.monotonic`).
+    """
+
+    def __init__(
+        self,
+        timeout: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._clock = clock
+        self.deadline = clock() + timeout if timeout is not None else None
+        self.timeout = timeout
+        self._cancelled = False
+        self.reason: Optional[str] = None
+
+    def cancel(self, reason: str = "cancelled by caller") -> None:
+        """Request cancellation (thread-safe: a plain flag write)."""
+        self._cancelled = True
+        self.reason = reason
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and self._clock() > self.deadline
+
+    def check(self) -> None:
+        """Raise if cancelled or past the deadline; otherwise no-op."""
+        if self._cancelled:
+            raise ExecutionCancelled(
+                f"query cancelled: {self.reason or 'cancelled'}"
+            )
+        if self.deadline is not None and self._clock() > self.deadline:
+            raise ExecutionTimeout(
+                f"query exceeded its {self.timeout:.3f}s timeout"
+            )

@@ -19,6 +19,7 @@ import math
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import ExecutionError
+from repro.engine.cancel import CHECK_INTERVAL, CancellationToken
 from repro.engine.eval_expr import (
     Binding,
     ExpressionEvaluator,
@@ -85,8 +86,12 @@ class Engine:
     ) -> None:
         self.physical = physical
         self.store = physical.store
+        #: Safety cap on semi-naive iterations per Fix; exceeding it
+        #: raises :class:`repro.errors.FixpointLimitError` instead of
+        #: looping unbounded on pathological cyclic data.
         self.max_fix_iterations = max_fix_iterations
         self.keep_temps = keep_temps
+        self.cancel_token: Optional["CancellationToken"] = None
         self.metrics = RuntimeMetrics()
         self._evaluator: Optional[ExpressionEvaluator] = None
         self._temps_created: List[str] = []
@@ -98,10 +103,23 @@ class Engine:
 
     # -- public API -------------------------------------------------------------
 
-    def execute(self, plan: PlanNode, validate: bool = True) -> ExecutionResult:
-        """Evaluate a plan; returns rows plus runtime metrics."""
+    def execute(
+        self,
+        plan: PlanNode,
+        validate: bool = True,
+        cancel: Optional["CancellationToken"] = None,
+    ) -> ExecutionResult:
+        """Evaluate a plan; returns rows plus runtime metrics.
+
+        ``cancel`` is an optional :class:`~repro.engine.cancel.CancellationToken`
+        polled at safe points; when it fires, the evaluation raises
+        :class:`~repro.errors.ExecutionCancelled` (or
+        :class:`~repro.errors.ExecutionTimeout`) after dropping the
+        temporaries it created — the store stays consistent.
+        """
         if validate:
             validate_plan(plan, self.physical)
+        self.cancel_token = cancel
         self.metrics = RuntimeMetrics()
         self._evaluator = ExpressionEvaluator(
             self.store, self.metrics, self._resolve_method, charged=True
@@ -129,6 +147,11 @@ class Engine:
         be dropped afterwards (unless ``keep_temps``)."""
         self._temps_created.append(name)
 
+    def check_cancelled(self) -> None:
+        """Poll the cancellation token (no-op when none is set)."""
+        if self.cancel_token is not None:
+            self.cancel_token.check()
+
     def _resolve_method(self, entity: str, attribute: str):
         if self.physical.catalog is None or not self.physical.has_entity(entity):
             return None
@@ -151,7 +174,9 @@ class Engine:
         if evaluator is None:
             raise ExecutionError("iterate() called outside execute()")
         if isinstance(node, (EntityLeaf, TempLeaf)):
-            for record in self.store.scan(node.entity):
+            for scanned, record in enumerate(self.store.scan(node.entity)):
+                if scanned % CHECK_INTERVAL == 0:
+                    self.check_cancelled()
                 self.metrics.count_tuple("scan")
                 yield {node.var: record}
             return

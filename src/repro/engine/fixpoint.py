@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Set, Tuple
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, FixpointLimitError
+from repro.engine.cancel import CHECK_INTERVAL
 from repro.engine.eval_expr import Binding, normalize_value
 from repro.physical.storage import StoredRecord
 from repro.plans.nodes import Fix, PlanNode, RecLeaf, UnionOp
@@ -82,7 +83,9 @@ def run_fixpoint(engine, fix: Fix, delta_env: Dict[str, List[StoredRecord]]) -> 
 
     def materialize(bindings: Iterator[Binding]) -> List[StoredRecord]:
         fresh: List[StoredRecord] = []
-        for binding in bindings:
+        for produced, binding in enumerate(bindings):
+            if produced % CHECK_INTERVAL == 0:
+                engine.check_cancelled()
             values = {
                 key: normalize_value(value) for key, value in binding.items()
             }
@@ -104,11 +107,8 @@ def run_fixpoint(engine, fix: Fix, delta_env: Dict[str, List[StoredRecord]]) -> 
     while delta:
         iterations += 1
         if iterations > engine.max_fix_iterations:
-            raise ExecutionError(
-                f"Fix({fix.name}) exceeded {engine.max_fix_iterations} "
-                "iterations; the recursion may be divergent (e.g. a "
-                "computed field growing along a cyclic reference chain)"
-            )
+            raise FixpointLimitError(fix.name, engine.max_fix_iterations)
+        engine.check_cancelled()
         engine.metrics.fix_iterations += 1
         next_delta: List[StoredRecord] = []
         inner_env = dict(delta_env)

@@ -119,6 +119,57 @@ class ExecutionError(ReproError):
     """A plan failed while being evaluated against the store."""
 
 
+class FixpointLimitError(ExecutionError):
+    """A semi-naive fixpoint exceeded the engine's iteration cap.
+
+    Raised instead of looping unbounded on pathological cyclic data
+    (e.g. a computed field growing along a cyclic reference chain).
+    """
+
+    def __init__(self, name: str, limit: int) -> None:
+        super().__init__(
+            f"Fix({name}) exceeded {limit} iterations; the recursion may "
+            "be divergent (e.g. a computed field growing along a cyclic "
+            "reference chain). Raise Engine(max_fix_iterations=...) if the "
+            "recursion is legitimately this deep."
+        )
+        self.name = name
+        self.limit = limit
+
+
+class ExecutionCancelled(ExecutionError):
+    """Plan evaluation was cancelled through a cancellation token."""
+
+
+class ExecutionTimeout(ExecutionCancelled):
+    """Plan evaluation exceeded its per-query deadline."""
+
+
+# ---------------------------------------------------------------------------
+# Query service
+# ---------------------------------------------------------------------------
+
+class ServiceError(ReproError):
+    """Base class for query-service failures."""
+
+
+class AdmissionError(ServiceError):
+    """A request was refused by admission control.
+
+    ``reason`` is ``"over_budget"`` (estimated cost exceeds the
+    configured budget) or ``"queue_full"`` (no execution slot became
+    free within the queue timeout).
+    """
+
+    def __init__(self, message: str, reason: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class ProtocolError(ServiceError):
+    """A malformed request or response on the service wire protocol."""
+
+
 # ---------------------------------------------------------------------------
 # Query language
 # ---------------------------------------------------------------------------

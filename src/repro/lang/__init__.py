@@ -1,11 +1,14 @@
 """OQL-like query-language front-end: text → query graphs."""
 
+from repro.lang.canonical import canonical_program, canonical_text
 from repro.lang.compile import FunctionRegistry, compile_program, compile_text
 from repro.lang.lexer import Token, tokenize
 from repro.lang.parser import Parser, parse
 
 __all__ = [
     "FunctionRegistry",
+    "canonical_program",
+    "canonical_text",
     "compile_program",
     "compile_text",
     "Token",

@@ -1,0 +1,39 @@
+"""Query service: concurrent serving on top of the optimizer/engine.
+
+Amortizes the paper's cost-controlled search across repeated queries:
+a stats-aware LRU plan cache (:mod:`~repro.service.plan_cache`),
+admission control with cost budgets and per-query timeouts
+(:mod:`~repro.service.admission`), a line-JSON TCP protocol
+(:mod:`~repro.service.protocol`, :mod:`~repro.service.server`,
+:mod:`~repro.service.client`) and a service-level metrics registry
+(:mod:`~repro.service.metrics`).  See ``docs/service.md``.
+"""
+
+from repro.service.admission import AdmissionController, AdmissionPolicy
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.metrics import QueryRecord, ServiceMetrics
+from repro.service.plan_cache import (
+    CachedPlan,
+    LookupResult,
+    PlanCache,
+    schema_fingerprint,
+    stats_fingerprint,
+)
+from repro.service.server import QueryServer, QueryService, ServiceConfig
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "ServiceClient",
+    "ServiceClientError",
+    "QueryRecord",
+    "ServiceMetrics",
+    "CachedPlan",
+    "LookupResult",
+    "PlanCache",
+    "schema_fingerprint",
+    "stats_fingerprint",
+    "QueryServer",
+    "QueryService",
+    "ServiceConfig",
+]

@@ -1,0 +1,145 @@
+"""Service-level metrics registry.
+
+Aggregates per-query :class:`~repro.engine.metrics.RuntimeMetrics` and
+the serving-layer counters a operator dashboard needs: cache hit ratio,
+optimize vs. execute latency, and estimated vs. measured cost (the
+Figure 5 validation, now tracked continuously in production instead of
+once per benchmark).  A bounded ring of recent per-query records
+supports the ``stats`` protocol request without unbounded growth.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.engine.metrics import RuntimeMetrics
+
+__all__ = ["QueryRecord", "ServiceMetrics"]
+
+
+@dataclass
+class QueryRecord:
+    """One served query, as remembered by the metrics ring."""
+
+    canonical: str
+    cache_status: str
+    estimated_cost: float
+    measured_cost: float
+    optimize_seconds: float
+    execute_seconds: float
+    rows: int
+
+    def to_dict(self) -> dict:
+        return {
+            "query": self.canonical,
+            "cache": self.cache_status,
+            "estimated_cost": round(self.estimated_cost, 2),
+            "measured_cost": round(self.measured_cost, 2),
+            "optimize_ms": round(self.optimize_seconds * 1000, 3),
+            "execute_ms": round(self.execute_seconds * 1000, 3),
+            "rows": self.rows,
+        }
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+class ServiceMetrics:
+    """Thread-safe aggregation of everything the service observes."""
+
+    def __init__(self, window: int = 256) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.executed = 0
+        self.errors = 0
+        self.timeouts = 0
+        self.cancelled = 0
+        self.rejected = 0
+        self.counters: Dict[str, int] = {}
+        self.optimize_seconds = 0.0
+        self.execute_seconds = 0.0
+        self.runtime = RuntimeMetrics()
+        self.recent: Deque[QueryRecord] = deque(maxlen=window)
+
+    # -- recording ----------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record_request(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def record_rejection(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_timeout(self) -> None:
+        with self._lock:
+            self.timeouts += 1
+
+    def record_cancel(self) -> None:
+        with self._lock:
+            self.cancelled += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def record_execution(
+        self,
+        record: QueryRecord,
+        runtime: Optional[RuntimeMetrics] = None,
+    ) -> None:
+        with self._lock:
+            self.executed += 1
+            self.optimize_seconds += record.optimize_seconds
+            self.execute_seconds += record.execute_seconds
+            if runtime is not None:
+                self.runtime.merge(runtime)
+            self.recent.append(record)
+
+    # -- reporting ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable summary for the ``stats`` request."""
+        with self._lock:
+            execute_times = [r.execute_seconds for r in self.recent]
+            ratios = [
+                r.measured_cost / r.estimated_cost
+                for r in self.recent
+                if r.estimated_cost > 0 and r.measured_cost > 0
+            ]
+            return {
+                "requests": self.requests,
+                "executed": self.executed,
+                "errors": self.errors,
+                "timeouts": self.timeouts,
+                "cancelled": self.cancelled,
+                "rejected": self.rejected,
+                "counters": dict(self.counters),
+                "optimize_seconds": round(self.optimize_seconds, 6),
+                "execute_seconds": round(self.execute_seconds, 6),
+                "execute_p50_ms": round(
+                    _percentile(execute_times, 0.50) * 1000, 3
+                ),
+                "execute_p95_ms": round(
+                    _percentile(execute_times, 0.95) * 1000, 3
+                ),
+                "measured_over_estimated": (
+                    round(sum(ratios) / len(ratios), 4) if ratios else None
+                ),
+                "fix_iterations": self.runtime.fix_iterations,
+                "page_reads": self.runtime.buffer.physical_reads,
+                "predicate_evals": self.runtime.predicate_evals,
+                "recent": [r.to_dict() for r in list(self.recent)[-10:]],
+            }

@@ -1,0 +1,451 @@
+"""The query service: an in-process core plus a socket front-end.
+
+:class:`QueryService` wraps the existing :class:`~repro.core.Optimizer`
+/ :class:`~repro.engine.Engine` stack into a long-running server loop:
+canonicalize → plan-cache probe (with cost-drift invalidation) →
+optimize on miss → admission control → execute under a cancellation
+token → record metrics.  It is fully usable in-process (tests,
+benchmarks, embedding); :class:`QueryServer` exposes it over TCP with
+the line-JSON protocol of :mod:`repro.service.protocol`, one thread per
+request via a ``ThreadPoolExecutor``.
+
+Concurrency model: the simulated object store (pages, buffer pool,
+temp registration) is a single shared mutable structure, so plan
+execution and optimization serialize on one store lock — like a
+single-writer storage engine behind a concurrent front door.  Parsing,
+canonicalization, protocol handling and queueing all overlap; the
+admission controller bounds how many requests may wait on the store at
+once.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.baselines import cost_controlled_optimizer
+from repro.cost.model import DetailedCostModel
+from repro.engine.cancel import CancellationToken
+from repro.engine.evaluator import Engine
+from repro.errors import ProtocolError, ReproError, ServiceError
+from repro.lang.compile import compile_text
+from repro.physical.storage import Oid, StoredRecord
+from repro.service import protocol
+from repro.service.admission import AdmissionController, AdmissionPolicy
+from repro.service.metrics import QueryRecord, ServiceMetrics
+from repro.service.plan_cache import PlanCache
+from repro.service.protocol import placeholder_names, substitute_params
+
+__all__ = ["ServiceConfig", "QueryService", "QueryServer"]
+
+
+@dataclass
+class ServiceConfig:
+    """All serving knobs in one place."""
+
+    cache_capacity: int = 64
+    #: Tolerated relative drift of a cached plan's estimate under fresh
+    #: statistics before the plan is re-optimized.
+    drift_ratio: float = 0.5
+    cost_budget: Optional[float] = None
+    max_concurrent: int = 4
+    queue_timeout: float = 5.0
+    default_timeout: Optional[float] = None
+    max_timeout: Optional[float] = None
+    max_fix_iterations: int = 256
+    metrics_window: int = 256
+    max_rows: Optional[int] = None
+
+
+@dataclass
+class Session:
+    """One client session: a namespace of prepared statements."""
+
+    id: str
+    statements: Dict[str, str] = field(default_factory=dict)
+    _counter: "itertools.count[int]" = field(
+        default_factory=lambda: itertools.count(1)
+    )
+
+    def prepare(self, text: str) -> str:
+        statement_id = f"s{next(self._counter)}"
+        self.statements[statement_id] = text
+        return statement_id
+
+
+class QueryService:
+    """The serving core: cache, admission, metrics, sessions."""
+
+    def __init__(self, database, config: Optional[ServiceConfig] = None) -> None:
+        self.database = database
+        self.physical = database.physical
+        self.config = config or ServiceConfig()
+        self.cache = PlanCache(
+            capacity=self.config.cache_capacity,
+            drift_ratio=self.config.drift_ratio,
+        )
+        self.admission = AdmissionController(
+            AdmissionPolicy(
+                cost_budget=self.config.cost_budget,
+                max_concurrent=self.config.max_concurrent,
+                queue_timeout=self.config.queue_timeout,
+                default_timeout=self.config.default_timeout,
+                max_timeout=self.config.max_timeout,
+            )
+        )
+        self.metrics = ServiceMetrics(window=self.config.metrics_window)
+        self._sessions: Dict[str, Session] = {}
+        self._sessions_lock = threading.Lock()
+        #: Serializes every touch of the shared store/schema/statistics.
+        self._store_lock = threading.RLock()
+        self.started_at = time.time()
+
+    # -- sessions -----------------------------------------------------------
+
+    def open_session(self) -> str:
+        session = Session(uuid.uuid4().hex[:12])
+        with self._sessions_lock:
+            self._sessions[session.id] = session
+        return session.id
+
+    def close_session(self, session_id: str) -> bool:
+        with self._sessions_lock:
+            return self._sessions.pop(session_id, None) is not None
+
+    def _session(self, session_id: Optional[str]) -> Session:
+        if not session_id:
+            raise ProtocolError("this operation requires a session (hello first)")
+        with self._sessions_lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise ProtocolError(f"unknown session {session_id!r}")
+        return session
+
+    # -- prepared statements ------------------------------------------------
+
+    def prepare(self, session_id: Optional[str], text: str) -> dict:
+        session = self._session(session_id)
+        statement_id = session.prepare(text)
+        return {
+            "statement": statement_id,
+            "parameters": placeholder_names(text),
+        }
+
+    # -- the serving path ---------------------------------------------------
+
+    def run_query(
+        self,
+        text: str,
+        params: Optional[dict] = None,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Serve one query text end to end; raises ReproError subclasses
+        on failure (the protocol layer maps them to error codes)."""
+        self.metrics.record_request()
+        try:
+            return self._run_query(text, params, timeout)
+        except ReproError as error:
+            self._count_failure(error)
+            raise
+
+    def _count_failure(self, error: ReproError) -> None:
+        from repro.errors import (
+            AdmissionError,
+            ExecutionCancelled,
+            ExecutionTimeout,
+        )
+
+        if isinstance(error, ExecutionTimeout):
+            self.metrics.record_timeout()
+        elif isinstance(error, ExecutionCancelled):
+            self.metrics.record_cancel()
+        elif isinstance(error, AdmissionError):
+            self.metrics.record_rejection()
+        else:
+            self.metrics.record_error()
+
+    def _run_query(
+        self,
+        text: str,
+        params: Optional[dict],
+        timeout: Optional[float],
+    ) -> dict:
+        substituted = substitute_params(text, params)
+        optimize_started = time.perf_counter()
+        with self._store_lock:
+            key = self.cache.key_for(substituted, self.physical)
+            lookup = self.cache.lookup(key, self.physical)
+            if lookup.entry is not None:
+                plan, estimated = lookup.entry.plan, lookup.entry.cost
+                plans_costed = 0
+            else:
+                graph = compile_text(substituted, self.database.catalog)
+                result = cost_controlled_optimizer(self.physical).optimize(graph)
+                plan, estimated = result.plan, result.cost
+                plans_costed = result.plans_costed
+                self.cache.store(key, plan, estimated, self.physical)
+        optimize_elapsed = time.perf_counter() - optimize_started
+        self.metrics.count(f"cache_{lookup.status}")
+
+        self.admission.admit(estimated)
+        effective_timeout = self.admission.effective_timeout(timeout)
+        token = CancellationToken(effective_timeout)
+        with self.admission.slot():
+            execute_started = time.perf_counter()
+            with self._store_lock:
+                engine = Engine(
+                    self.physical,
+                    max_fix_iterations=self.config.max_fix_iterations,
+                )
+                execution = engine.execute(plan, cancel=token)
+            execute_elapsed = time.perf_counter() - execute_started
+
+        measured = execution.metrics.measured_cost()
+        record = QueryRecord(
+            canonical=key[0],
+            cache_status=lookup.status,
+            estimated_cost=estimated,
+            measured_cost=measured,
+            optimize_seconds=optimize_elapsed,
+            execute_seconds=execute_elapsed,
+            rows=len(execution.rows),
+        )
+        self.metrics.record_execution(record, execution.metrics)
+
+        rows = execution.rows
+        truncated = False
+        if self.config.max_rows is not None and len(rows) > self.config.max_rows:
+            rows = rows[: self.config.max_rows]
+            truncated = True
+        return {
+            "rows": [_jsonable_row(row) for row in rows],
+            "row_count": len(execution.rows),
+            "truncated": truncated,
+            "cache": lookup.status,
+            "estimated_cost": round(estimated, 2),
+            "measured_cost": round(measured, 2),
+            "plans_costed": plans_costed,
+            "optimize_ms": round(optimize_elapsed * 1000, 3),
+            "execute_ms": round(execute_elapsed * 1000, 3),
+            "fix_iterations": execution.metrics.fix_iterations,
+        }
+
+    def execute_statement(
+        self,
+        session_id: Optional[str],
+        statement_id: str,
+        params: Optional[dict] = None,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        session = self._session(session_id)
+        template = session.statements.get(statement_id)
+        if template is None:
+            raise ProtocolError(f"unknown statement {statement_id!r}")
+        return self.run_query(template, params, timeout)
+
+    # -- maintenance / observability ---------------------------------------
+
+    def refresh_statistics(self) -> dict:
+        """Re-ANALYZE the store (after data mutations); cached plans are
+        then subject to drift checks on their next lookup."""
+        with self._store_lock:
+            self.physical.refresh_statistics()
+        return {"refreshed": True}
+
+    def stats(self) -> dict:
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "service": self.metrics.snapshot(),
+            "cache": self.cache.snapshot(),
+            "admission": self.admission.snapshot(),
+        }
+
+    # -- protocol dispatch --------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """Serve one protocol request dict → response dict (never
+        raises; errors become ``ok: false`` responses)."""
+        try:
+            op = request.get("op")
+            if not isinstance(op, str):
+                raise ProtocolError("request must carry a string 'op'")
+            handler = getattr(self, f"_op_{op}", None)
+            if handler is None:
+                raise ProtocolError(f"unknown op {op!r}")
+            payload = handler(request)
+            response = {"ok": True}
+            response.update(payload)
+            return response
+        except ReproError as error:
+            return protocol.error_response(
+                protocol.error_code_for(error), str(error)
+            )
+        except Exception as error:  # pragma: no cover - defensive
+            self.metrics.record_error()
+            return protocol.error_response(protocol.INTERNAL, str(error))
+
+    def _op_ping(self, request: dict) -> dict:
+        return {"pong": True}
+
+    def _op_hello(self, request: dict) -> dict:
+        return {"session": self.open_session()}
+
+    def _op_close(self, request: dict) -> dict:
+        return {"closed": self.close_session(request.get("session") or "")}
+
+    def _op_query(self, request: dict) -> dict:
+        text = request.get("text")
+        if not isinstance(text, str):
+            raise ProtocolError("query requires a string 'text'")
+        return self.run_query(
+            text, request.get("params"), _timeout_field(request)
+        )
+
+    def _op_prepare(self, request: dict) -> dict:
+        text = request.get("text")
+        if not isinstance(text, str):
+            raise ProtocolError("prepare requires a string 'text'")
+        return self.prepare(request.get("session"), text)
+
+    def _op_execute(self, request: dict) -> dict:
+        statement = request.get("statement")
+        if not isinstance(statement, str):
+            raise ProtocolError("execute requires a string 'statement'")
+        return self.execute_statement(
+            request.get("session"),
+            statement,
+            request.get("params"),
+            _timeout_field(request),
+        )
+
+    def _op_stats(self, request: dict) -> dict:
+        return self.stats()
+
+    def _op_refresh_stats(self, request: dict) -> dict:
+        return self.refresh_statistics()
+
+
+def _timeout_field(request: dict) -> Optional[float]:
+    timeout = request.get("timeout")
+    if timeout is None:
+        return None
+    if not isinstance(timeout, (int, float)) or timeout <= 0:
+        raise ProtocolError("timeout must be a positive number of seconds")
+    return float(timeout)
+
+
+def _jsonable_row(row: dict) -> dict:
+    return {key: _jsonable(value) for key, value in row.items()}
+
+
+def _jsonable(value):
+    if isinstance(value, StoredRecord):
+        return {"oid": str(value.oid), **_jsonable_row(value.values)}
+    if isinstance(value, Oid):
+        return str(value)
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+class QueryServer:
+    """TCP front door: line-JSON protocol over a listening socket."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 8,
+        allow_shutdown: bool = True,
+    ) -> None:
+        self.service = service
+        self.allow_shutdown = allow_shutdown
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._stopping = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start accepting connections in a background thread."""
+        if self._accept_thread is not None:
+            raise ServiceError("server already started")
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def serve_forever(self) -> None:
+        """Start and block until :meth:`stop` is called."""
+        self.start()
+        self._stopping.wait()
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        self._pool.shutdown(wait=True)
+        self._listener.close()
+
+    # -- connection handling ------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                connection, _peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            self._pool.submit(self._serve_connection, connection)
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        try:
+            connection.settimeout(300)
+            reader = connection.makefile("rb")
+            while not self._stopping.is_set():
+                line = reader.readline(protocol.MAX_LINE_BYTES + 1)
+                if not line:
+                    break
+                response = self._serve_line(line)
+                shutdown = response.pop("_shutdown", False)
+                connection.sendall(protocol.encode(response))
+                if shutdown:
+                    self._stopping.set()
+                    break
+        except OSError:
+            pass  # client went away mid-request
+        finally:
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    def _serve_line(self, line: bytes) -> dict:
+        try:
+            request = protocol.decode(line)
+        except ProtocolError as error:
+            return protocol.error_response(protocol.PROTOCOL, str(error))
+        if request.get("op") == "shutdown":
+            if not self.allow_shutdown:
+                return protocol.error_response(
+                    protocol.PROTOCOL, "shutdown is disabled on this server"
+                )
+            return {"ok": True, "stopping": True, "_shutdown": True}
+        return self.service.handle(request)

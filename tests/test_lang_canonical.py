@@ -1,0 +1,99 @@
+"""Tests for query-text canonicalization (plan-cache keys)."""
+
+import pytest
+
+from repro.errors import LanguageError
+from repro.lang import canonical_text, compile_text, parse
+
+FIG3 = """
+view Influencer as
+  select [master: x.master, disciple: x, gen: 1] from x in Composer
+  union
+  select [master: i.master, disciple: x, gen: i.gen + 1]
+  from i in Influencer, x in Composer where i.disciple = x.master;
+
+select [name: i.disciple.name, gen: i.gen]
+from i in Influencer
+where i.master.name = "Bach" and i.gen >= 3;
+"""
+
+
+class TestEquivalence:
+    def test_whitespace_and_comments_are_erased(self):
+        squeezed = " ".join(FIG3.split())
+        commented = FIG3.replace(
+            "view Influencer", "-- the paper's closure\nview Influencer"
+        )
+        assert canonical_text(FIG3) == canonical_text(squeezed)
+        assert canonical_text(FIG3) == canonical_text(commented)
+
+    def test_alias_renaming(self):
+        renamed = """
+        view Influencer as
+          select [master: c.master, disciple: c, gen: 1] from c in Composer
+          union
+          select [master: inf.master, disciple: c, gen: inf.gen + 1]
+          from inf in Influencer, c in Composer where inf.disciple = c.master;
+
+        select [name: inf.disciple.name, gen: inf.gen]
+        from inf in Influencer
+        where inf.master.name = "Bach" and inf.gen >= 3;
+        """
+        assert canonical_text(FIG3) == canonical_text(renamed)
+
+    def test_double_equals_folds_to_equals(self):
+        assert canonical_text(
+            'select [n: x.name] from x in Composer where x.name == "Bach";'
+        ) == canonical_text(
+            'select [n: x.name] from x in Composer where x.name = "Bach";'
+        )
+
+    def test_different_constants_are_different(self):
+        a = 'select [n: x.name] from x in Composer where x.name = "Bach";'
+        b = 'select [n: x.name] from x in Composer where x.name = "Liszt";'
+        assert canonical_text(a) != canonical_text(b)
+
+    def test_different_structure_is_different(self):
+        a = "select [n: x.name] from x in Composer where x.gen >= 3;"
+        b = "select [n: x.name] from x in Composer where x.gen > 3;"
+        assert canonical_text(a) != canonical_text(b)
+
+
+class TestRoundTrip:
+    def test_idempotent(self):
+        once = canonical_text(FIG3)
+        assert canonical_text(once) == once
+
+    def test_canonical_form_reparses(self):
+        program = parse(canonical_text(FIG3))
+        assert program.views[0].name == "Influencer"
+
+    def test_canonical_form_compiles_identically(self, catalog):
+        graph_a = compile_text(FIG3, catalog)
+        graph_b = compile_text(canonical_text(FIG3), catalog)
+        assert set(graph_a.produced_names()) == set(graph_b.produced_names())
+
+    def test_operator_precedence_preserved(self):
+        text = "select [v: x.gen + 2 * 3] from x in Influencer;"
+        # 2 * 3 binds tighter; the canonical form must not reassociate.
+        assert "2 * 3" in canonical_text(text)
+        assert canonical_text(canonical_text(text)) == canonical_text(text)
+
+    def test_nested_boolean_grouping_preserved(self):
+        text = (
+            "select [n: x.name] from x in Composer "
+            'where (x.name = "Bach" or x.gen > 2) and x.gen < 9;'
+        )
+        canonical = canonical_text(text)
+        assert canonical_text(canonical) == canonical
+        assert "or" in canonical and "and" in canonical
+
+    def test_string_escapes_survive(self):
+        text = 'select [n: x.name] from x in Composer where x.name = "a\\"b";'
+        assert canonical_text(canonical_text(text)) == canonical_text(text)
+
+
+class TestErrors:
+    def test_garbage_raises_language_error(self):
+        with pytest.raises(LanguageError):
+            canonical_text("select from nothing")

@@ -1,0 +1,171 @@
+"""Tests for the stats-aware LRU plan cache (satellite: hit/miss on
+canonically-equal queries, LRU eviction order, drift invalidation)."""
+
+import pytest
+
+from repro.core.baselines import cost_controlled_optimizer
+from repro.lang import compile_text
+from repro.service.plan_cache import (
+    PlanCache,
+    schema_fingerprint,
+    stats_fingerprint,
+)
+from repro.workloads import MusicConfig, generate_music_database
+
+QUERY = 'select [name: x.name] from x in Composer where x.name = "Bach";'
+ALIASED = 'select [name: who.name]  from  who in Composer where who.name="Bach";'
+
+
+@pytest.fixture()
+def db():
+    db = generate_music_database(
+        MusicConfig(lineages=3, generations=5, works_per_composer=2, seed=11)
+    )
+    db.build_paper_indexes()
+    return db
+
+
+def optimize(db, text):
+    graph = compile_text(text, db.catalog)
+    return cost_controlled_optimizer(db.physical).optimize(graph)
+
+
+def seed_cache(cache, db, text):
+    key = cache.key_for(text, db.physical)
+    result = optimize(db, text)
+    cache.store(key, result.plan, result.cost, db.physical)
+    return key, result
+
+
+class TestHitMiss:
+    def test_cold_lookup_is_miss(self, db):
+        cache = PlanCache()
+        lookup = cache.lookup(cache.key_for(QUERY, db.physical), db.physical)
+        assert lookup.status == "miss"
+        assert lookup.entry is None
+
+    def test_hit_after_store(self, db):
+        cache = PlanCache()
+        key, result = seed_cache(cache, db, QUERY)
+        lookup = cache.lookup(key, db.physical)
+        assert lookup.status == "hit"
+        assert lookup.entry.plan is result.plan
+        assert cache.stats.hits == 1 and cache.stats.hit_ratio == 1.0
+
+    def test_whitespace_and_alias_variants_share_a_key(self, db):
+        cache = PlanCache()
+        key, _result = seed_cache(cache, db, QUERY)
+        variant_key = cache.key_for(ALIASED, db.physical)
+        assert variant_key == key
+        assert cache.lookup(variant_key, db.physical).status == "hit"
+
+    def test_different_constant_misses(self, db):
+        cache = PlanCache()
+        seed_cache(cache, db, QUERY)
+        other = cache.key_for(QUERY.replace("Bach", "Liszt"), db.physical)
+        assert cache.lookup(other, db.physical).status == "miss"
+
+    def test_index_build_changes_schema_fingerprint(self, db):
+        cache = PlanCache()
+        key_before = cache.key_for(QUERY, db.physical)
+        db.physical.build_selection_index("Composer", "birthyear")
+        key_after = cache.key_for(QUERY, db.physical)
+        # A new index changes the plan space: old entries must not match.
+        assert key_before != key_after
+
+
+class TestLRU:
+    def test_eviction_order(self, db):
+        cache = PlanCache(capacity=2)
+        key_a, _ = seed_cache(cache, db, QUERY)
+        key_b, _ = seed_cache(cache, db, QUERY.replace("Bach", "Liszt"))
+        # Touch A so B becomes the least recently used.
+        assert cache.lookup(key_a, db.physical).status == "hit"
+        key_c, _ = seed_cache(cache, db, QUERY.replace("Bach", "Chopin"))
+        assert len(cache) == 2
+        assert cache.lookup(key_b, db.physical).status == "miss"
+        assert cache.lookup(key_a, db.physical).status == "hit"
+        assert cache.lookup(key_c, db.physical).status == "hit"
+        assert cache.stats.evictions == 1
+
+    def test_restore_replaces_in_place(self, db):
+        cache = PlanCache(capacity=2)
+        key, result = seed_cache(cache, db, QUERY)
+        cache.store(key, result.plan, result.cost + 1, db.physical)
+        assert len(cache) == 1
+
+
+class TestDriftInvalidation:
+    def _grow_composers(self, db, count):
+        for index in range(count):
+            db.store.insert(
+                "Composer",
+                {
+                    "name": f"grown_{index:04d}",
+                    "birthyear": 1900,
+                    "master": None,
+                    "works": (),
+                },
+            )
+        db.physical.refresh_statistics()
+
+    def test_stats_fingerprint_tracks_data(self, db):
+        before = stats_fingerprint(db.physical)
+        assert stats_fingerprint(db.physical) == before  # deterministic
+        self._grow_composers(db, 5)
+        assert stats_fingerprint(db.physical) != before
+
+    def test_schema_fingerprint_ignores_data(self, db):
+        before = schema_fingerprint(db.physical)
+        self._grow_composers(db, 5)
+        assert schema_fingerprint(db.physical) == before
+
+    def test_small_drift_revalidates_in_place(self, db):
+        cache = PlanCache(drift_ratio=100.0)
+        key, result = seed_cache(cache, db, QUERY)
+        self._grow_composers(db, 10)
+        lookup = cache.lookup(key, db.physical)
+        assert lookup.status == "revalidated"
+        assert lookup.entry.plan is result.plan
+        assert lookup.recost is not None
+        # The entry was updated: the next probe with unchanged stats is
+        # a plain hit at the fresh cost.
+        again = cache.lookup(key, db.physical)
+        assert again.status == "hit"
+        assert again.entry.cost == pytest.approx(lookup.recost)
+
+    def test_large_drift_invalidates(self, db):
+        cache = PlanCache(drift_ratio=0.05)
+        # A scan-shaped query: its cost scales with |Composer|, unlike
+        # the indexed name lookup whose cost stays flat as data grows.
+        scan_query = (
+            "select [name: x.name] from x in Composer "
+            "where x.birthyear >= 1700;"
+        )
+        key, _result = seed_cache(cache, db, scan_query)
+        self._grow_composers(db, 500)
+        lookup = cache.lookup(key, db.physical)
+        assert lookup.status == "drifted"
+        assert lookup.entry is None
+        assert cache.stats.invalidations == 1
+        assert len(cache) == 0
+        # Re-optimizing under the new statistics repopulates the cache.
+        key2, _ = seed_cache(cache, db, scan_query)
+        assert cache.lookup(key2, db.physical).status == "hit"
+
+    def test_invalidate_all(self, db):
+        cache = PlanCache()
+        seed_cache(cache, db, QUERY)
+        seed_cache(cache, db, QUERY.replace("Bach", "Liszt"))
+        assert cache.invalidate_all() == 2
+        assert len(cache) == 0
+
+
+class TestValidation:
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_bad_drift_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(drift_ratio=-0.1)
