@@ -115,6 +115,28 @@ def test_strategy_report(comparison, benchmark, report, table):
             ],
             rows,
         ),
+        data={
+            "comparisons": [
+                {
+                    "query": label,
+                    "controlled": {
+                        "plans_costed": controlled.plans_costed,
+                        "cost": round(controlled.cost, 2),
+                        "elapsed_ms": round(
+                            controlled.elapsed_seconds * 1000, 1
+                        ),
+                    },
+                    "exhaustive": {
+                        "plans_costed": exhaustive.plans_costed,
+                        "cost": round(exhaustive.cost, 2),
+                        "elapsed_ms": round(
+                            exhaustive.elapsed_seconds * 1000, 1
+                        ),
+                    },
+                }
+                for label, controlled, exhaustive in comparison
+            ],
+        },
     )
 
 

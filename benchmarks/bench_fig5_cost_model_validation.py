@@ -150,6 +150,18 @@ def test_fig5_rank_correlation(measurements, benchmark, report, table):
     report(
         "fig5_cost_model_validation",
         table(["operator", "lineages", "estimated", "measured"], table_rows),
+        data={
+            "spearman_rho": round(float(rho), 4),
+            "measurements": [
+                {
+                    "operator": name,
+                    "lineages": lineages,
+                    "estimated": round(est, 2),
+                    "measured": round(meas, 2),
+                }
+                for name, lineages, est, meas in measurements
+            ],
+        },
     )
     assert rho > 0.8, f"cost model does not track measurements (rho={rho:.3f})"
 

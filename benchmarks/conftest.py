@@ -4,24 +4,42 @@ Each benchmark regenerates one of the paper's figures/claims (see the
 experiment index in DESIGN.md).  Tables are written to
 ``benchmarks/results/<name>.txt`` (and echoed to stdout) so the
 regenerated artifacts survive the pytest run; the pytest-benchmark
-table itself carries the timing comparisons.
+table itself carries the timing comparisons.  Passing structured rows
+via ``data=`` additionally emits
+``benchmarks/results/BENCH_<name>.json`` — the machine-readable twin
+of the text table, for dashboards and regression tooling that should
+not scrape fixed-width text.
 """
 
 import io
+import json
 import os
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
-def write_report(name: str, text: str) -> str:
-    """Persist a regenerated table and echo it."""
+def write_json(name: str, payload) -> str:
+    """Persist a machine-readable benchmark result."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return path
+
+
+def write_report(name: str, text: str, data=None) -> str:
+    """Persist a regenerated table and echo it; with ``data``, also
+    write the ``BENCH_<name>.json`` machine-readable twin."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w") as handle:
         handle.write(text)
+    if data is not None:
+        write_json(name, data)
     print(f"\n===== {name} =====")
     print(text)
     return path
@@ -48,6 +66,11 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
 @pytest.fixture(scope="session")
 def report():
     return write_report
+
+
+@pytest.fixture(scope="session")
+def json_report():
+    return write_json
 
 
 @pytest.fixture(scope="session")

@@ -5,10 +5,15 @@ Subcommands:
 * ``run QUERY_FILE``     — optimize and execute a query against a
   generated database, printing the chosen plan and the answers;
 * ``explain QUERY_FILE`` — optimize only: plan tree, candidate costs,
-  per-node cost breakdown;
+  per-node cost breakdown; ``--analyze`` also executes the plan and
+  prints actual rows/cost/time next to each operator's estimates
+  (see ``docs/observability.md``);
+* ``trace QUERY_FILE``   — optimize and execute under the span tracer,
+  writing the trace as JSON or Chrome ``chrome://tracing`` format;
 * ``demo``               — the paper's Figure 3 walkthrough;
 * ``serve``              — long-running TCP query service with a plan
-  cache, admission control and metrics (see ``docs/service.md``).
+  cache, admission control and metrics (see ``docs/service.md``);
+  ``--metrics-port`` adds an HTTP ``/metrics`` Prometheus endpoint.
 
 The database is synthetic and parameterized from the command line
 (``--db music`` or ``--db parts``); queries are written in the OQL-like
@@ -104,7 +109,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the Section 4.6 symbolic cost table",
     )
+    explain_parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute the plan and print actual rows/cost/time "
+        "next to each operator's estimates",
+    )
+    explain_parser.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write the explain tree as JSON ('-' for stdout)",
+    )
     add_common(explain_parser)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="optimize and execute under the span tracer, writing the "
+        "trace to a file",
+    )
+    trace_parser.add_argument("query_file")
+    trace_parser.add_argument(
+        "-o",
+        "--output",
+        default="trace.json",
+        help="where to write the trace (default trace.json)",
+    )
+    trace_parser.add_argument(
+        "--format",
+        choices=["json", "chrome"],
+        default="chrome",
+        help="chrome (load in chrome://tracing / Perfetto) or plain json",
+    )
+    trace_parser.add_argument(
+        "--no-execute",
+        action="store_true",
+        help="trace optimization only, skip plan execution",
+    )
+    add_common(trace_parser)
 
     demo_parser = sub.add_parser("demo", help="run the paper's Figure 3 demo")
     add_common(demo_parser)
@@ -147,6 +189,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="execution slots before requests queue",
+    )
+    serve_parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="also serve HTTP GET /metrics (Prometheus text format) "
+        "on this port; 0 picks an ephemeral port",
+    )
+    serve_parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=1000.0,
+        help="log queries slower than this to the slow-query log "
+        "(0 disables)",
+    )
+    serve_parser.add_argument(
+        "--misestimate-ratio",
+        type=float,
+        default=10.0,
+        help="log queries whose measured cost diverges from the "
+        "estimate by more than this factor (0 disables)",
     )
     add_common(serve_parser)
     return parser
@@ -227,8 +290,43 @@ def cmd_run(args, out) -> int:
 
 
 def cmd_explain(args, out) -> int:
-    db, result = _optimize(args, _read_query(args), out)
-    model = DetailedCostModel(db.physical)
+    import json
+
+    from repro.obs import PlanProfiler, build_explain, render_explain
+
+    db = _build_database(args)
+    graph = compile_text(_read_query(args), db.catalog)
+    optimizer = _optimizer(args, db.physical)
+    result = optimizer.optimize(graph)
+    model = optimizer.cost_model
+    profiler = None
+    execution = None
+    if args.analyze:
+        profiler = PlanProfiler()
+        execution = Engine(db.physical).execute(result.plan, profiler=profiler)
+    tree = build_explain(result.plan, model, profiler)
+    title = "=== plan (EXPLAIN ANALYZE) ===" if args.analyze else "=== plan ==="
+    print(title, file=out)
+    print(render_explain(tree), file=out)
+    print(file=out)
+    print(f"estimated cost : {result.cost:.1f}", file=out)
+    print(f"plans costed   : {result.plans_costed}", file=out)
+    print(f"pushed through recursion: {result.chose_push()}", file=out)
+    if result.candidates:
+        print("candidates:", file=out)
+        for description, cost in result.candidates:
+            print(f"  {cost:10.1f}  {description}", file=out)
+    if execution is not None:
+        metrics = execution.metrics
+        print(file=out)
+        print(
+            f"actuals: {len(execution.rows)} rows, "
+            f"{metrics.buffer.physical_reads} page reads, "
+            f"{metrics.predicate_evals} predicate evals, "
+            f"{metrics.fix_iterations} fixpoint iterations, "
+            f"measured cost {metrics.measured_cost():.1f}",
+            file=out,
+        )
     report = model.report(result.plan)
     print(file=out)
     print("=== cost breakdown (detailed model) ===", file=out)
@@ -242,6 +340,52 @@ def cmd_explain(args, out) -> int:
         simplified = SimplifiedCostModel(db.physical)
         for row in simplified.table(result.plan, symbolic=True):
             print(f"  {row.label:>4} [{row.section:>8}] {row.formula!r}", file=out)
+    if args.json:
+        payload = json.dumps(tree.to_dict(), indent=2)
+        if args.json == "-":
+            print(payload, file=out)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(payload + "\n")
+            print(f"explain tree written to {args.json}", file=out)
+    return 0
+
+
+def cmd_trace(args, out) -> int:
+    import json
+
+    from repro.obs import PlanProfiler, Tracer
+
+    db = _build_database(args)
+    graph = compile_text(_read_query(args), db.catalog)
+    optimizer = _optimizer(args, db.physical)
+    tracer = Tracer()
+    with tracer.span("optimize"):
+        result = optimizer.optimize(graph, tracer=tracer)
+    profiler = None
+    if not args.no_execute:
+        profiler = PlanProfiler()
+        with tracer.span("execute"):
+            execution = Engine(db.physical).execute(
+                result.plan, profiler=profiler
+            )
+        print(f"{len(execution.rows)} rows", file=out)
+    if args.format == "chrome":
+        payload = tracer.to_chrome_trace()
+    else:
+        payload = tracer.to_dict()
+        if profiler is not None:
+            payload["profile"] = profiler.to_dict()
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    spans = len(tracer.spans)
+    events = sum(len(span.events) for span in tracer.spans)
+    print(
+        f"trace written to {args.output} "
+        f"({spans} spans, {events} events, format={args.format})",
+        file=out,
+    )
     return 0
 
 
@@ -250,9 +394,16 @@ def cmd_serve(args, out, server_box=None) -> int:
     ``shutdown`` (or the process is interrupted).
 
     ``server_box`` is a test hook: when given a list, the started
-    :class:`~repro.service.server.QueryServer` is appended to it so the
-    caller can reach the bound port and stop the server."""
-    from repro.service import QueryServer, QueryService, ServiceConfig
+    :class:`~repro.service.server.QueryServer` (and, with
+    ``--metrics-port``, the :class:`~repro.service.server.MetricsServer`)
+    is appended to it so the caller can reach the bound ports and stop
+    the servers."""
+    from repro.service import (
+        MetricsServer,
+        QueryServer,
+        QueryService,
+        ServiceConfig,
+    )
 
     db = _build_database(args)
     service = QueryService(
@@ -263,20 +414,40 @@ def cmd_serve(args, out, server_box=None) -> int:
             cost_budget=args.budget,
             default_timeout=args.timeout,
             max_concurrent=args.max_concurrent,
+            slow_query_seconds=(
+                args.slow_query_ms / 1000.0 if args.slow_query_ms else None
+            ),
+            misestimate_ratio=args.misestimate_ratio or None,
         ),
     )
     server = QueryServer(
         service, host=args.host, port=args.port, max_workers=args.workers
     )
+    metrics_server = None
+    if args.metrics_port is not None:
+        metrics_server = MetricsServer(
+            service, host=args.host, port=args.metrics_port
+        )
+        metrics_server.start()
     if server_box is not None:
         server_box.append(server)
+        if metrics_server is not None:
+            server_box.append(metrics_server)
     print(f"serving {args.db} database on {server.address}", file=out, flush=True)
+    if metrics_server is not None:
+        print(
+            f"metrics on http://{metrics_server.address}/metrics",
+            file=out,
+            flush=True,
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
     finally:
         server.stop()
+        if metrics_server is not None:
+            metrics_server.stop()
     print("server stopped", file=out, flush=True)
     return 0
 
@@ -301,6 +472,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return cmd_run(args, out)
         if args.command == "explain":
             return cmd_explain(args, out)
+        if args.command == "trace":
+            return cmd_trace(args, out)
         if args.command == "demo":
             return cmd_demo(args, out)
         if args.command == "serve":

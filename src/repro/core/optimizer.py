@@ -40,6 +40,7 @@ from repro.core.transform import transform_candidates
 from repro.core.translate import TranslatedNode, Translator, produced_shape
 from repro.cost.cardinality import TupleShape
 from repro.cost.model import DetailedCostModel
+from repro.obs.trace import NULL_TRACER
 from repro.physical.schema import PhysicalSchema
 from repro.plans.nodes import (
     EntityLeaf,
@@ -123,19 +124,35 @@ class Optimizer:
         self.cost_model = cost_model or DetailedCostModel(physical)
         self.config = config or OptimizerConfig()
         self._strategy = self.config.strategy or IterativeImprovement()
+        self._tracer = NULL_TRACER
 
     # -- public API --------------------------------------------------------------
 
-    def optimize(self, graph: QueryGraph) -> OptimizationResult:
+    def optimize(self, graph: QueryGraph, tracer=None) -> OptimizationResult:
         """Run the four optimization steps on a query graph and return
-        the chosen plan with its cost and decision provenance."""
+        the chosen plan with its cost and decision provenance.
+
+        ``tracer`` (a :class:`repro.obs.trace.Tracer`) records one span
+        per step — ``rewrite``, ``generatePT`` per produced name,
+        ``transformPT`` — with per-arc ``translate.arc`` events and one
+        ``transformPT.candidate`` / ``transformPT.push_comparison``
+        event per costed alternative."""
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        try:
+            return self._optimize(graph)
+        finally:
+            self._tracer = NULL_TRACER
+
+    def _optimize(self, graph: QueryGraph) -> OptimizationResult:
         started = time.perf_counter()
         trace: List[str] = []
-        if self.config.fold_nonrecursive_views:
-            from repro.core.fold import fold_views
+        with self._tracer.span("rewrite") as rewrite_span:
+            if self.config.fold_nonrecursive_views:
+                from repro.core.fold import fold_views
 
-            graph = fold_views(graph, trace)
-        rewritten = rewrite(graph, trace)
+                graph = fold_views(graph, trace)
+            rewritten = rewrite(graph, trace)
+            rewrite_span.set(actions=len(trace))
         shapes = self._produced_shapes(rewritten)
         translator = Translator(self.physical, shapes)
         generator = SPJGenerator(
@@ -150,9 +167,12 @@ class Optimizer:
         for name in order:
             if name == rewritten.answer:
                 continue
-            plan, costed = self._plan_for_name(
-                rewritten, name, translator, generator, producer_plans, shapes
-            )
+            with self._tracer.span("generatePT", node=name) as gen_span:
+                plan, costed = self._plan_for_name(
+                    rewritten, name, translator, generator, producer_plans,
+                    shapes,
+                )
+                gen_span.set(plans_costed=costed)
             producer_plans[name] = plan
             plans_costed += costed
 
@@ -163,12 +183,18 @@ class Optimizer:
         if not answer_parts:
             raise OptimizationError("no predicate node produces the answer")
         part_plans: List[PlanNode] = []
-        for answer_node in answer_parts:
-            translated = translator.translate_node(answer_node)
-            sources = self._sources_for(translated, producer_plans)
-            generated = generator.generate(translated, sources)
-            part_plans.append(generated.plan)
-            plans_costed += generated.candidates_considered
+        with self._tracer.span(
+            "generatePT", node=rewritten.answer
+        ) as gen_span:
+            answer_costed = 0
+            for answer_node in answer_parts:
+                translated = self._translate(translator, answer_node)
+                sources = self._sources_for(translated, producer_plans)
+                generated = generator.generate(translated, sources)
+                part_plans.append(generated.plan)
+                answer_costed += generated.candidates_considered
+            gen_span.set(plans_costed=answer_costed)
+        plans_costed += answer_costed
         answer_plan = part_plans[0]
         for part_plan in part_plans[1:]:
             answer_plan = UnionOp(answer_plan, part_plan)
@@ -181,6 +207,20 @@ class Optimizer:
         return OptimizationResult(
             plan, cost, candidates, plans_costed, trace, elapsed
         )
+
+    def _translate(self, translator: Translator, part: SPJNode) -> TranslatedNode:
+        """translate() one predicate node, tracing each arc's mapping."""
+        translated = translator.translate_node(part)
+        tracer = self._tracer
+        if tracer.enabled:
+            for arc in translated.arcs:
+                tracer.event(
+                    "translate.arc",
+                    arc=arc.name,
+                    entity=arc.entity,
+                    var=arc.root_var,
+                )
+        return translated
 
     # -- produced names ------------------------------------------------------------
 
@@ -245,7 +285,7 @@ class Optimizer:
         costed = 0
         part_plans: List[PlanNode] = []
         for part in parts:
-            translated = translator.translate_node(part)
+            translated = self._translate(translator, part)
             sources = self._sources_for(translated, producer_plans)
             generated = generator.generate(translated, sources)
             part_plans.append(generated.plan)
@@ -274,7 +314,7 @@ class Optimizer:
         costed = 0
         base_plans: List[PlanNode] = []
         for part in info.base_parts:
-            translated = translator.translate_node(part)
+            translated = self._translate(translator, part)
             sources = self._sources_for(translated, producer_plans)
             generated = generator.generate(translated, sources)
             base_plans.append(generated.plan)
@@ -291,7 +331,7 @@ class Optimizer:
 
         recursive_plans: List[PlanNode] = []
         for part, rec_var in zip(info.recursive_parts, info.recursive_variables):
-            translated = translator.translate_node(part)
+            translated = self._translate(translator, part)
             sources = self._sources_for(
                 translated, producer_plans, rec_name=name
             )
@@ -386,30 +426,63 @@ class Optimizer:
         self, plan: PlanNode
     ) -> Tuple[PlanNode, float, List[Tuple[str, float]], int]:
         policy = self.config.push_policy
+        tracer = self._tracer
         costed = 0
-        candidates = transform_candidates(plan)
-        if policy == "never":
-            candidates = [candidates[0]]
-        elif policy == "always":
-            # The deductive heuristic: take the most-pushed candidate
-            # (the last fixpoint of filter applications), ignoring cost.
-            candidates = [candidates[-1]]
-        scored: List[Tuple[str, PlanNode, float]] = []
-        for description, candidate in candidates:
-            if self.config.reoptimize and policy == "cost":
-                result = self._strategy.search(
-                    candidate,
-                    lambda p: self.cost_model.cost(p),
-                    self.physical,
+        with tracer.span("transformPT", policy=policy) as transform_span:
+            candidates = transform_candidates(plan)
+            if policy == "never":
+                candidates = [candidates[0]]
+            elif policy == "always":
+                # The deductive heuristic: take the most-pushed candidate
+                # (the last fixpoint of filter applications), ignoring cost.
+                candidates = [candidates[-1]]
+            scored: List[Tuple[str, PlanNode, float]] = []
+            for description, candidate in candidates:
+                if self.config.reoptimize and policy == "cost":
+                    result = self._strategy.search(
+                        candidate,
+                        lambda p: self.cost_model.cost(p),
+                        self.physical,
+                        tracer=tracer,
+                    )
+                    costed += result.plans_costed
+                    scored.append((description, result.plan, result.cost))
+                else:
+                    cost = self.cost_model.cost(candidate)
+                    costed += 1
+                    scored.append((description, candidate, cost))
+                if tracer.enabled:
+                    tracer.event(
+                        "transformPT.candidate",
+                        description=description,
+                        cost=scored[-1][2],
+                    )
+            scored.sort(key=lambda item: item[2])
+            best_description, best_plan, best_cost = scored[0]
+            if tracer.enabled:
+                no_push_cost = next(
+                    (c for d, _p, c in scored if d == "original"), None
                 )
-                costed += result.plans_costed
-                scored.append((description, result.plan, result.cost))
-            else:
-                cost = self.cost_model.cost(candidate)
-                costed += 1
-                scored.append((description, candidate, cost))
-        scored.sort(key=lambda item: item[2])
-        best_description, best_plan, best_cost = scored[0]
+                push_cost = min(
+                    (c for d, _p, c in scored if d != "original"),
+                    default=None,
+                )
+                if no_push_cost is not None and push_cost is not None:
+                    # The paper's central decision, made explicit: the
+                    # costed no-push plan against the best pushed one.
+                    tracer.event(
+                        "transformPT.push_comparison",
+                        no_push_cost=no_push_cost,
+                        push_cost=push_cost,
+                        chosen=best_description,
+                        chose_push=best_description != "original",
+                    )
+            transform_span.set(
+                chosen=best_description,
+                cost=best_cost,
+                candidates=len(scored),
+                plans_costed=costed,
+            )
         summary = [(description, cost) for description, _p, cost in scored]
         return best_plan, best_cost, summary, costed
 

@@ -65,7 +65,12 @@ class SearchStrategy:
         start: PlanNode,
         cost_fn: CostFn,
         physical: PhysicalSchema,
+        *,
+        tracer=None,
     ) -> SearchResult:
+        """Improve ``start``; ``tracer`` (when given and enabled)
+        receives one ``strategy.candidate`` event per costed move:
+        the action applied, cost before/after, accepted or not."""
         raise NotImplementedError
 
 
@@ -90,10 +95,16 @@ class IterativeImprovement(SearchStrategy):
         self.seed = seed
 
     def search(
-        self, start: PlanNode, cost_fn: CostFn, physical: PhysicalSchema
+        self,
+        start: PlanNode,
+        cost_fn: CostFn,
+        physical: PhysicalSchema,
+        *,
+        tracer=None,
     ) -> SearchResult:
         """Randomized descent with restarts from ``start``."""
         rng = random.Random(self.seed)
+        tracing = tracer is not None and tracer.enabled
         best_plan, best_cost = start, cost_fn(start)
         costed = 1
         taken: List[str] = []
@@ -106,7 +117,17 @@ class IterativeImprovement(SearchStrategy):
                 for description, candidate in options:
                     candidate_cost = cost_fn(candidate)
                     costed += 1
-                    if candidate_cost < current_cost:
+                    accepted = candidate_cost < current_cost
+                    if tracing:
+                        tracer.event(
+                            "strategy.candidate",
+                            strategy="II",
+                            move=description,
+                            cost_before=current_cost,
+                            cost_after=candidate_cost,
+                            accepted=accepted,
+                        )
+                    if accepted:
                         current, current_cost = candidate, candidate_cost
                         taken.append(description)
                         improved = True
@@ -136,10 +157,16 @@ class SimulatedAnnealing(SearchStrategy):
         self.seed = seed
 
     def search(
-        self, start: PlanNode, cost_fn: CostFn, physical: PhysicalSchema
+        self,
+        start: PlanNode,
+        cost_fn: CostFn,
+        physical: PhysicalSchema,
+        *,
+        tracer=None,
     ) -> SearchResult:
         """Anneal from ``start`` under geometric cooling."""
         rng = random.Random(self.seed)
+        tracing = tracer is not None and tracer.enabled
         current, current_cost = start, cost_fn(start)
         best_plan, best_cost = current, current_cost
         costed = 1
@@ -154,7 +181,21 @@ class SimulatedAnnealing(SearchStrategy):
                 candidate_cost = cost_fn(candidate)
                 costed += 1
                 delta = candidate_cost - current_cost
-                if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                accepted = (
+                    delta <= 0
+                    or rng.random() < math.exp(-delta / temperature)
+                )
+                if tracing:
+                    tracer.event(
+                        "strategy.candidate",
+                        strategy="SA",
+                        move=description,
+                        cost_before=current_cost,
+                        cost_after=candidate_cost,
+                        accepted=accepted,
+                        temperature=temperature,
+                    )
+                if accepted:
                     current, current_cost = candidate, candidate_cost
                     taken.append(description)
                     if current_cost < best_cost:
@@ -170,15 +211,20 @@ class TwoPhase(SearchStrategy):
         self.seed = seed
 
     def search(
-        self, start: PlanNode, cost_fn: CostFn, physical: PhysicalSchema
+        self,
+        start: PlanNode,
+        cost_fn: CostFn,
+        physical: PhysicalSchema,
+        *,
+        tracer=None,
     ) -> SearchResult:
         """Run II, then refine its result with low-temperature SA."""
         first = IterativeImprovement(restarts=2, seed=self.seed).search(
-            start, cost_fn, physical
+            start, cost_fn, physical, tracer=tracer
         )
         second = SimulatedAnnealing(
             initial_temperature=0.2, seed=self.seed + 1
-        ).search(first.plan, cost_fn, physical)
+        ).search(first.plan, cost_fn, physical, tracer=tracer)
         if second.cost <= first.cost:
             return SearchResult(
                 second.plan,
@@ -205,20 +251,36 @@ class ExhaustiveSearch(SearchStrategy):
         self.max_plans = max_plans
 
     def search(
-        self, start: PlanNode, cost_fn: CostFn, physical: PhysicalSchema
+        self,
+        start: PlanNode,
+        cost_fn: CostFn,
+        physical: PhysicalSchema,
+        *,
+        tracer=None,
     ) -> SearchResult:
         """Breadth-first closure of the move graph from ``start``."""
+        tracing = tracer is not None and tracer.enabled
         seen: Dict[PlanNode, float] = {start: cost_fn(start)}
         frontier: List[PlanNode] = [start]
         costed = 1
         while frontier and len(seen) < self.max_plans:
             next_frontier: List[PlanNode] = []
             for plan in frontier:
-                for _description, candidate in neighbors(plan, physical, self.extended_moves):
+                for description, candidate in neighbors(plan, physical, self.extended_moves):
                     if candidate in seen:
                         continue
+                    before = seen[plan]
                     seen[candidate] = cost_fn(candidate)
                     costed += 1
+                    if tracing:
+                        tracer.event(
+                            "strategy.candidate",
+                            strategy="exhaustive",
+                            move=description,
+                            cost_before=before,
+                            cost_after=seen[candidate],
+                            accepted=True,
+                        )
                     next_frontier.append(candidate)
                     if len(seen) >= self.max_plans:
                         break

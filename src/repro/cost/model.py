@@ -65,7 +65,7 @@ from repro.querygraph.predicates import (
     TruePredicate,
 )
 
-__all__ = ["CostReport", "DetailedCostModel"]
+__all__ = ["CostReport", "CapturedEstimate", "DetailedCostModel"]
 
 #: Fallback selectivity for a path-terminal equality whose value
 #: frequencies were not trackable.
@@ -85,6 +85,19 @@ class CostReport:
         return f"CostReport(total={self.total:.2f}, io={self.io:.2f}, cpu={self.cpu:.2f})"
 
 
+@dataclass
+class CapturedEstimate:
+    """Per-node estimate accumulated by :meth:`annotated_report`.
+
+    A node inside a ``Fix`` body is costed once per predicted
+    semi-naive iteration; ``cost`` and ``tuples`` sum over the visits,
+    matching the engine's accumulated per-node actuals."""
+
+    cost: float = 0.0
+    tuples: float = 0.0
+    visits: int = 0
+
+
 class DetailedCostModel:
     """Figure 5 over live statistics; see the module docstring."""
 
@@ -97,6 +110,9 @@ class DetailedCostModel:
         self.params = params or CostParameters()
         self.estimator = CardinalityEstimator(physical, self.params)
         self.stats = physical.statistics
+        #: When set (by :meth:`annotated_report`), ``_cost`` records a
+        #: :class:`CapturedEstimate` per node identity as it recurses.
+        self._capture: Optional[Dict[int, CapturedEstimate]] = None
 
     # -- public API ---------------------------------------------------------------
 
@@ -123,6 +139,21 @@ class DetailedCostModel:
         io, cpu = self._cost(plan, dict(delta_env or {}), rows)
         return CostReport(io + cpu, io, cpu, rows)
 
+    def annotated_report(
+        self,
+        plan: PlanNode,
+        delta_env: Optional[Dict[str, Tuple[float, TupleShape]]] = None,
+    ) -> Tuple[CostReport, Dict[int, CapturedEstimate]]:
+        """Cost a plan and capture per-node estimates keyed by node
+        identity (``id(node)``) — the substrate of ``EXPLAIN ANALYZE``
+        (:mod:`repro.obs.explain`)."""
+        self._capture = {}
+        try:
+            report = self.report(plan, delta_env)
+            return report, dict(self._capture)
+        finally:
+            self._capture = None
+
     # -- recursion -------------------------------------------------------------------
 
     def _cost(
@@ -133,6 +164,17 @@ class DetailedCostModel:
     ) -> Tuple[float, float]:
         io, cpu = self._dispatch(node, env, rows)
         rows.append((node.label(), io + cpu))
+        capture = self._capture
+        if capture is not None:
+            entry = capture.get(id(node))
+            if entry is None:
+                entry = capture[id(node)] = CapturedEstimate()
+            entry.cost += io + cpu
+            entry.visits += 1
+            try:
+                entry.tuples += self.estimator.estimate(node, env).tuples
+            except CostModelError:
+                pass
         return io, cpu
 
     def _dispatch(self, node, env, rows) -> Tuple[float, float]:

@@ -28,6 +28,7 @@ from repro.engine.eval_expr import (
 )
 from repro.engine.fixpoint import run_fixpoint
 from repro.engine.metrics import RuntimeMetrics
+from repro.obs.profile import PlanProfiler, assign_node_ids
 from repro.physical.schema import PhysicalSchema
 from repro.physical.storage import Oid, StoredRecord
 from repro.plans.nodes import (
@@ -93,6 +94,12 @@ class Engine:
         self.keep_temps = keep_temps
         self.cancel_token: Optional["CancellationToken"] = None
         self.metrics = RuntimeMetrics()
+        #: Optional per-node runtime profiler (EXPLAIN ANALYZE); when
+        #: None the generators are returned unwrapped — no overhead.
+        self.profiler: Optional[PlanProfiler] = None
+        #: Stable pre-order node ids of the plan being executed; keys
+        #: the per-node tuple counters and the profiler's records.
+        self._node_ids: Dict[int, str] = {}
         self._evaluator: Optional[ExpressionEvaluator] = None
         self._temps_created: List[str] = []
         self._consumed_vars: Set[str] = set()
@@ -108,6 +115,7 @@ class Engine:
         plan: PlanNode,
         validate: bool = True,
         cancel: Optional["CancellationToken"] = None,
+        profiler: Optional[PlanProfiler] = None,
     ) -> ExecutionResult:
         """Evaluate a plan; returns rows plus runtime metrics.
 
@@ -116,11 +124,22 @@ class Engine:
         :class:`~repro.errors.ExecutionCancelled` (or
         :class:`~repro.errors.ExecutionTimeout`) after dropping the
         temporaries it created — the store stays consistent.
+
+        ``profiler`` is an optional
+        :class:`~repro.obs.profile.PlanProfiler`; when given, every
+        node's generator is metered (per-node tuples, wall time, page
+        reads, predicate evals, per-Fix-iteration deltas).
         """
         if validate:
             validate_plan(plan, self.physical)
         self.cancel_token = cancel
         self.metrics = RuntimeMetrics()
+        self._node_ids = assign_node_ids(plan)
+        self.profiler = profiler
+        if profiler is not None:
+            profiler.attach(
+                plan, self._node_ids, self.store.buffer.stats, self.metrics
+            )
         self._evaluator = ExpressionEvaluator(
             self.store, self.metrics, self._resolve_method, charged=True
         )
@@ -169,16 +188,30 @@ class Engine:
         self, node: PlanNode, delta_env: Dict[str, List[StoredRecord]]
     ) -> Iterator[Binding]:
         """Stream the bindings a plan node produces (operator
-        dispatch; ``delta_env`` carries semi-naive deltas)."""
+        dispatch; ``delta_env`` carries semi-naive deltas).  When a
+        profiler is active the stream is metered per node."""
+        iterator = self._iterate(node, delta_env)
+        if self.profiler is not None:
+            return self.profiler.wrap(node, iterator)
+        return iterator
+
+    def _iterate(
+        self, node: PlanNode, delta_env: Dict[str, List[StoredRecord]]
+    ) -> Iterator[Binding]:
         evaluator = self._evaluator
         if evaluator is None:
             raise ExecutionError("iterate() called outside execute()")
+        node_id = self._node_ids.get(id(node))
         if isinstance(node, (EntityLeaf, TempLeaf)):
-            for scanned, record in enumerate(self.store.scan(node.entity)):
-                if scanned % CHECK_INTERVAL == 0:
-                    self.check_cancelled()
-                self.metrics.count_tuple("scan")
-                yield {node.var: record}
+            produced = 0
+            try:
+                for scanned, record in enumerate(self.store.scan(node.entity)):
+                    if scanned % CHECK_INTERVAL == 0:
+                        self.check_cancelled()
+                    produced += 1
+                    yield {node.var: record}
+            finally:
+                self.metrics.add_tuples("scan", node_id, produced)
             return
         if isinstance(node, RecLeaf):
             delta = delta_env.get(node.name)
@@ -187,41 +220,49 @@ class Engine:
                     f"recursion reference {node.name!r} evaluated outside "
                     "its fixpoint"
                 )
-            yield from self._scan_delta(node, delta)
+            yield from self._scan_delta(node, delta, node_id)
             return
         if isinstance(node, Sel):
-            indexed = self._indexed_selection_access(node)
+            indexed = self._indexed_selection_access(node, node_id)
             if indexed is not None:
                 yield from indexed
                 return
-            for binding in self.iterate(node.child, delta_env):
-                if evaluator.holds(binding, node.predicate):
-                    self.metrics.count_tuple("sel")
-                    yield binding
+            produced = 0
+            try:
+                for binding in self.iterate(node.child, delta_env):
+                    if evaluator.holds(binding, node.predicate):
+                        produced += 1
+                        yield binding
+            finally:
+                self.metrics.add_tuples("sel", node_id, produced)
             return
         if isinstance(node, Proj):
-            for binding in self.iterate(node.child, delta_env):
-                row: Binding = {}
-                suppressed = False
-                for field in node.fields.fields:
-                    values = evaluator.expr_values(binding, field.expr)
-                    if not values:
-                        # Path semantics: a traversal over a null
-                        # reference yields nothing, so the output
-                        # tuple is suppressed (like the paper's base
-                        # rule, which emits no Influencer tuple for a
-                        # composer without a master).
-                        suppressed = True
-                        break
-                    if len(values) > 1:
-                        raise ExecutionError(
-                            f"output field {field.name!r} is multivalued"
-                        )
-                    row[field.name] = values[0]
-                if suppressed:
-                    continue
-                self.metrics.count_tuple("proj")
-                yield row
+            produced = 0
+            try:
+                for binding in self.iterate(node.child, delta_env):
+                    row: Binding = {}
+                    suppressed = False
+                    for field in node.fields.fields:
+                        values = evaluator.expr_values(binding, field.expr)
+                        if not values:
+                            # Path semantics: a traversal over a null
+                            # reference yields nothing, so the output
+                            # tuple is suppressed (like the paper's base
+                            # rule, which emits no Influencer tuple for a
+                            # composer without a master).
+                            suppressed = True
+                            break
+                        if len(values) > 1:
+                            raise ExecutionError(
+                                f"output field {field.name!r} is multivalued"
+                            )
+                        row[field.name] = values[0]
+                    if suppressed:
+                        continue
+                    produced += 1
+                    yield row
+            finally:
+                self.metrics.add_tuples("proj", node_id, produced)
             return
         if isinstance(node, IJ):
             yield from self._iterate_ij(node, delta_env)
@@ -257,9 +298,13 @@ class Engine:
                 temp_name = run_fixpoint(self, node, delta_env)
                 if cacheable:
                     self._fix_cache[cache_key] = temp_name
-            for record in self.store.scan(temp_name):
-                self.metrics.count_tuple("fix")
-                yield {node.out_var: record}
+            produced = 0
+            try:
+                for record in self.store.scan(temp_name):
+                    produced += 1
+                    yield {node.out_var: record}
+            finally:
+                self.metrics.add_tuples("fix", node_id, produced)
             return
         if isinstance(node, Materialize):
             temp_info = self.physical.register_temp(node.name)
@@ -270,15 +315,19 @@ class Engine:
                     for key, value in binding.items()
                 }
                 self.store.insert(temp_info.name, values)
-            for record in self.store.scan(temp_info.name):
-                self.metrics.count_tuple("materialize")
-                yield {node.out_var: record}
+            produced = 0
+            try:
+                for record in self.store.scan(temp_info.name):
+                    produced += 1
+                    yield {node.out_var: record}
+            finally:
+                self.metrics.add_tuples("materialize", node_id, produced)
             return
         raise ExecutionError(f"unknown plan node {type(node).__name__}")
 
     # -- operator implementations ------------------------------------------------------
 
-    def _indexed_selection_access(self, node: Sel):
+    def _indexed_selection_access(self, node: Sel, node_id: Optional[str] = None):
         """Index-assisted selection over a base entity
         (``access_cost(Ci, P)`` with an index, Section 3.2):
 
@@ -328,15 +377,19 @@ class Engine:
                         continue
 
                     def generate(index=index, key=const_side.value,
-                                 residual=residual):
+                                 residual=residual, node_id=node_id):
                         self.metrics.index_lookups += 1
                         self.metrics.index_page_reads += index.nblevels
-                        for oid in index.lookup(key):
-                            record = self.store.fetch(oid)
-                            binding = {leaf.var: record}
-                            if evaluator.holds(binding, residual):
-                                self.metrics.count_tuple("sel")
-                                yield binding
+                        produced = 0
+                        try:
+                            for oid in index.lookup(key):
+                                record = self.store.fetch(oid)
+                                binding = {leaf.var: record}
+                                if evaluator.holds(binding, residual):
+                                    produced += 1
+                                    yield binding
+                        finally:
+                            self.metrics.add_tuples("sel", node_id, produced)
 
                     return generate()
                 if len(path_side.attrs) >= 2:
@@ -351,60 +404,74 @@ class Engine:
 
                     def generate_reverse(
                         index=path_index, key=const_side.value,
-                        residual=residual,
+                        residual=residual, node_id=node_id,
                     ):
                         self.metrics.index_lookups += 1
                         self.metrics.index_page_reads += index.nblevels
                         seen = set()
-                        for path_tuple in index.reverse(key):
-                            head = path_tuple[0]
-                            if head in seen:
-                                continue
-                            seen.add(head)
-                            record = self.store.fetch(head)
-                            binding = {leaf.var: record}
-                            if evaluator.holds(binding, residual):
-                                self.metrics.count_tuple("sel")
-                                yield binding
+                        produced = 0
+                        try:
+                            for path_tuple in index.reverse(key):
+                                head = path_tuple[0]
+                                if head in seen:
+                                    continue
+                                seen.add(head)
+                                record = self.store.fetch(head)
+                                binding = {leaf.var: record}
+                                if evaluator.holds(binding, residual):
+                                    produced += 1
+                                    yield binding
+                        finally:
+                            self.metrics.add_tuples("sel", node_id, produced)
 
                     return generate_reverse()
         return None
 
     def _scan_delta(
-        self, node: RecLeaf, delta: List[StoredRecord]
+        self, node: RecLeaf, delta: List[StoredRecord], node_id: Optional[str]
     ) -> Iterator[Binding]:
         """Scan the current delta, charging each distinct page once."""
         touched = set()
-        for record in delta:
-            if record.page_id is not None and record.page_id not in touched:
-                touched.add(record.page_id)
-                self.store.buffer.touch(record.page_id)
-            self.metrics.count_tuple("delta")
-            yield {node.var: record}
+        produced = 0
+        try:
+            for record in delta:
+                if record.page_id is not None and record.page_id not in touched:
+                    touched.add(record.page_id)
+                    self.store.buffer.touch(record.page_id)
+                produced += 1
+                yield {node.var: record}
+        finally:
+            self.metrics.add_tuples("delta", node_id, produced)
 
     def _iterate_ij(
         self, node: IJ, delta_env: Dict[str, List[StoredRecord]]
     ) -> Iterator[Binding]:
         evaluator = self._evaluator
         assert evaluator is not None
-        for binding in self.iterate(node.child, delta_env):
-            for value in evaluator.path_values(binding, node.source):
-                if isinstance(value, Oid):
-                    record = self.store.fetch(value)
-                elif isinstance(value, StoredRecord):
-                    record = value
-                else:
-                    continue  # null or non-reference: inner-join drops it
-                self.metrics.count_tuple("ij")
-                merged = dict(binding)
-                merged[node.out_var] = record
-                yield merged
+        node_id = self._node_ids.get(id(node))
+        produced = 0
+        try:
+            for binding in self.iterate(node.child, delta_env):
+                for value in evaluator.path_values(binding, node.source):
+                    if isinstance(value, Oid):
+                        record = self.store.fetch(value)
+                    elif isinstance(value, StoredRecord):
+                        record = value
+                    else:
+                        continue  # null or non-reference: inner-join drops it
+                    produced += 1
+                    merged = dict(binding)
+                    merged[node.out_var] = record
+                    yield merged
+        finally:
+            self.metrics.add_tuples("ij", node_id, produced)
 
     def _iterate_pij(
         self, node: PIJ, delta_env: Dict[str, List[StoredRecord]]
     ) -> Iterator[Binding]:
         evaluator = self._evaluator
         assert evaluator is not None
+        node_id = self._node_ids.get(id(node))
         index = self.physical.find_path_index(node.attributes)
         if index is None:
             raise ExecutionError(
@@ -413,31 +480,35 @@ class Engine:
         stats = self.physical.statistics
         head_count = max(1, stats.instances(index.root_entity))
         per_lookup = index.nblevels + index.nbleaves / head_count
-        for binding in self.iterate(node.child, delta_env):
-            for value in evaluator.path_values(binding, node.source):
-                if isinstance(value, StoredRecord):
-                    head = value.oid
-                elif isinstance(value, Oid):
-                    head = value
-                else:
-                    continue
-                self.metrics.index_lookups += 1
-                self.metrics.index_page_reads += per_lookup
-                for path_tuple in index.forward(head):
-                    merged = dict(binding)
-                    for position, out_var in enumerate(node.out_vars):
-                        oid = path_tuple[position + 1]
-                        # Only fetch objects somebody consumes; the
-                        # others stay as oids (dereferenced on demand
-                        # if a predicate surprises us) — the whole
-                        # point of a path index is skipping the
-                        # intermediate objects ([MS86]).
-                        if out_var in self._consumed_vars:
-                            merged[out_var] = self.store.fetch(oid)
-                        else:
-                            merged[out_var] = oid
-                    self.metrics.count_tuple("pij")
-                    yield merged
+        produced = 0
+        try:
+            for binding in self.iterate(node.child, delta_env):
+                for value in evaluator.path_values(binding, node.source):
+                    if isinstance(value, StoredRecord):
+                        head = value.oid
+                    elif isinstance(value, Oid):
+                        head = value
+                    else:
+                        continue
+                    self.metrics.index_lookups += 1
+                    self.metrics.index_page_reads += per_lookup
+                    for path_tuple in index.forward(head):
+                        merged = dict(binding)
+                        for position, out_var in enumerate(node.out_vars):
+                            oid = path_tuple[position + 1]
+                            # Only fetch objects somebody consumes; the
+                            # others stay as oids (dereferenced on demand
+                            # if a predicate surprises us) — the whole
+                            # point of a path index is skipping the
+                            # intermediate objects ([MS86]).
+                            if out_var in self._consumed_vars:
+                                merged[out_var] = self.store.fetch(oid)
+                            else:
+                                merged[out_var] = oid
+                        produced += 1
+                        yield merged
+        finally:
+            self.metrics.add_tuples("pij", node_id, produced)
 
     def _iterate_nested_loop(
         self, node: EJ, delta_env: Dict[str, List[StoredRecord]]
@@ -447,19 +518,25 @@ class Engine:
         what the EJ cost formula of Figure 5 prices."""
         evaluator = self._evaluator
         assert evaluator is not None
-        for left_binding in self.iterate(node.left, delta_env):
-            for right_binding in self.iterate(node.right, delta_env):
-                merged = dict(left_binding)
-                merged.update(right_binding)
-                if evaluator.holds(merged, node.predicate):
-                    self.metrics.count_tuple("ej")
-                    yield merged
+        node_id = self._node_ids.get(id(node))
+        produced = 0
+        try:
+            for left_binding in self.iterate(node.left, delta_env):
+                for right_binding in self.iterate(node.right, delta_env):
+                    merged = dict(left_binding)
+                    merged.update(right_binding)
+                    if evaluator.holds(merged, node.predicate):
+                        produced += 1
+                        yield merged
+        finally:
+            self.metrics.add_tuples("ej", node_id, produced)
 
     def _iterate_index_join(
         self, node: EJ, delta_env: Dict[str, List[StoredRecord]]
     ) -> Iterator[Binding]:
         evaluator = self._evaluator
         assert evaluator is not None
+        node_id = self._node_ids.get(id(node))
         leaf, residual_wrap = self._index_join_inner(node.right)
         equality = self._index_join_key(node, leaf)
         if equality is None:
@@ -470,21 +547,25 @@ class Engine:
         outer_expr, attribute = equality
         index = self.physical.selection_index(leaf.entity, attribute)
         assert index is not None
-        for left_binding in self.iterate(node.left, delta_env):
-            for key in evaluator.expr_values(left_binding, outer_expr):
-                self.metrics.index_lookups += 1
-                self.metrics.index_page_reads += index.nblevels
-                for oid in index.lookup(normalize_value(key)):
-                    record = self.store.fetch(oid)
-                    merged = dict(left_binding)
-                    merged[leaf.var] = record
-                    if residual_wrap is not None and not evaluator.holds(
-                        merged, residual_wrap
-                    ):
-                        continue
-                    if evaluator.holds(merged, node.predicate):
-                        self.metrics.count_tuple("ej")
-                        yield merged
+        produced = 0
+        try:
+            for left_binding in self.iterate(node.left, delta_env):
+                for key in evaluator.expr_values(left_binding, outer_expr):
+                    self.metrics.index_lookups += 1
+                    self.metrics.index_page_reads += index.nblevels
+                    for oid in index.lookup(normalize_value(key)):
+                        record = self.store.fetch(oid)
+                        merged = dict(left_binding)
+                        merged[leaf.var] = record
+                        if residual_wrap is not None and not evaluator.holds(
+                            merged, residual_wrap
+                        ):
+                            continue
+                        if evaluator.holds(merged, node.predicate):
+                            produced += 1
+                            yield merged
+        finally:
+            self.metrics.add_tuples("ej", node_id, produced)
 
     def _index_join_inner(self, right: PlanNode):
         """The inner entity leaf and any residual selection around it."""

@@ -13,6 +13,7 @@ with the engine's iteration cap.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterator, List, Set, Tuple
 
 from repro.errors import ExecutionError, FixpointLimitError
@@ -97,10 +98,17 @@ def run_fixpoint(engine, fix: Fix, delta_env: Dict[str, List[StoredRecord]]) -> 
             fresh.append(engine.store.peek(oid))
         return fresh
 
+    profiler = getattr(engine, "profiler", None)
+
     # Base round: evaluate every non-recursive part once.
+    round_start = time.perf_counter()
     delta: List[StoredRecord] = []
     for part in base_parts:
         delta.extend(materialize(engine.iterate(part, delta_env)))
+    if profiler is not None:
+        profiler.fix_iteration(
+            fix, 0, len(delta), time.perf_counter() - round_start
+        )
 
     # Semi-naive rounds: feed only the last round's new tuples back in.
     iterations = 0
@@ -110,10 +118,18 @@ def run_fixpoint(engine, fix: Fix, delta_env: Dict[str, List[StoredRecord]]) -> 
             raise FixpointLimitError(fix.name, engine.max_fix_iterations)
         engine.check_cancelled()
         engine.metrics.fix_iterations += 1
+        round_start = time.perf_counter()
         next_delta: List[StoredRecord] = []
         inner_env = dict(delta_env)
         inner_env[fix.name] = delta
         for part in recursive_parts:
             next_delta.extend(materialize(engine.iterate(part, inner_env)))
+        if profiler is not None:
+            profiler.fix_iteration(
+                fix,
+                iterations,
+                len(next_delta),
+                time.perf_counter() - round_start,
+            )
         delta = next_delta
     return temp_name

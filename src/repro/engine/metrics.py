@@ -28,14 +28,35 @@ class RuntimeMetrics:
     #: Fractional: PIJ lookups charge ``nblevels + nbleaves/||C1||``.
     index_page_reads: float = 0.0
     fix_iterations: int = 0
+    #: Kind-level rollup (``"sel"``, ``"ij"``, ...): kept for backward
+    #: compatibility, but same-kind nodes collide here — per-node
+    #: counts live in :attr:`tuples_by_node`.
     tuples_by_operator: Dict[str, int] = field(default_factory=dict)
+    #: Tuples produced per plan node, keyed by the stable pre-order
+    #: node ids of :func:`repro.obs.profile.assign_node_ids`.
+    tuples_by_node: Dict[str, int] = field(default_factory=dict)
     buffer: BufferStats = field(default_factory=BufferStats)
 
-    def count_tuple(self, operator: str) -> None:
-        """Count one output tuple for an operator kind."""
+    def count_tuple(self, operator: str, node_id: Optional[str] = None) -> None:
+        """Count one output tuple for an operator kind (and, when the
+        engine knows it, the producing node)."""
+        self.add_tuples(operator, node_id, 1)
+
+    def add_tuples(
+        self, operator: str, node_id: Optional[str], count: int
+    ) -> None:
+        """Bulk-count ``count`` output tuples.  The engine's iterators
+        accumulate locally and flush once on exhaustion, keeping the
+        per-tuple hot path free of dict updates."""
+        if not count:
+            return
         self.tuples_by_operator[operator] = (
-            self.tuples_by_operator.get(operator, 0) + 1
+            self.tuples_by_operator.get(operator, 0) + count
         )
+        if node_id is not None:
+            self.tuples_by_node[node_id] = (
+                self.tuples_by_node.get(node_id, 0) + count
+            )
 
     @property
     def total_tuples(self) -> int:
@@ -67,4 +88,8 @@ class RuntimeMetrics:
         for operator, count in other.tuples_by_operator.items():
             self.tuples_by_operator[operator] = (
                 self.tuples_by_operator.get(operator, 0) + count
+            )
+        for node_id, count in other.tuples_by_node.items():
+            self.tuples_by_node[node_id] = (
+                self.tuples_by_node.get(node_id, 0) + count
             )

@@ -1,0 +1,35 @@
+"""Observability: search traces, runtime profiles, EXPLAIN ANALYZE.
+
+The paper's whole argument is *cost-controlled* search: push/no-push
+decisions justified by comparing costed Processing Trees.  This package
+makes those decisions — and their runtime consequences — inspectable:
+
+* :mod:`repro.obs.trace` — a lightweight span tracer threaded through
+  the optimizer's four phases (rewrite, translate, generatePT,
+  transformPT) and the randomized strategies, so the full plan-space
+  walk is reconstructable, exportable as JSON or Chrome
+  ``chrome://tracing`` format;
+* :mod:`repro.obs.profile` — per-operator runtime profiling of plan
+  execution (tuples out, page reads, predicate evaluations, wall time
+  per PT node, per-Fix-iteration deltas);
+* :mod:`repro.obs.explain` — merges the cost model's per-node
+  estimates with the profiler's actuals into an ``EXPLAIN ANALYZE``
+  tree (the continuous Figure 5/6 estimated-vs-measured audit).
+"""
+
+from repro.obs.explain import ExplainNode, build_explain, render_explain
+from repro.obs.profile import FixIterationProfile, NodeProfile, PlanProfiler
+from repro.obs.trace import NULL_TRACER, Span, SpanEvent, Tracer
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "SpanEvent",
+    "NULL_TRACER",
+    "PlanProfiler",
+    "NodeProfile",
+    "FixIterationProfile",
+    "build_explain",
+    "render_explain",
+    "ExplainNode",
+]

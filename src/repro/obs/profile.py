@@ -1,0 +1,217 @@
+"""Per-operator runtime profiling of plan execution.
+
+The engine streams bindings through nested generators — one per PT
+node.  :class:`PlanProfiler` wraps each node's generator and charges
+every ``next()`` call's wall time, physical page reads, index page
+reads and predicate evaluations to that node (*inclusive* of its
+children, since a parent's pull drives its subtree; the *exclusive*
+share is recovered from the tree structure at report time).  ``Fix``
+nodes additionally record one entry per semi-naive iteration: the new
+tuples the round produced and how long it took.
+
+Node identity: :func:`assign_node_ids` numbers the plan's nodes in
+pre-order (``n0``, ``n1``, ...).  These ids are stable for a given
+plan shape, key the engine's per-node tuple counters
+(:attr:`~repro.engine.metrics.RuntimeMetrics.tuples_by_node`), and
+match the ids shown by ``EXPLAIN ANALYZE``.
+
+Profiling is strictly opt-in: ``Engine.execute(plan, profiler=...)``;
+when no profiler is passed the engine's generators are returned
+unwrapped and the hot path pays nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "assign_node_ids",
+    "FixIterationProfile",
+    "NodeProfile",
+    "PlanProfiler",
+]
+
+
+#: Single-slot memo for :func:`assign_node_ids`.  The service executes
+#: the same cached plan object over and over; holding a strong
+#: reference to the last plan keeps its node ids (which key on
+#: ``id(node)``) valid, and swapping the whole tuple keeps concurrent
+#: readers consistent.
+_node_ids_memo = (None, {})
+
+
+def assign_node_ids(plan) -> Dict[int, str]:
+    """Map ``id(node) -> "n<preorder-index>"`` over a plan.
+
+    A subtree object shared between two positions keeps its first
+    (pre-order) id; its profile merges both occurrences.
+    """
+    global _node_ids_memo
+    cached_plan, cached_ids = _node_ids_memo
+    if plan is cached_plan:
+        return cached_ids
+    ids: Dict[int, str] = {}
+    for index, node in enumerate(plan.walk()):
+        ids.setdefault(id(node), f"n{index}")
+    _node_ids_memo = (plan, ids)
+    return ids
+
+
+@dataclass
+class FixIterationProfile:
+    """One semi-naive round of a ``Fix`` node."""
+
+    iteration: int  #: 0 is the base round; 1.. are delta rounds.
+    new_tuples: int
+    seconds: float
+
+    def to_dict(self) -> dict:
+        return {
+            "iteration": self.iteration,
+            "new_tuples": self.new_tuples,
+            "ms": round(self.seconds * 1000, 3),
+        }
+
+
+@dataclass
+class NodeProfile:
+    """Inclusive runtime counters for one PT node."""
+
+    node_id: str
+    label: str
+    kind: str
+    tuples_out: int = 0
+    next_calls: int = 0
+    wall_seconds: float = 0.0
+    page_reads: int = 0
+    index_page_reads: float = 0.0
+    predicate_evals: int = 0
+    fix_iterations: List[FixIterationProfile] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "node_id": self.node_id,
+            "label": self.label,
+            "kind": self.kind,
+            "tuples_out": self.tuples_out,
+            "wall_ms": round(self.wall_seconds * 1000, 3),
+            "page_reads": self.page_reads,
+            "index_page_reads": round(self.index_page_reads, 2),
+            "predicate_evals": self.predicate_evals,
+        }
+        if self.fix_iterations:
+            payload["fix_iterations"] = [
+                it.to_dict() for it in self.fix_iterations
+            ]
+        return payload
+
+
+class PlanProfiler:
+    """Collects :class:`NodeProfile` records during one execution.
+
+    The engine calls :meth:`attach` at the start of ``execute`` (wiring
+    in the live counters the deltas are read from), then routes every
+    node's generator through :meth:`wrap`.
+    """
+
+    def __init__(self) -> None:
+        self.profiles: Dict[str, NodeProfile] = {}
+        self.children: Dict[str, List[str]] = {}
+        self._ids: Dict[int, str] = {}
+        self._buffer = None
+        self._metrics = None
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, plan, node_ids: Dict[int, str], buffer, metrics) -> None:
+        """Register the plan's nodes and the counter sources."""
+        self._ids = node_ids
+        self._buffer = buffer
+        self._metrics = metrics
+        for node in plan.walk():
+            node_id = node_ids[id(node)]
+            if node_id not in self.profiles:
+                self.profiles[node_id] = NodeProfile(
+                    node_id, node.label(), type(node).__name__
+                )
+                self.children[node_id] = []
+                seen_children = set()
+                for child in node.children:
+                    child_id = node_ids[id(child)]
+                    if child_id not in seen_children:
+                        seen_children.add(child_id)
+                        self.children[node_id].append(child_id)
+
+    def profile_for(self, node) -> Optional[NodeProfile]:
+        node_id = self._ids.get(id(node))
+        return self.profiles.get(node_id) if node_id is not None else None
+
+    # -- recording -----------------------------------------------------------
+
+    def wrap(self, node, iterator: Iterator) -> Iterator:
+        """Meter an engine generator: each ``next()`` charges its wall
+        time and counter deltas (inclusive of children) to ``node``."""
+        profile = self.profile_for(node)
+        if profile is None:  # a node outside the registered plan
+            return iterator
+        return self._metered(profile, iterator)
+
+    def _metered(self, profile: NodeProfile, iterator: Iterator) -> Iterator:
+        buffer = self._buffer
+        metrics = self._metrics
+        clock = time.perf_counter
+        while True:
+            reads0 = buffer.physical_reads
+            index0 = metrics.index_page_reads
+            evals0 = metrics.predicate_evals
+            started = clock()
+            try:
+                item = next(iterator)
+            except StopIteration:
+                profile.wall_seconds += clock() - started
+                profile.page_reads += buffer.physical_reads - reads0
+                profile.index_page_reads += metrics.index_page_reads - index0
+                profile.predicate_evals += metrics.predicate_evals - evals0
+                profile.next_calls += 1
+                return
+            profile.wall_seconds += clock() - started
+            profile.page_reads += buffer.physical_reads - reads0
+            profile.index_page_reads += metrics.index_page_reads - index0
+            profile.predicate_evals += metrics.predicate_evals - evals0
+            profile.next_calls += 1
+            profile.tuples_out += 1
+            yield item
+
+    def fix_iteration(
+        self, node, iteration: int, new_tuples: int, seconds: float
+    ) -> None:
+        """Record one semi-naive round of a ``Fix`` node."""
+        profile = self.profile_for(node)
+        if profile is not None:
+            profile.fix_iterations.append(
+                FixIterationProfile(iteration, new_tuples, seconds)
+            )
+
+    # -- reporting -----------------------------------------------------------
+
+    def exclusive_seconds(self, node_id: str) -> float:
+        """Wall time charged to a node minus its children's share."""
+        profile = self.profiles.get(node_id)
+        if profile is None:
+            return 0.0
+        spent = profile.wall_seconds
+        for child_id in self.children.get(node_id, []):
+            child = self.profiles.get(child_id)
+            if child is not None:
+                spent -= child.wall_seconds
+        return max(spent, 0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": [
+                profile.to_dict() for profile in self.profiles.values()
+            ],
+            "children": dict(self.children),
+        }

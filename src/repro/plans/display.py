@@ -2,12 +2,15 @@
 
 Two renderings are provided: the paper's *functional-term* notation
 (``Answer = IJ_disc(Sel_name="harpsichord"(...), Composer)``) and an
-indented tree for humans reading benchmark output.
+indented tree for humans reading benchmark output.  The tree renderer
+accepts an optional per-node annotation callback, which is how
+``EXPLAIN ANALYZE`` (:mod:`repro.obs.explain`) prints estimated vs.
+actual figures next to each operator.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List, Optional, Tuple
 
 from repro.plans.nodes import (
     EJ,
@@ -68,23 +71,45 @@ def render_functional(node: PlanNode) -> str:
     return node.label()
 
 
-def render_tree(node: PlanNode) -> str:
+#: Optional annotation callback: node -> (suffix appended to the
+#: label line, extra lines printed indented under the node).
+Annotator = Callable[[PlanNode], Tuple[str, List[str]]]
+
+
+def render_tree(node: PlanNode, annotate: Optional[Annotator] = None) -> str:
     """Indented multi-line rendering, one operator per line."""
     lines: List[str] = []
-    _render(node, "", True, lines, is_root=True)
+    _render(node, "", True, lines, is_root=True, annotate=annotate)
     return "\n".join(lines)
 
 
 def _render(
-    node: PlanNode, prefix: str, last: bool, lines: List[str], is_root: bool = False
+    node: PlanNode,
+    prefix: str,
+    last: bool,
+    lines: List[str],
+    is_root: bool = False,
+    annotate: Optional[Annotator] = None,
 ) -> None:
+    suffix, extra = ("", [])
+    if annotate is not None:
+        suffix, extra = annotate(node)
     if is_root:
-        lines.append(node.label())
+        lines.append(node.label() + suffix)
         child_prefix = ""
     else:
         connector = "`-- " if last else "|-- "
-        lines.append(prefix + connector + node.label())
+        lines.append(prefix + connector + node.label() + suffix)
         child_prefix = prefix + ("    " if last else "|   ")
+    has_children = bool(node.children)
+    for line in extra:
+        lines.append(child_prefix + ("|   " if has_children else "    ") + line)
     children = node.children
     for index, child in enumerate(children):
-        _render(child, child_prefix, index == len(children) - 1, lines)
+        _render(
+            child,
+            child_prefix,
+            index == len(children) - 1,
+            lines,
+            annotate=annotate,
+        )

@@ -19,7 +19,12 @@ from repro.service.plan_cache import (
     schema_fingerprint,
     stats_fingerprint,
 )
-from repro.service.server import QueryServer, QueryService, ServiceConfig
+from repro.service.server import (
+    MetricsServer,
+    QueryServer,
+    QueryService,
+    ServiceConfig,
+)
 
 __all__ = [
     "AdmissionController",
@@ -33,6 +38,7 @@ __all__ = [
     "PlanCache",
     "schema_fingerprint",
     "stats_fingerprint",
+    "MetricsServer",
     "QueryServer",
     "QueryService",
     "ServiceConfig",

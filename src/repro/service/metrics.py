@@ -1,11 +1,15 @@
 """Service-level metrics registry.
 
 Aggregates per-query :class:`~repro.engine.metrics.RuntimeMetrics` and
-the serving-layer counters a operator dashboard needs: cache hit ratio,
+the serving-layer counters an operator dashboard needs: cache hit ratio,
 optimize vs. execute latency, and estimated vs. measured cost (the
 Figure 5 validation, now tracked continuously in production instead of
 once per benchmark).  A bounded ring of recent per-query records
-supports the ``stats`` protocol request without unbounded growth.
+supports the ``stats`` protocol request without unbounded growth; a
+second bounded ring holds the slow-query log (queries over the
+configured latency threshold, or whose measured cost diverged from the
+estimate by more than the misestimate ratio).  :meth:`to_prometheus`
+renders everything in the Prometheus text exposition format.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ class QueryRecord:
     optimize_seconds: float
     execute_seconds: float
     rows: int
+    request_id: str = ""
 
     def to_dict(self) -> dict:
         return {
@@ -41,21 +46,31 @@ class QueryRecord:
             "optimize_ms": round(self.optimize_seconds * 1000, 3),
             "execute_ms": round(self.execute_seconds * 1000, 3),
             "rows": self.rows,
+            "request_id": self.request_id,
         }
 
 
 def _percentile(values: List[float], fraction: float) -> float:
+    """Linear interpolation between closest ranks (the ``inclusive``
+    method of :func:`statistics.quantiles`): the p-quantile sits at
+    position ``p * (n - 1)`` of the sorted sample, interpolated
+    between its floor and ceiling neighbours."""
     if not values:
         return 0.0
     ordered = sorted(values)
-    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
-    return ordered[index]
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
 
 
 class ServiceMetrics:
     """Thread-safe aggregation of everything the service observes."""
 
-    def __init__(self, window: int = 256) -> None:
+    def __init__(self, window: int = 256, slow_window: int = 64) -> None:
         self._lock = threading.Lock()
         self.requests = 0
         self.executed = 0
@@ -63,11 +78,14 @@ class ServiceMetrics:
         self.timeouts = 0
         self.cancelled = 0
         self.rejected = 0
+        self.slow_queries = 0
         self.counters: Dict[str, int] = {}
         self.optimize_seconds = 0.0
         self.execute_seconds = 0.0
         self.runtime = RuntimeMetrics()
         self.recent: Deque[QueryRecord] = deque(maxlen=window)
+        #: The slow-query log: record dicts plus why they qualified.
+        self.slow: Deque[dict] = deque(maxlen=slow_window)
 
     # -- recording ----------------------------------------------------------
 
@@ -108,6 +126,14 @@ class ServiceMetrics:
                 self.runtime.merge(runtime)
             self.recent.append(record)
 
+    def record_slow(self, record: QueryRecord, reasons: List[str]) -> None:
+        """Admit one query into the slow-query log."""
+        with self._lock:
+            self.slow_queries += 1
+            entry = record.to_dict()
+            entry["reasons"] = list(reasons)
+            self.slow.append(entry)
+
     # -- reporting ----------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -126,6 +152,7 @@ class ServiceMetrics:
                 "timeouts": self.timeouts,
                 "cancelled": self.cancelled,
                 "rejected": self.rejected,
+                "slow_queries": self.slow_queries,
                 "counters": dict(self.counters),
                 "optimize_seconds": round(self.optimize_seconds, 6),
                 "execute_seconds": round(self.execute_seconds, 6),
@@ -142,4 +169,67 @@ class ServiceMetrics:
                 "page_reads": self.runtime.buffer.physical_reads,
                 "predicate_evals": self.runtime.predicate_evals,
                 "recent": [r.to_dict() for r in list(self.recent)[-10:]],
+                "slow": list(self.slow),
             }
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4), for
+        the ``metrics`` protocol request and the HTTP ``/metrics``
+        endpoint of ``repro serve --metrics-port``."""
+        with self._lock:
+            execute_times = [r.execute_seconds for r in self.recent]
+            counters = dict(self.counters)
+            lines: List[str] = []
+
+            def counter(name: str, help_text: str, value) -> None:
+                lines.append(f"# HELP repro_{name} {help_text}")
+                lines.append(f"# TYPE repro_{name} counter")
+                lines.append(f"repro_{name} {_number(value)}")
+
+            counter("requests_total", "Query requests received.", self.requests)
+            counter("queries_executed_total", "Queries executed to completion.", self.executed)
+            counter("errors_total", "Requests failed with an error.", self.errors)
+            counter("timeouts_total", "Queries cancelled by timeout.", self.timeouts)
+            counter("cancelled_total", "Queries cancelled by the client.", self.cancelled)
+            counter("rejected_total", "Queries rejected by admission control.", self.rejected)
+            counter("slow_queries_total", "Queries admitted to the slow-query log.", self.slow_queries)
+            counter("optimize_seconds_total", "Time spent optimizing.", self.optimize_seconds)
+            counter("execute_seconds_total", "Time spent executing.", self.execute_seconds)
+            counter("page_reads_total", "Physical page reads.", self.runtime.buffer.physical_reads)
+            counter("predicate_evals_total", "Predicate evaluations.", self.runtime.predicate_evals)
+            counter("fix_iterations_total", "Semi-naive fixpoint iterations.", self.runtime.fix_iterations)
+
+            lines.append("# HELP repro_cache_lookups_total Plan cache lookups by outcome.")
+            lines.append("# TYPE repro_cache_lookups_total counter")
+            for name, value in sorted(counters.items()):
+                if name.startswith("cache_"):
+                    status = name[len("cache_"):]
+                    lines.append(
+                        f'repro_cache_lookups_total{{status="{status}"}} '
+                        f"{_number(value)}"
+                    )
+
+            lines.append("# HELP repro_execute_latency_seconds Execute latency over the recent window.")
+            lines.append("# TYPE repro_execute_latency_seconds summary")
+            for q in (0.5, 0.95, 0.99):
+                lines.append(
+                    f'repro_execute_latency_seconds{{quantile="{q}"}} '
+                    f"{_number(_percentile(execute_times, q))}"
+                )
+            lines.append(
+                "repro_execute_latency_seconds_sum "
+                f"{_number(sum(execute_times))}"
+            )
+            lines.append(
+                f"repro_execute_latency_seconds_count {len(execute_times)}"
+            )
+            return "\n".join(lines) + "\n"
+
+
+def _number(value) -> str:
+    """Prometheus sample values: integers stay bare, floats use repr."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))

@@ -10,9 +10,17 @@ Operations
     ``query {text, params?, timeout?}``   → ``{rows, cache, ...}``
     ``prepare {text}``                    → ``{statement, parameters}``
     ``execute {statement, params?, ...}`` → like ``query``
+    ``explain {text, analyze?}``          → annotated plan (est vs. actual)
+    ``trace {text, execute?}``            → optimizer/engine span trace
     ``stats``                             → metrics + cache + admission
+    ``metrics``                           → Prometheus text exposition
     ``refresh_stats``                     → re-ANALYZE the store
     ``ping`` / ``close`` / ``shutdown``
+
+A request may carry a client-chosen ``id``; it is echoed verbatim on
+the response (success or error) for correlation.  Executed queries
+additionally get a server-assigned ``request_id``, which also tags the
+query's record in the metrics ring and the slow-query log.
 
 Prepared statements use ``$name`` placeholders in the query text
 (``where x.name = $who``); ``params`` maps names to JSON values, which

@@ -35,6 +35,9 @@ from repro.engine.cancel import CancellationToken
 from repro.engine.evaluator import Engine
 from repro.errors import ProtocolError, ReproError, ServiceError
 from repro.lang.compile import compile_text
+from repro.obs.explain import build_explain, render_explain
+from repro.obs.profile import PlanProfiler
+from repro.obs.trace import Tracer
 from repro.physical.storage import Oid, StoredRecord
 from repro.service import protocol
 from repro.service.admission import AdmissionController, AdmissionPolicy
@@ -42,7 +45,7 @@ from repro.service.metrics import QueryRecord, ServiceMetrics
 from repro.service.plan_cache import PlanCache
 from repro.service.protocol import placeholder_names, substitute_params
 
-__all__ = ["ServiceConfig", "QueryService", "QueryServer"]
+__all__ = ["ServiceConfig", "QueryService", "QueryServer", "MetricsServer"]
 
 
 @dataclass
@@ -61,6 +64,14 @@ class ServiceConfig:
     max_fix_iterations: int = 256
     metrics_window: int = 256
     max_rows: Optional[int] = None
+    #: A query slower than this (seconds) enters the slow-query log;
+    #: ``None`` disables latency-based logging.
+    slow_query_seconds: Optional[float] = 1.0
+    #: A query whose measured cost exceeds its estimate by more than
+    #: this factor (either direction) enters the slow-query log —
+    #: cost-model misestimates are an observability signal even when
+    #: the query itself was fast.  ``None`` disables the check.
+    misestimate_ratio: Optional[float] = 10.0
 
 
 @dataclass
@@ -104,7 +115,14 @@ class QueryService:
         self._sessions_lock = threading.Lock()
         #: Serializes every touch of the shared store/schema/statistics.
         self._store_lock = threading.RLock()
+        #: Request ids: a random per-service prefix plus a counter is
+        #: as unique as a uuid per request but far cheaper to mint.
+        self._request_prefix = uuid.uuid4().hex[:8]
+        self._request_counter = itertools.count(1)
         self.started_at = time.time()
+
+    def _next_request_id(self) -> str:
+        return f"{self._request_prefix}{next(self._request_counter):08x}"
 
     # -- sessions -----------------------------------------------------------
 
@@ -215,8 +233,10 @@ class QueryService:
             optimize_seconds=optimize_elapsed,
             execute_seconds=execute_elapsed,
             rows=len(execution.rows),
+            request_id=self._next_request_id(),
         )
         self.metrics.record_execution(record, execution.metrics)
+        self._check_slow(record)
 
         rows = execution.rows
         truncated = False
@@ -224,6 +244,7 @@ class QueryService:
             rows = rows[: self.config.max_rows]
             truncated = True
         return {
+            "request_id": record.request_id,
             "rows": [_jsonable_row(row) for row in rows],
             "row_count": len(execution.rows),
             "truncated": truncated,
@@ -235,6 +256,30 @@ class QueryService:
             "execute_ms": round(execute_elapsed * 1000, 3),
             "fix_iterations": execution.metrics.fix_iterations,
         }
+
+    def _check_slow(self, record: QueryRecord) -> None:
+        """Route latency outliers and cost misestimates to the slow log."""
+        reasons: List[str] = []
+        threshold = self.config.slow_query_seconds
+        if threshold is not None and record.execute_seconds > threshold:
+            reasons.append(
+                f"execute took {record.execute_seconds * 1000:.1f}ms "
+                f"(threshold {threshold * 1000:.0f}ms)"
+            )
+        ratio_cap = self.config.misestimate_ratio
+        if (
+            ratio_cap is not None
+            and record.estimated_cost > 0
+            and record.measured_cost > 0
+        ):
+            ratio = record.measured_cost / record.estimated_cost
+            if ratio > ratio_cap or ratio < 1.0 / ratio_cap:
+                reasons.append(
+                    f"measured/estimated cost ratio {ratio:.2f} "
+                    f"outside [1/{ratio_cap:g}, {ratio_cap:g}]"
+                )
+        if reasons:
+            self.metrics.record_slow(record, reasons)
 
     def execute_statement(
         self,
@@ -266,11 +311,108 @@ class QueryService:
             "admission": self.admission.snapshot(),
         }
 
+    def explain_query(
+        self,
+        text: str,
+        params: Optional[dict] = None,
+        analyze: bool = False,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """``EXPLAIN [ANALYZE]``: optimize (always from scratch — the
+        point is to audit the optimizer, not the cache) and, when
+        ``analyze`` is set, execute under a profiler so every operator
+        carries actual rows/cost/time next to the estimates."""
+        substituted = substitute_params(text, params)
+        request_id = self._next_request_id()
+        with self._store_lock:
+            graph = compile_text(substituted, self.database.catalog)
+            optimizer = cost_controlled_optimizer(self.physical)
+            result = optimizer.optimize(graph)
+            profiler: Optional[PlanProfiler] = None
+            rows = None
+            if analyze:
+                token = CancellationToken(
+                    self.admission.effective_timeout(timeout)
+                )
+                profiler = PlanProfiler()
+                engine = Engine(
+                    self.physical,
+                    max_fix_iterations=self.config.max_fix_iterations,
+                )
+                execution = engine.execute(
+                    result.plan, cancel=token, profiler=profiler
+                )
+                rows = len(execution.rows)
+            tree = build_explain(result.plan, optimizer.cost_model, profiler)
+        payload = {
+            "request_id": request_id,
+            "analyzed": analyze,
+            "estimated_cost": round(result.cost, 2),
+            "plans_costed": result.plans_costed,
+            "plan": render_explain(tree),
+            "tree": tree.to_dict(),
+            "candidates": [
+                {"description": description, "cost": round(cost, 2)}
+                for description, cost in result.candidates
+            ],
+        }
+        if rows is not None:
+            payload["row_count"] = rows
+        return payload
+
+    def trace_query(
+        self,
+        text: str,
+        params: Optional[dict] = None,
+        execute: bool = True,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Full-pipeline trace: optimizer spans/events plus (when
+        ``execute`` is set) the per-operator runtime profile."""
+        substituted = substitute_params(text, params)
+        request_id = self._next_request_id()
+        tracer = Tracer()
+        with self._store_lock:
+            graph = compile_text(substituted, self.database.catalog)
+            optimizer = cost_controlled_optimizer(self.physical)
+            with tracer.span("optimize"):
+                result = optimizer.optimize(graph, tracer=tracer)
+            profiler: Optional[PlanProfiler] = None
+            if execute:
+                token = CancellationToken(
+                    self.admission.effective_timeout(timeout)
+                )
+                profiler = PlanProfiler()
+                engine = Engine(
+                    self.physical,
+                    max_fix_iterations=self.config.max_fix_iterations,
+                )
+                with tracer.span("execute"):
+                    engine.execute(
+                        result.plan, cancel=token, profiler=profiler
+                    )
+        payload = {
+            "request_id": request_id,
+            "estimated_cost": round(result.cost, 2),
+            "trace": tracer.to_dict(),
+            "chrome_trace": tracer.to_chrome_trace(),
+        }
+        if profiler is not None:
+            payload["profile"] = profiler.to_dict()
+        return payload
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition of the service counters."""
+        return self.metrics.to_prometheus()
+
     # -- protocol dispatch --------------------------------------------------
 
     def handle(self, request: dict) -> dict:
         """Serve one protocol request dict → response dict (never
-        raises; errors become ``ok: false`` responses)."""
+        raises; errors become ``ok: false`` responses).  A client
+        ``id`` field is echoed back verbatim on every response —
+        success or error — so pipelined clients can correlate."""
+        client_id = request.get("id") if isinstance(request, dict) else None
         try:
             op = request.get("op")
             if not isinstance(op, str):
@@ -281,14 +423,16 @@ class QueryService:
             payload = handler(request)
             response = {"ok": True}
             response.update(payload)
-            return response
         except ReproError as error:
-            return protocol.error_response(
+            response = protocol.error_response(
                 protocol.error_code_for(error), str(error)
             )
         except Exception as error:  # pragma: no cover - defensive
             self.metrics.record_error()
-            return protocol.error_response(protocol.INTERNAL, str(error))
+            response = protocol.error_response(protocol.INTERNAL, str(error))
+        if client_id is not None:
+            response["id"] = client_id
+        return response
 
     def _op_ping(self, request: dict) -> dict:
         return {"pong": True}
@@ -329,6 +473,31 @@ class QueryService:
 
     def _op_refresh_stats(self, request: dict) -> dict:
         return self.refresh_statistics()
+
+    def _op_explain(self, request: dict) -> dict:
+        text = request.get("text")
+        if not isinstance(text, str):
+            raise ProtocolError("explain requires a string 'text'")
+        return self.explain_query(
+            text,
+            request.get("params"),
+            analyze=bool(request.get("analyze")),
+            timeout=_timeout_field(request),
+        )
+
+    def _op_trace(self, request: dict) -> dict:
+        text = request.get("text")
+        if not isinstance(text, str):
+            raise ProtocolError("trace requires a string 'text'")
+        return self.trace_query(
+            text,
+            request.get("params"),
+            execute=request.get("execute", True) is not False,
+            timeout=_timeout_field(request),
+        )
+
+    def _op_metrics(self, request: dict) -> dict:
+        return {"metrics": self.metrics_text()}
 
 
 def _timeout_field(request: dict) -> Optional[float]:
@@ -447,5 +616,60 @@ class QueryServer:
                 return protocol.error_response(
                     protocol.PROTOCOL, "shutdown is disabled on this server"
                 )
-            return {"ok": True, "stopping": True, "_shutdown": True}
+            response = {"ok": True, "stopping": True, "_shutdown": True}
+            if request.get("id") is not None:
+                response["id"] = request["id"]
+            return response
         return self.service.handle(request)
+
+
+class MetricsServer:
+    """A minimal HTTP sidecar exposing ``GET /metrics`` in Prometheus
+    text format (``repro serve --metrics-port``), so a standard scraper
+    can watch the service without speaking the query protocol."""
+
+    def __init__(
+        self, service: QueryService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        metrics = service.metrics
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.split("?", 1)[0] != "/metrics":
+                    self.send_error(404, "only /metrics is served here")
+                    return
+                body = metrics.to_prometheus().encode("utf-8")
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:
+                pass  # scrapes should not spam the server's stdout
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)

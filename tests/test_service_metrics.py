@@ -1,0 +1,152 @@
+"""ServiceMetrics: percentile math, the slow-query log, Prometheus
+exposition, and thread-safety under concurrent recording."""
+
+import random
+import statistics
+import threading
+
+import pytest
+
+from repro.engine.metrics import RuntimeMetrics
+from repro.service.metrics import QueryRecord, ServiceMetrics, _percentile
+
+
+def record(execute_seconds=0.001, request_id="", estimated=10.0, measured=12.0):
+    return QueryRecord(
+        canonical="select ...",
+        cache_status="hit",
+        estimated_cost=estimated,
+        measured_cost=measured,
+        optimize_seconds=0.0005,
+        execute_seconds=execute_seconds,
+        rows=3,
+        request_id=request_id,
+    )
+
+
+class TestPercentile:
+    def test_empty_and_singleton(self):
+        assert _percentile([], 0.5) == 0.0
+        assert _percentile([7.0], 0.95) == 7.0
+
+    def test_interpolates_between_ranks(self):
+        # p50 of [1, 2, 3, 10] sits halfway between 2 and 3.
+        assert _percentile([1.0, 2.0, 3.0, 10.0], 0.5) == pytest.approx(2.5)
+        # p75 of [0, 10] interpolates, not snaps to an endpoint.
+        assert _percentile([0.0, 10.0], 0.75) == pytest.approx(7.5)
+
+    def test_matches_statistics_quantiles(self):
+        """The service's percentile must agree with the stdlib's
+        inclusive (linear-interpolation) quantile method."""
+        rng = random.Random(1992)
+        for size in (2, 5, 20, 101, 256):
+            values = [rng.expovariate(1 / 5.0) for _ in range(size)]
+            quantiles = statistics.quantiles(
+                values, n=100, method="inclusive"
+            )
+            assert _percentile(values, 0.50) == pytest.approx(quantiles[49])
+            assert _percentile(values, 0.95) == pytest.approx(quantiles[94])
+
+    def test_monotone_in_fraction(self):
+        values = [5.0, 1.0, 9.0, 3.0, 7.0]
+        samples = [_percentile(values, f / 100) for f in range(0, 101, 5)]
+        assert samples == sorted(samples)
+        assert samples[0] == min(values) and samples[-1] == max(values)
+
+
+class TestSlowQueryLog:
+    def test_record_slow_keeps_reasons(self):
+        metrics = ServiceMetrics()
+        metrics.record_slow(record(request_id="r1"), ["took 2s"])
+        snapshot = metrics.snapshot()
+        assert snapshot["slow_queries"] == 1
+        assert snapshot["slow"][0]["request_id"] == "r1"
+        assert snapshot["slow"][0]["reasons"] == ["took 2s"]
+
+    def test_slow_ring_is_bounded(self):
+        metrics = ServiceMetrics(slow_window=8)
+        for i in range(50):
+            metrics.record_slow(record(request_id=f"r{i}"), ["slow"])
+        assert metrics.slow_queries == 50
+        assert len(metrics.slow) == 8
+        assert metrics.slow[-1]["request_id"] == "r49"
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        metrics = ServiceMetrics()
+        metrics.record_request()
+        metrics.count("cache_hit", 3)
+        metrics.count("cache_miss")
+        metrics.record_execution(record(execute_seconds=0.25), RuntimeMetrics())
+        text = metrics.to_prometheus()
+        assert text.endswith("\n")
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_requests_total 1" in text
+        assert 'repro_cache_lookups_total{status="hit"} 3' in text
+        assert 'repro_cache_lookups_total{status="miss"} 1' in text
+        assert 'repro_execute_latency_seconds{quantile="0.5"} 0.25' in text
+        assert "repro_execute_latency_seconds_count 1" in text
+        # Every non-comment line is `name{labels}? value`.
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name.startswith("repro_")
+            float(value)
+
+
+class TestConcurrency:
+    def test_hammer_from_threads(self):
+        """Counters stay consistent and the ring stays bounded when
+        many threads record at once."""
+        window = 64
+        metrics = ServiceMetrics(window=window, slow_window=16)
+        threads_n, per_thread = 8, 200
+        barrier = threading.Barrier(threads_n)
+        errors = []
+
+        def hammer(worker):
+            try:
+                barrier.wait()
+                for i in range(per_thread):
+                    metrics.record_request()
+                    metrics.count("cache_hit")
+                    runtime = RuntimeMetrics()
+                    runtime.predicate_evals = 2
+                    runtime.count_tuple("sel", "n1")
+                    metrics.record_execution(
+                        record(
+                            execute_seconds=0.001 * (i % 7),
+                            request_id=f"w{worker}-{i}",
+                        ),
+                        runtime,
+                    )
+                    if i % 10 == 0:
+                        metrics.record_slow(record(), ["hammered"])
+                    if i % 5 == 0:
+                        metrics.snapshot()
+                    if i % 6 == 0:
+                        metrics.to_prometheus()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        workers = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(threads_n)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        assert not errors
+        total = threads_n * per_thread
+        assert metrics.requests == total
+        assert metrics.executed == total
+        assert metrics.counters["cache_hit"] == total
+        assert metrics.slow_queries == threads_n * (per_thread // 10)
+        assert len(metrics.recent) == window
+        assert len(metrics.slow) == 16
+        assert metrics.runtime.predicate_evals == 2 * total
+        assert metrics.runtime.tuples_by_node["n1"] == total
+        assert metrics.optimize_seconds == pytest.approx(0.0005 * total)
