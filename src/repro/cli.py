@@ -13,7 +13,13 @@ Subcommands:
 * ``demo``               — the paper's Figure 3 walkthrough;
 * ``serve``              — long-running TCP query service with a plan
   cache, admission control and metrics (see ``docs/service.md``);
-  ``--metrics-port`` adds an HTTP ``/metrics`` Prometheus endpoint.
+  ``--metrics-port`` adds an HTTP ``/metrics`` Prometheus endpoint;
+* ``history``            — ask a running server for its per-plan
+  telemetry (estimated vs. measured, per operator);
+* ``feedback``           — inspect the feedback loop on a running
+  server, trigger a cost-model recalibration (``--recalibrate
+  --apply``), or pin/revert plans after a flagged regression
+  (see ``docs/observability.md``).
 
 The database is synthetic and parameterized from the command line
 (``--db music`` or ``--db parts``); queries are written in the OQL-like
@@ -211,7 +217,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="log queries whose measured cost diverges from the "
         "estimate by more than this factor (0 disables)",
     )
+    serve_parser.add_argument(
+        "--no-feedback",
+        action="store_true",
+        help="disable the telemetry store / feedback loop entirely",
+    )
+    serve_parser.add_argument(
+        "--history-file",
+        default=None,
+        metavar="JSONL",
+        help="persist query telemetry to this JSONL file (reloaded on "
+        "startup)",
+    )
+    serve_parser.add_argument(
+        "--regression-ratio",
+        type=float,
+        default=1.5,
+        help="flag a re-optimized plan whose median latency is worse "
+        "than the prior plan's by more than this factor",
+    )
+    serve_parser.add_argument(
+        "--profile-sample-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="profile every Nth query for per-operator actual costs "
+        "(0 records per-operator cardinalities only)",
+    )
+    serve_parser.add_argument(
+        "--auto-pin",
+        action="store_true",
+        help="automatically pin the prior plan when a regression is "
+        "flagged",
+    )
     add_common(serve_parser)
+
+    def add_client(p):
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=7654)
+        p.add_argument(
+            "--json", action="store_true", help="print the raw payload"
+        )
+
+    history_parser = sub.add_parser(
+        "history",
+        help="per-plan telemetry (estimated vs. measured) from a "
+        "running server",
+    )
+    history_parser.add_argument(
+        "--query",
+        default=None,
+        help="only queries whose canonical text contains this substring",
+    )
+    history_parser.add_argument("--limit", type=int, default=20)
+    add_client(history_parser)
+
+    feedback_parser = sub.add_parser(
+        "feedback",
+        help="inspect or drive the feedback loop on a running server",
+    )
+    feedback_parser.add_argument(
+        "--recalibrate",
+        action="store_true",
+        help="fit fresh cost-model weights from accumulated telemetry",
+    )
+    feedback_parser.add_argument(
+        "--apply",
+        action="store_true",
+        help="hot-swap the refit weights into the serving path "
+        "(implies --recalibrate)",
+    )
+    feedback_parser.add_argument(
+        "--pin",
+        metavar="QUERY_FILE",
+        default=None,
+        help="pin this query's cached plan against re-optimization",
+    )
+    feedback_parser.add_argument(
+        "--revert",
+        action="store_true",
+        help="with --pin: reinstall the plan that predates the last "
+        "flagged regression",
+    )
+    feedback_parser.add_argument(
+        "--unpin",
+        metavar="QUERY_FILE",
+        default=None,
+        help="release a pinned plan",
+    )
+    add_client(feedback_parser)
     return parser
 
 
@@ -418,6 +512,11 @@ def cmd_serve(args, out, server_box=None) -> int:
                 args.slow_query_ms / 1000.0 if args.slow_query_ms else None
             ),
             misestimate_ratio=args.misestimate_ratio or None,
+            feedback_enabled=not args.no_feedback,
+            history_path=args.history_file,
+            regression_ratio=args.regression_ratio,
+            profile_sample_every=args.profile_sample_every,
+            auto_pin=args.auto_pin,
         ),
     )
     server = QueryServer(
@@ -452,6 +551,139 @@ def cmd_serve(args, out, server_box=None) -> int:
     return 0
 
 
+def cmd_history(args, out) -> int:
+    """``repro history``: pretty-print a running server's telemetry."""
+    import json
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.host, args.port) as client:
+        payload = client.history(args.query, args.limit)
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str), file=out)
+        return 0
+    history = payload["history"]
+    print(
+        f"{history['plans']} plan(s) tracked, "
+        f"{history['dropped_plans']} dropped",
+        file=out,
+    )
+    for entry in history["queries"]:
+        print(file=out)
+        print(f"query [{entry['class']}]: {entry['query']}", file=out)
+        for plan in entry["plans"]:
+            print(
+                f"  plan {plan['fingerprint']}  runs={plan['runs']}  "
+                f"est_cost={plan['plan_cost']}  "
+                f"median={plan['median_execute_ms']}ms  "
+                f"cost_q={plan['cost_misestimate']}  "
+                f"op_q={plan['mean_operator_misestimate']}",
+                file=out,
+            )
+            for node_id, op in plan.get("operators", {}).items():
+                print(
+                    f"    {node_id:>4} {op['label']:<30} "
+                    f"est_rows={op['est_rows']} "
+                    f"rows_q={op['rows_q_error']} "
+                    f"cost_q={op['cost_q_error']} "
+                    f"samples={op['samples']}",
+                    file=out,
+                )
+    events = history.get("events", [])
+    if events:
+        print(file=out)
+        print(f"recent events ({len(events)}):", file=out)
+        for event in events[-10:]:
+            print(f"  {event.get('event', '?')}: {event}", file=out)
+    return 0
+
+
+def cmd_feedback(args, out) -> int:
+    """``repro feedback``: inspect/drive the loop on a running server."""
+    import json
+
+    from repro.service import ServiceClient
+
+    def read_file(path: str) -> str:
+        with open(path) as handle:
+            return handle.read()
+
+    with ServiceClient(args.host, args.port) as client:
+        if args.pin:
+            result = client.pin(read_file(args.pin), revert=args.revert)
+            if args.json:
+                print(json.dumps(result, indent=2, default=str), file=out)
+            else:
+                verb = "reverted to and pinned" if result["reverted"] else "pinned"
+                print(f"plan {result['fingerprint']} {verb}", file=out)
+            return 0
+        if args.unpin:
+            result = client.unpin(read_file(args.unpin))
+            if args.json:
+                print(json.dumps(result, indent=2, default=str), file=out)
+            else:
+                print(
+                    "plan unpinned" if result["found"] else "no cached plan",
+                    file=out,
+                )
+            return 0
+        if args.recalibrate or args.apply:
+            result = client.recalibrate(apply=args.apply)
+            if args.json:
+                print(json.dumps(result, indent=2, default=str), file=out)
+                return 0
+            print(
+                f"recalibrated from {result['samples']} observations "
+                f"(residual {result['residual']})",
+                file=out,
+            )
+            for event, weight in sorted(result["weights"].items()):
+                print(f"  {event:<18} {weight}", file=out)
+            if result["applied"]:
+                print(
+                    f"applied: {result['plans_invalidated']} cached plan(s) "
+                    "invalidated for re-optimization",
+                    file=out,
+                )
+            else:
+                print("dry run (use --apply to hot-swap)", file=out)
+            return 0
+        stats = client.stats()
+        feedback = stats.get("feedback")
+        if feedback is None:
+            print("feedback loop is disabled on this server", file=out)
+            return 1
+        if args.json:
+            print(json.dumps(feedback, indent=2, default=str), file=out)
+            return 0
+        print(
+            f"tracked plans      : {feedback['tracked_plans']}\n"
+            f"recalibrations     : {feedback['recalibrations']}\n"
+            f"regressions flagged: {feedback['regressions_flagged']}",
+            file=out,
+        )
+        if feedback.get("last_calibration"):
+            print(
+                f"last calibration   : {feedback['last_calibration']}",
+                file=out,
+            )
+        for change in feedback.get("pending_changes", []):
+            print(
+                f"watching plan change {change['old_fingerprint']} -> "
+                f"{change['new_fingerprint']} ({change['reason']}) "
+                f"for: {change['query']}",
+                file=out,
+            )
+        for regression in feedback.get("regressions", []):
+            print(
+                f"REGRESSION {regression['old_fingerprint']} -> "
+                f"{regression['new_fingerprint']} ({regression['reason']}) "
+                f"for: {regression['query']}",
+                file=out,
+            )
+    return 0
+
+
 def cmd_demo(args, out) -> int:
     import tempfile
 
@@ -478,6 +710,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return cmd_demo(args, out)
         if args.command == "serve":
             return cmd_serve(args, out)
+        if args.command == "history":
+            return cmd_history(args, out)
+        if args.command == "feedback":
+            return cmd_feedback(args, out)
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

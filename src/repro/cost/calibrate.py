@@ -28,7 +28,15 @@ from repro.engine.metrics import RuntimeMetrics
 from repro.physical.schema import PhysicalSchema
 from repro.plans.nodes import PlanNode
 
-__all__ = ["ProbeResult", "CalibratedWeights", "collect_probes", "fit_weights", "calibrate"]
+__all__ = [
+    "ProbeResult",
+    "CalibratedWeights",
+    "collect_probes",
+    "fit_weights",
+    "calibrate",
+    "events_of",
+    "fit_from_samples",
+]
 
 EVENT_NAMES = (
     "physical_reads",
@@ -80,7 +88,8 @@ class CalibratedWeights:
         )
 
 
-def _events_of(metrics: RuntimeMetrics) -> Dict[str, float]:
+def events_of(metrics: RuntimeMetrics) -> Dict[str, float]:
+    """The calibration feature vector of one measured run."""
     return {
         "physical_reads": float(metrics.buffer.physical_reads),
         "index_page_reads": float(metrics.index_page_reads),
@@ -88,6 +97,10 @@ def _events_of(metrics: RuntimeMetrics) -> Dict[str, float]:
         "method_weight": float(metrics.method_eval_weight),
         "tuples": float(metrics.total_tuples),
     }
+
+
+#: Backward-compatible alias (pre-feedback-loop internal name).
+_events_of = events_of
 
 
 def collect_probes(
@@ -161,3 +174,25 @@ def calibrate(
 ) -> CalibratedWeights:
     """Convenience: collect probes and fit in one call."""
     return fit_weights(collect_probes(physical, plans, target_fn))
+
+
+def fit_from_samples(samples: Sequence[Dict[str, float]]) -> CalibratedWeights:
+    """Fit unit weights from recorded samples instead of live probes.
+
+    Each sample is a mapping with the :data:`EVENT_NAMES` feature
+    counts plus a ``target`` cost — exactly what
+    :meth:`repro.obs.history.QueryTelemetryStore.calibration_samples`
+    yields, so the service can recalibrate from accumulated production
+    telemetry (the *online* counterpart of :func:`calibrate`).
+    """
+    probes = [
+        ProbeResult(
+            label=str(sample.get("label", f"sample{index}")),
+            events={
+                name: float(sample.get(name, 0.0)) for name in EVENT_NAMES
+            },
+            target_cost=float(sample["target"]),
+        )
+        for index, sample in enumerate(samples)
+    ]
+    return fit_weights(probes)

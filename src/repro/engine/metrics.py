@@ -77,6 +77,21 @@ class RuntimeMetrics:
         cpu = self.predicate_evals + self.method_eval_weight
         return io * page_read_cost + cpu * eval_cost
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form, used by telemetry persistence
+        (:mod:`repro.obs.history`) and the ``stats`` protocol op."""
+        return {
+            "predicate_evals": self.predicate_evals,
+            "expr_evals": self.expr_evals,
+            "method_eval_weight": round(self.method_eval_weight, 4),
+            "index_lookups": self.index_lookups,
+            "index_page_reads": round(self.index_page_reads, 4),
+            "fix_iterations": self.fix_iterations,
+            "physical_reads": self.buffer.physical_reads,
+            "total_tuples": self.total_tuples,
+            "tuples_by_node": dict(self.tuples_by_node),
+        }
+
     def merge(self, other: "RuntimeMetrics") -> None:
         """Accumulate another run's counters into this one."""
         self.predicate_evals += other.predicate_evals

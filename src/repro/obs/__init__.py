@@ -14,10 +14,34 @@ makes those decisions — and their runtime consequences — inspectable:
   per PT node, per-Fix-iteration deltas);
 * :mod:`repro.obs.explain` — merges the cost model's per-node
   estimates with the profiler's actuals into an ``EXPLAIN ANALYZE``
-  tree (the continuous Figure 5/6 estimated-vs-measured audit).
+  tree (the continuous Figure 5/6 estimated-vs-measured audit);
+* :mod:`repro.obs.history` — the persistent
+  :class:`~repro.obs.history.QueryTelemetryStore`: per plan
+  fingerprint and per operator, estimated vs. measured cardinalities,
+  reads, evaluations and wall time, bounded in memory and persistable
+  as JSONL across restarts;
+* :mod:`repro.obs.feedback` — the control loop on top of the store:
+  online cost-model recalibration from production actuals and
+  plan-regression detection with pinning support.
 """
 
 from repro.obs.explain import ExplainNode, build_explain, render_explain
+from repro.obs.feedback import (
+    FeedbackConfig,
+    FeedbackManager,
+    PlanChange,
+    build_observation,
+    operator_estimates,
+    plan_diff,
+)
+from repro.obs.history import (
+    Observation,
+    OperatorActual,
+    OperatorEstimate,
+    PlanHistory,
+    QueryTelemetryStore,
+    plan_fingerprint,
+)
 from repro.obs.profile import FixIterationProfile, NodeProfile, PlanProfiler
 from repro.obs.trace import NULL_TRACER, Span, SpanEvent, Tracer
 
@@ -32,4 +56,16 @@ __all__ = [
     "build_explain",
     "render_explain",
     "ExplainNode",
+    "QueryTelemetryStore",
+    "PlanHistory",
+    "Observation",
+    "OperatorActual",
+    "OperatorEstimate",
+    "plan_fingerprint",
+    "FeedbackConfig",
+    "FeedbackManager",
+    "PlanChange",
+    "build_observation",
+    "operator_estimates",
+    "plan_diff",
 ]

@@ -1,0 +1,455 @@
+"""The feedback loop: telemetry → recalibration → regression detection.
+
+The paper's push/no-push decisions are only as good as the cost
+model's constants and cardinality estimates; this module makes the
+optimizer *cost-controlled* in the closed-loop sense by feeding the
+measured actuals of :class:`~repro.obs.history.QueryTelemetryStore`
+back into the decision machinery:
+
+* **online recalibration** — reuses the NNLS fit of
+  :mod:`repro.cost.calibrate`, but sources the probes from accumulated
+  production observations instead of a synthetic probe workload.  The
+  result is an updated :class:`~repro.cost.params.CostParameters` the
+  service can hot-swap behind a flag;
+* **plan-regression detection** — when drift invalidation or a
+  recalibration makes the plan cache re-optimize a cached query, the
+  old and new PTs are diffed (operator inventory + push/no-push
+  choice) and the new plan is put on watch.  Once it has enough runs,
+  its *measured* latency history is compared against the old plan's;
+  beyond ``regression_ratio`` the change is flagged as a
+  ``plan_regression`` event carrying both plan fingerprints — and the
+  old plan is kept around so the service can *pin* it back.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cost.params import CostParameters
+from repro.errors import ServiceError
+from repro.obs.explain import EVAL_COST, PAGE_READ_COST
+from repro.obs.history import (
+    Observation,
+    OperatorActual,
+    OperatorEstimate,
+    PlanHistory,
+    QueryTelemetryStore,
+    plan_fingerprint,
+)
+from repro.obs.profile import PlanProfiler, assign_node_ids
+
+__all__ = [
+    "FeedbackConfig",
+    "FeedbackManager",
+    "PlanChange",
+    "build_observation",
+    "operator_estimates",
+    "plan_diff",
+    "plan_pushes_into_recursion",
+]
+
+
+@dataclass
+class FeedbackConfig:
+    """Knobs of the control loop."""
+
+    #: Per-plan observation ring size.
+    history_window: int = 128
+    #: How many plan histories to keep (least-recently-observed drop).
+    max_plans: int = 256
+    #: JSONL file the telemetry survives restarts in; ``None`` keeps
+    #: history in memory only.
+    persist_path: Optional[str] = None
+    #: A re-optimized plan whose median measured latency exceeds the
+    #: old plan's by more than this factor is flagged as a regression.
+    regression_ratio: float = 1.5
+    #: Runs of the new plan required before the comparison is made.
+    regression_min_runs: int = 3
+    #: Observations required before :meth:`FeedbackManager.recalibrate`
+    #: will fit (the NNLS itself needs at least five).
+    recalibrate_min_samples: int = 8
+    #: Profile every Nth query so per-operator actual costs accumulate
+    #: with bounded overhead; 0 records cardinalities only.
+    profile_sample_every: int = 0
+    #: Automatically pin the old plan when a regression is flagged.
+    auto_pin: bool = False
+
+
+@dataclass
+class PlanChange:
+    """One re-optimization of a cached query, under watch."""
+
+    canonical: str
+    old_fingerprint: str
+    new_fingerprint: str
+    old_plan: object
+    old_cost: float
+    new_cost: float
+    reason: str
+    diff: dict = field(default_factory=dict)
+    at: float = field(default_factory=time.time)
+    #: ``None`` while pending, then ``"regression"`` or ``"ok"``.
+    verdict: Optional[str] = None
+
+
+# -- plan structure helpers ---------------------------------------------------
+
+
+def plan_pushes_into_recursion(plan) -> bool:
+    """Whether a PT carries a selection inside a ``Fix`` body (the
+    paper's push-through-recursion choice)."""
+    from repro.plans.nodes import Fix, Sel
+
+    for node in plan.walk():
+        if isinstance(node, Fix):
+            for inner in node.body.walk():
+                if isinstance(inner, Sel):
+                    return True
+    return False
+
+
+def _operator_inventory(plan) -> Dict[str, int]:
+    inventory: Dict[str, int] = {}
+    for node in plan.walk():
+        key = f"{type(node).__name__} {node.label()}"
+        inventory[key] = inventory.get(key, 0) + 1
+    return inventory
+
+
+def plan_diff(old_plan, new_plan) -> dict:
+    """Operator-tree diff between two PTs: the push decision on each
+    side plus the operators only one side has."""
+    old_ops = _operator_inventory(old_plan)
+    new_ops = _operator_inventory(new_plan)
+    removed = [
+        op
+        for op, count in old_ops.items()
+        for _ in range(count - new_ops.get(op, 0))
+        if count > new_ops.get(op, 0)
+    ]
+    added = [
+        op
+        for op, count in new_ops.items()
+        for _ in range(count - old_ops.get(op, 0))
+        if count > old_ops.get(op, 0)
+    ]
+    return {
+        "old_push": plan_pushes_into_recursion(old_plan),
+        "new_push": plan_pushes_into_recursion(new_plan),
+        "removed": removed,
+        "added": added,
+        "old_size": sum(old_ops.values()),
+        "new_size": sum(new_ops.values()),
+    }
+
+
+def operator_estimates(plan, cost_model) -> Dict[str, OperatorEstimate]:
+    """Per-node estimates keyed by the stable pre-order node ids —
+    computed once per plan registration, not per query."""
+    if cost_model is None:
+        return {}
+    try:
+        _report, captured = cost_model.annotated_report(plan)
+    except Exception:
+        return {}
+    node_ids = assign_node_ids(plan)
+    estimates: Dict[str, OperatorEstimate] = {}
+    for node in plan.walk():
+        node_id = node_ids[id(node)]
+        if node_id in estimates:
+            continue
+        entry = OperatorEstimate(node_id, node.label(), type(node).__name__)
+        capture = captured.get(id(node))
+        if capture is not None:
+            entry.est_rows = round(capture.tuples, 4)
+            entry.est_cost = round(capture.cost, 4)
+        estimates[node_id] = entry
+    return estimates
+
+
+def build_observation(
+    request_id: str,
+    estimated_cost: float,
+    measured_cost: float,
+    execute_seconds: float,
+    rows: int,
+    runtime,
+    profiler: Optional[PlanProfiler] = None,
+) -> Observation:
+    """Turn one execution's metrics into a telemetry observation.
+
+    Profiled runs carry full per-node actuals (rows, cost, time,
+    reads, evals); plain runs carry the per-node cardinalities the
+    engine already counts in
+    :attr:`~repro.engine.metrics.RuntimeMetrics.tuples_by_node` — free
+    either way on the serving hot path.
+    """
+    # Imported here (not at module scope): calibrate pulls in the
+    # engine, whose import re-enters this package.
+    from repro.cost.calibrate import events_of
+
+    operators: Dict[str, OperatorActual] = {}
+    if profiler is not None:
+        for node_id, profile in profiler.profiles.items():
+            reads = profile.page_reads + profile.index_page_reads
+            operators[node_id] = OperatorActual(
+                rows=profile.tuples_out,
+                cost=reads * PAGE_READ_COST
+                + profile.predicate_evals * EVAL_COST,
+                seconds=profile.wall_seconds,
+                page_reads=reads,
+                predicate_evals=profile.predicate_evals,
+            )
+    else:
+        for node_id, count in runtime.tuples_by_node.items():
+            operators[node_id] = OperatorActual(rows=count)
+    return Observation(
+        at=time.time(),
+        request_id=request_id,
+        estimated_cost=estimated_cost,
+        measured_cost=measured_cost,
+        execute_seconds=execute_seconds,
+        rows=rows,
+        events=events_of(runtime),
+        operators=operators,
+        profiled=profiler is not None,
+    )
+
+
+class FeedbackManager:
+    """Owns the telemetry store, the pending plan changes, and the
+    recalibration entry point.  Thread-safe; one per service."""
+
+    def __init__(self, config: Optional[FeedbackConfig] = None) -> None:
+        self.config = config or FeedbackConfig()
+        self.store = QueryTelemetryStore(
+            window=self.config.history_window,
+            max_plans=self.config.max_plans,
+            persist_path=self.config.persist_path,
+        )
+        self._lock = threading.Lock()
+        #: canonical query -> plan change awaiting a verdict.
+        self._pending: Dict[str, PlanChange] = {}
+        #: canonical query -> the last change flagged as a regression
+        #: (keeps the old plan object alive for pinning).
+        self._regressions: Dict[str, PlanChange] = {}
+        self._sample_counter = 0
+        self.recalibrations = 0
+        self.regressions_flagged = 0
+        self.last_calibration: Optional[dict] = None
+
+    # -- the per-query path --------------------------------------------------
+
+    def should_profile(self) -> bool:
+        """Sampling decision for the periodic profiled run."""
+        every = self.config.profile_sample_every
+        if every <= 0:
+            return False
+        with self._lock:
+            self._sample_counter += 1
+            return self._sample_counter % every == 0
+
+    def register_plan(
+        self, canonical: str, plan, plan_cost: float, cost_model=None
+    ) -> str:
+        """Fingerprint a (new or re-registered) plan and freeze its
+        per-node estimates; returns the fingerprint."""
+        fingerprint = plan_fingerprint(plan)
+        self.store.register_plan(
+            canonical,
+            fingerprint,
+            plan_cost,
+            operator_estimates(plan, cost_model),
+        )
+        return fingerprint
+
+    def plan_changed(
+        self,
+        canonical: str,
+        old_plan,
+        old_cost: float,
+        new_plan,
+        new_cost: float,
+        reason: str,
+    ) -> Optional[dict]:
+        """A cached query was re-optimized; put the new plan on watch.
+
+        Returns the recorded ``plan_change`` event, or ``None`` when
+        the "new" plan is structurally identical to the old one.
+        """
+        old_fp = plan_fingerprint(old_plan)
+        new_fp = plan_fingerprint(new_plan)
+        if old_fp == new_fp:
+            return None
+        change = PlanChange(
+            canonical,
+            old_fp,
+            new_fp,
+            old_plan,
+            old_cost,
+            new_cost,
+            reason,
+            plan_diff(old_plan, new_plan),
+        )
+        with self._lock:
+            self._pending[canonical] = change
+        return self.store.record_event(
+            "plan_change",
+            query=canonical,
+            old_fingerprint=old_fp,
+            new_fingerprint=new_fp,
+            reason=reason,
+            diff=change.diff,
+        )
+
+    def observe(
+        self, canonical: str, fingerprint: str, observation: Observation
+    ) -> Optional[dict]:
+        """Record one execution; returns a ``plan_regression`` event
+        when this run settles a pending plan change as a regression."""
+        self.store.record(fingerprint, observation)
+        return self._judge_pending(canonical, fingerprint)
+
+    def _judge_pending(
+        self, canonical: str, fingerprint: str
+    ) -> Optional[dict]:
+        with self._lock:
+            change = self._pending.get(canonical)
+            if change is None or change.new_fingerprint != fingerprint:
+                return None
+        new_history = self.store.plan(change.new_fingerprint)
+        old_history = self.store.plan(change.old_fingerprint)
+        if (
+            new_history is None
+            or len(new_history.observations) < self.config.regression_min_runs
+        ):
+            return None
+        with self._lock:
+            self._pending.pop(canonical, None)
+        if old_history is None or not old_history.observations:
+            return None  # nothing to compare against
+        old_median = old_history.median_latency() or 0.0
+        new_median = new_history.median_latency() or 0.0
+        ratio = new_median / max(old_median, 1e-9)
+        if ratio <= self.config.regression_ratio:
+            change.verdict = "ok"
+            self.store.record_event(
+                "plan_change_ok",
+                query=canonical,
+                old_fingerprint=change.old_fingerprint,
+                new_fingerprint=change.new_fingerprint,
+                latency_ratio=round(ratio, 3),
+            )
+            return None
+        change.verdict = "regression"
+        with self._lock:
+            self._regressions[canonical] = change
+            self.regressions_flagged += 1
+        return self.store.record_event(
+            "plan_regression",
+            query=canonical,
+            old_fingerprint=change.old_fingerprint,
+            new_fingerprint=change.new_fingerprint,
+            old_median_ms=round(old_median * 1000, 3),
+            new_median_ms=round(new_median * 1000, 3),
+            latency_ratio=round(ratio, 3),
+            reason=change.reason,
+            diff=change.diff,
+            auto_pin=self.config.auto_pin,
+        )
+
+    # -- pinning support -----------------------------------------------------
+
+    def regression_for(self, canonical: str) -> Optional[PlanChange]:
+        """The last flagged regression of a query (old plan included)."""
+        with self._lock:
+            return self._regressions.get(canonical)
+
+    def record_pin(self, canonical: str, fingerprint: str, pinned: bool) -> dict:
+        with self._lock:
+            if pinned:
+                self._regressions.pop(canonical, None)
+                self._pending.pop(canonical, None)
+        return self.store.record_event(
+            "plan_pinned" if pinned else "plan_unpinned",
+            query=canonical,
+            fingerprint=fingerprint,
+        )
+
+    # -- recalibration -------------------------------------------------------
+
+    def recalibrate(self, base: Optional[CostParameters] = None):
+        """Fit fresh unit weights from the accumulated production
+        actuals (the online counterpart of
+        :func:`repro.cost.calibrate.calibrate`); returns
+        ``(CalibratedWeights, CostParameters, report_dict)``."""
+        from repro.cost.calibrate import fit_from_samples
+
+        samples = self.store.calibration_samples()
+        needed = max(self.config.recalibrate_min_samples, 5)
+        if len(samples) < needed:
+            raise ServiceError(
+                f"recalibration needs at least {needed} observed "
+                f"queries, have {len(samples)}"
+            )
+        weights = fit_from_samples(samples)
+        params = weights.to_parameters(base)
+        with self._lock:
+            self.recalibrations += 1
+        report = {
+            "samples": len(samples),
+            "residual": round(weights.residual, 6),
+            "weights": {
+                name: round(value, 6)
+                for name, value in weights.weights.items()
+            },
+            "parameters": {
+                "page_read": params.page_read,
+                "eval_per_tuple": params.eval_per_tuple,
+                "tuple_cpu": params.tuple_cpu,
+                "index_page": params.index_page,
+            },
+        }
+        self.last_calibration = report
+        self.store.record_event("recalibration", **report)
+        return weights, params, report
+
+    # -- reporting -----------------------------------------------------------
+
+    def misestimate_by_query(self) -> Dict[str, dict]:
+        return self.store.misestimate_by_query()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            pending = [
+                {
+                    "query": change.canonical,
+                    "old_fingerprint": change.old_fingerprint,
+                    "new_fingerprint": change.new_fingerprint,
+                    "reason": change.reason,
+                }
+                for change in self._pending.values()
+            ]
+            regressions = [
+                {
+                    "query": change.canonical,
+                    "old_fingerprint": change.old_fingerprint,
+                    "new_fingerprint": change.new_fingerprint,
+                    "reason": change.reason,
+                }
+                for change in self._regressions.values()
+            ]
+        return {
+            "recalibrations": self.recalibrations,
+            "regressions_flagged": self.regressions_flagged,
+            "pending_changes": pending,
+            "regressions": regressions,
+            "last_calibration": self.last_calibration,
+            "tracked_plans": len(self.store),
+        }
+
+    def close(self) -> None:
+        self.store.close()

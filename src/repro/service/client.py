@@ -121,5 +121,43 @@ class ServiceClient:
     def refresh_stats(self) -> dict:
         return self.request({"op": "refresh_stats"})
 
+    def history(
+        self, query: Optional[str] = None, limit: Optional[int] = None
+    ) -> dict:
+        """Per-query plan histories (estimated vs. measured) plus the
+        feedback-loop state; ``query`` substring-filters."""
+        payload: dict = {"op": "history"}
+        if query is not None:
+            payload["query"] = query
+        if limit is not None:
+            payload["limit"] = limit
+        return self.request(payload)
+
+    def recalibrate(self, apply: bool = False) -> dict:
+        """Fit cost-model weights from accumulated telemetry; with
+        ``apply``, hot-swap them into the serving path."""
+        return self.request({"op": "recalibrate", "apply": apply})
+
+    def pin(
+        self,
+        text: str,
+        params: Optional[Dict[str, object]] = None,
+        revert: bool = False,
+    ) -> dict:
+        """Pin a query's cached plan; ``revert`` reinstalls the prior
+        plan of its last flagged regression."""
+        payload: dict = {"op": "pin", "text": text, "revert": revert}
+        if params is not None:
+            payload["params"] = params
+        return self.request(payload)
+
+    def unpin(
+        self, text: str, params: Optional[Dict[str, object]] = None
+    ) -> dict:
+        payload: dict = {"op": "unpin", "text": text}
+        if params is not None:
+            payload["params"] = params
+        return self.request(payload)
+
     def shutdown(self) -> dict:
         return self.request({"op": "shutdown"})

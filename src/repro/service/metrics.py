@@ -21,7 +21,12 @@ from typing import Deque, Dict, List, Optional
 
 from repro.engine.metrics import RuntimeMetrics
 
-__all__ = ["QueryRecord", "ServiceMetrics"]
+__all__ = [
+    "LATENCY_BUCKETS",
+    "LatencyHistogram",
+    "QueryRecord",
+    "ServiceMetrics",
+]
 
 
 @dataclass
@@ -48,6 +53,75 @@ class QueryRecord:
             "rows": self.rows,
             "request_id": self.request_id,
         }
+
+
+#: Upper bounds (seconds) of the execute-latency histogram.  Unlike the
+#: windowed percentile summary, the bucket counters are cumulative
+#: since process start — Prometheus can ``rate()`` and aggregate them
+#: across scrapes and restarts.
+LATENCY_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket cumulative histogram (Prometheus ``_bucket``/``le``
+    exposition).  Not thread-safe on its own; the owning registry's
+    lock covers it."""
+
+    def __init__(self, buckets=LATENCY_BUCKETS) -> None:
+        self.buckets = tuple(buckets)
+        self.counts = [0] * len(self.buckets)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.total += 1
+        self.sum += seconds
+        for index, bound in enumerate(self.buckets):
+            if seconds <= bound:
+                self.counts[index] += 1
+
+    def snapshot(self) -> dict:
+        cumulative = {}
+        for bound, count in zip(self.buckets, self.counts):
+            cumulative[f"{bound:g}"] = count
+        cumulative["+Inf"] = self.total
+        return {
+            "buckets": cumulative,
+            "sum": round(self.sum, 6),
+            "count": self.total,
+        }
+
+    def exposition(self, name: str, help_text: str) -> List[str]:
+        lines = [
+            f"# HELP {name} {help_text}",
+            f"# TYPE {name} histogram",
+        ]
+        for bound, count in zip(self.buckets, self.counts):
+            lines.append(f'{name}_bucket{{le="{bound:g}"}} {count}')
+        lines.append(f'{name}_bucket{{le="+Inf"}} {self.total}')
+        lines.append(f"{name}_sum {_number(self.sum)}")
+        lines.append(f"{name}_count {self.total}")
+        return lines
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
 
 
 def _percentile(values: List[float], fraction: float) -> float:
@@ -86,6 +160,14 @@ class ServiceMetrics:
         self.recent: Deque[QueryRecord] = deque(maxlen=window)
         #: The slow-query log: record dicts plus why they qualified.
         self.slow: Deque[dict] = deque(maxlen=slow_window)
+        #: Cumulative execute-latency histogram (dashboards aggregate
+        #: the bucket counters across restarts; the percentile summary
+        #: above only covers the recent window).
+        self.latency_histogram = LatencyHistogram()
+        #: Labelled gauges: name -> (help text, {labels-tuple: value}).
+        #: The feedback loop publishes per-query-class misestimate
+        #: ratios here.
+        self.gauges: Dict[str, tuple] = {}
 
     # -- recording ----------------------------------------------------------
 
@@ -122,9 +204,26 @@ class ServiceMetrics:
             self.executed += 1
             self.optimize_seconds += record.optimize_seconds
             self.execute_seconds += record.execute_seconds
+            self.latency_histogram.observe(record.execute_seconds)
             if runtime is not None:
                 self.runtime.merge(runtime)
             self.recent.append(record)
+
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        help_text: str = "",
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Publish one labelled gauge sample (overwrites the previous
+        value for the same label set)."""
+        label_key = tuple(sorted((labels or {}).items()))
+        with self._lock:
+            help_known, samples = self.gauges.get(name, ("", {}))
+            samples = dict(samples)
+            samples[label_key] = value
+            self.gauges[name] = (help_text or help_known, samples)
 
     def record_slow(self, record: QueryRecord, reasons: List[str]) -> None:
         """Admit one query into the slow-query log."""
@@ -168,6 +267,7 @@ class ServiceMetrics:
                 "fix_iterations": self.runtime.fix_iterations,
                 "page_reads": self.runtime.buffer.physical_reads,
                 "predicate_evals": self.runtime.predicate_evals,
+                "latency_histogram": self.latency_histogram.snapshot(),
                 "recent": [r.to_dict() for r in list(self.recent)[-10:]],
                 "slow": list(self.slow),
             }
@@ -208,6 +308,46 @@ class ServiceMetrics:
                         f'repro_cache_lookups_total{{status="{status}"}} '
                         f"{_number(value)}"
                     )
+
+            # Feedback-loop counters (zero until the loop acts, but
+            # always exposed so dashboards can alert on them).
+            counter(
+                "recalibrations_total",
+                "Online cost-model recalibrations performed.",
+                counters.get("recalibrations", 0),
+            )
+            counter(
+                "plan_regressions_total",
+                "Plan changes flagged as latency regressions.",
+                counters.get("plan_regressions", 0),
+            )
+            counter(
+                "plans_pinned_total",
+                "Plans pinned against drift re-optimization.",
+                counters.get("plans_pinned", 0),
+            )
+
+            for name, (help_text, samples) in sorted(self.gauges.items()):
+                lines.append(f"# HELP repro_{name} {help_text}")
+                lines.append(f"# TYPE repro_{name} gauge")
+                for label_key, value in sorted(samples.items()):
+                    if label_key:
+                        rendered = ",".join(
+                            f'{key}="{_escape_label(str(val))}"'
+                            for key, val in label_key
+                        )
+                        lines.append(
+                            f"repro_{name}{{{rendered}}} {_number(value)}"
+                        )
+                    else:
+                        lines.append(f"repro_{name} {_number(value)}")
+
+            lines.extend(
+                self.latency_histogram.exposition(
+                    "repro_execute_latency_hist_seconds",
+                    "Execute latency histogram (cumulative since start).",
+                )
+            )
 
             lines.append("# HELP repro_execute_latency_seconds Execute latency over the recent window.")
             lines.append("# TYPE repro_execute_latency_seconds summary")

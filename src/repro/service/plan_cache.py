@@ -26,17 +26,19 @@ from __future__ import annotations
 
 import hashlib
 import threading
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.cost.recost import recost_plan
+from repro.errors import ReproError
 from repro.lang.canonical import canonical_text
 from repro.physical.schema import PhysicalSchema
 from repro.plans.nodes import PlanNode
 
 __all__ = [
     "CacheKey",
+    "CacheStats",
     "CachedPlan",
     "LookupResult",
     "PlanCache",
@@ -49,6 +51,12 @@ HIT = "hit"
 REVALIDATED = "revalidated"
 DRIFTED = "drifted"
 MISS = "miss"
+
+#: Invalidation reasons (recorded in :class:`CacheStats`).
+COST_DRIFT = "cost_drift"
+STATS_FINGERPRINT = "stats_fingerprint"
+RECALIBRATION = "recalibration"
+EXPLICIT = "explicit"
 
 CacheKey = Tuple[str, str]
 
@@ -113,6 +121,13 @@ class CachedPlan:
     stats_fp: str
     hits: int = 0
     revalidations: int = 0
+    #: A pinned plan survives drift checks (its cost is still refreshed
+    #: for observability, but the entry is never drift-evicted) — the
+    #: regression detector's "revert to the prior plan" lever.
+    pinned: bool = False
+    #: Structural plan fingerprint (:func:`repro.obs.history.plan_fingerprint`),
+    #: filled in by the service so telemetry lookups skip a tree walk.
+    fingerprint: Optional[str] = None
 
 
 @dataclass
@@ -123,6 +138,12 @@ class LookupResult:
     entry: Optional[CachedPlan] = None
     #: Fresh estimate computed during a revalidation/drift check.
     recost: Optional[float] = None
+    #: Why an entry was invalidated (``cost_drift`` /
+    #: ``stats_fingerprint``), when ``status`` is ``drifted``.
+    reason: Optional[str] = None
+    #: The invalidated entry itself, so the caller (the regression
+    #: detector) can compare the old plan against its replacement.
+    evicted: Optional[CachedPlan] = None
 
 
 @dataclass
@@ -132,6 +153,13 @@ class CacheStats:
     revalidations: int = 0
     invalidations: int = 0
     evictions: int = 0
+    #: Invalidations broken down by why the entry was dropped.
+    invalidations_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: Bounded ring of recent invalidation events: which key, why, and
+    #: the cost evidence — the regression detector's audit trail.
+    recent_invalidations: Deque[dict] = field(
+        default_factory=lambda: deque(maxlen=32)
+    )
 
     @property
     def lookups(self) -> int:
@@ -141,12 +169,36 @@ class CacheStats:
     def hit_ratio(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def record_invalidation(
+        self,
+        key: CacheKey,
+        reason: str,
+        old_cost: Optional[float] = None,
+        new_cost: Optional[float] = None,
+    ) -> None:
+        self.invalidations += 1
+        self.invalidations_by_reason[reason] = (
+            self.invalidations_by_reason.get(reason, 0) + 1
+        )
+        entry: Dict[str, object] = {
+            "query": key[0],
+            "schema_fp": key[1],
+            "reason": reason,
+        }
+        if old_cost is not None:
+            entry["old_cost"] = round(old_cost, 2)
+        if new_cost is not None:
+            entry["new_cost"] = round(new_cost, 2)
+        self.recent_invalidations.append(entry)
+
     def snapshot(self) -> dict:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "revalidations": self.revalidations,
             "invalidations": self.invalidations,
+            "invalidations_by_reason": dict(self.invalidations_by_reason),
+            "recent_invalidations": list(self.recent_invalidations),
             "evictions": self.evictions,
             "hit_ratio": round(self.hit_ratio, 4),
         }
@@ -202,8 +254,24 @@ class PlanCache:
                 entry.hits += 1
                 self.stats.hits += 1
                 return LookupResult(HIT, entry)
-            fresh_cost = recost_plan(entry.plan, physical, cost_model)
-            if self._within_drift(entry.cost, fresh_cost):
+            try:
+                fresh_cost = recost_plan(entry.plan, physical, cost_model)
+            except ReproError:
+                # The statistics moved under the plan in a way the model
+                # can no longer cost (an entity or index the plan relies
+                # on lost its statistics): the fingerprint itself is the
+                # invalidation reason.
+                if not entry.pinned:
+                    del self._entries[key]
+                    self.stats.misses += 1
+                    self.stats.record_invalidation(
+                        key, STATS_FINGERPRINT, old_cost=entry.cost
+                    )
+                    return LookupResult(
+                        DRIFTED, reason=STATS_FINGERPRINT, evicted=entry
+                    )
+                fresh_cost = entry.cost
+            if entry.pinned or self._within_drift(entry.cost, fresh_cost):
                 entry.cost = fresh_cost
                 entry.stats_fp = current_fp
                 entry.revalidations += 1
@@ -214,15 +282,24 @@ class PlanCache:
                 return LookupResult(REVALIDATED, entry, recost=fresh_cost)
             del self._entries[key]
             self.stats.misses += 1
-            self.stats.invalidations += 1
-            return LookupResult(DRIFTED, recost=fresh_cost)
+            self.stats.record_invalidation(
+                key, COST_DRIFT, old_cost=entry.cost, new_cost=fresh_cost
+            )
+            return LookupResult(
+                DRIFTED, recost=fresh_cost, reason=COST_DRIFT, evicted=entry
+            )
 
     def store(
-        self, key: CacheKey, plan: PlanNode, cost: float, physical: PhysicalSchema
+        self,
+        key: CacheKey,
+        plan: PlanNode,
+        cost: float,
+        physical: PhysicalSchema,
+        pinned: bool = False,
     ) -> CachedPlan:
         """Insert (or replace) the entry for ``key``, evicting LRU
         entries beyond capacity."""
-        entry = CachedPlan(plan, cost, stats_fingerprint(physical))
+        entry = CachedPlan(plan, cost, stats_fingerprint(physical), pinned=pinned)
         with self._lock:
             if key in self._entries:
                 del self._entries[key]
@@ -236,16 +313,73 @@ class PlanCache:
         baseline = max(abs(old), 1e-9)
         return abs(new - old) / baseline <= self.drift_ratio
 
+    # -- pinning ------------------------------------------------------------
+
+    def entry(self, key: CacheKey) -> Optional[CachedPlan]:
+        """Peek at an entry without counting a lookup."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def pin(self, key: CacheKey, pinned: bool = True) -> bool:
+        """Mark an entry as pinned (exempt from drift eviction) or
+        release it; returns whether the key was present."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            entry.pinned = pinned
+            return True
+
+    def pinned_keys(self):
+        with self._lock:
+            return [
+                key for key, entry in self._entries.items() if entry.pinned
+            ]
+
     # -- maintenance --------------------------------------------------------
 
-    def invalidate_all(self) -> int:
+    def invalidate_all(self, reason: str = EXPLICIT) -> int:
         """Drop every entry (e.g. after a schema change); returns the
         number of entries dropped."""
         with self._lock:
             dropped = len(self._entries)
+            for key, entry in self._entries.items():
+                self.stats.record_invalidation(key, reason, old_cost=entry.cost)
             self._entries.clear()
-            self.stats.invalidations += dropped
         return dropped
+
+    def recost_all(
+        self, physical: PhysicalSchema, cost_model=None
+    ) -> List[Tuple[CacheKey, CachedPlan, Optional[float]]]:
+        """Re-cost every entry under a (typically recalibrated) cost
+        model, evicting the ones whose estimate drifted beyond the
+        ratio.  Returns the evicted ``(key, old_entry, fresh_cost)``
+        triples so the caller can watch their replacements for
+        regressions.  Pinned entries are refreshed but never evicted.
+        """
+        evicted: List[Tuple[CacheKey, CachedPlan, Optional[float]]] = []
+        with self._lock:
+            for key in list(self._entries.keys()):
+                entry = self._entries[key]
+                try:
+                    fresh = recost_plan(entry.plan, physical, cost_model)
+                except ReproError:
+                    fresh = None
+                if fresh is not None and (
+                    entry.pinned or self._within_drift(entry.cost, fresh)
+                ):
+                    entry.cost = fresh
+                    entry.revalidations += 1
+                    self.stats.revalidations += 1
+                    continue
+                if entry.pinned:
+                    continue
+                del self._entries[key]
+                self.stats.record_invalidation(
+                    key, RECALIBRATION, old_cost=entry.cost, new_cost=fresh
+                )
+                evicted.append((key, entry, fresh))
+        return evicted
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -15,6 +15,10 @@ Operations
     ``stats``                             → metrics + cache + admission
     ``metrics``                           → Prometheus text exposition
     ``refresh_stats``                     → re-ANALYZE the store
+    ``history {query?, limit?}``          → per-plan telemetry (est vs. actual)
+    ``recalibrate {apply?}``              → refit cost weights from telemetry
+    ``pin {text, params?, revert?}``      → pin plan / revert a regression
+    ``unpin {text, params?}``             → release a pinned plan
     ``ping`` / ``close`` / ``shutdown``
 
 A request may carry a client-chosen ``id``; it is echoed verbatim on

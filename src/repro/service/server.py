@@ -31,18 +31,25 @@ from typing import Dict, List, Optional
 
 from repro.core.baselines import cost_controlled_optimizer
 from repro.cost.model import DetailedCostModel
+from repro.cost.params import CostParameters
+from repro.cost.recost import recost_plan
 from repro.engine.cancel import CancellationToken
 from repro.engine.evaluator import Engine
 from repro.errors import ProtocolError, ReproError, ServiceError
 from repro.lang.compile import compile_text
 from repro.obs.explain import build_explain, render_explain
+from repro.obs.feedback import (
+    FeedbackConfig,
+    FeedbackManager,
+    build_observation,
+)
 from repro.obs.profile import PlanProfiler
 from repro.obs.trace import Tracer
 from repro.physical.storage import Oid, StoredRecord
 from repro.service import protocol
 from repro.service.admission import AdmissionController, AdmissionPolicy
 from repro.service.metrics import QueryRecord, ServiceMetrics
-from repro.service.plan_cache import PlanCache
+from repro.service.plan_cache import RECALIBRATION, CacheKey, CachedPlan, PlanCache
 from repro.service.protocol import placeholder_names, substitute_params
 
 __all__ = ["ServiceConfig", "QueryService", "QueryServer", "MetricsServer"]
@@ -72,6 +79,31 @@ class ServiceConfig:
     #: cost-model misestimates are an observability signal even when
     #: the query itself was fast.  ``None`` disables the check.
     misestimate_ratio: Optional[float] = 10.0
+    #: The feedback loop (telemetry store + online recalibration +
+    #: plan-regression detection).  Recording is cheap — per-plan
+    #: estimates are computed once per plan, per-query appends reuse
+    #: counters the engine already keeps — but it can be switched off
+    #: entirely for a pure-throughput deployment.
+    feedback_enabled: bool = True
+    #: Per-plan telemetry ring size.
+    history_window: int = 128
+    #: Bound on the number of tracked plan fingerprints.
+    history_max_plans: int = 256
+    #: JSONL file telemetry persists to (and is reloaded from on
+    #: startup); ``None`` keeps history in memory only.
+    history_path: Optional[str] = None
+    #: A re-optimized plan whose median measured latency is worse than
+    #: the old plan's by more than this factor is flagged.
+    regression_ratio: float = 1.5
+    #: Executions of the new plan required before the verdict.
+    regression_min_runs: int = 3
+    #: Observations required before ``recalibrate`` will fit.
+    recalibrate_min_samples: int = 8
+    #: Profile every Nth query for per-operator actual costs (0 records
+    #: per-operator cardinalities only).
+    profile_sample_every: int = 0
+    #: Automatically pin the prior plan when a regression is flagged.
+    auto_pin: bool = False
 
 
 @dataclass
@@ -111,6 +143,27 @@ class QueryService:
             )
         )
         self.metrics = ServiceMetrics(window=self.config.metrics_window)
+        self.feedback: Optional[FeedbackManager] = None
+        if self.config.feedback_enabled:
+            self.feedback = FeedbackManager(
+                FeedbackConfig(
+                    history_window=self.config.history_window,
+                    max_plans=self.config.history_max_plans,
+                    persist_path=self.config.history_path,
+                    regression_ratio=self.config.regression_ratio,
+                    regression_min_runs=self.config.regression_min_runs,
+                    recalibrate_min_samples=self.config.recalibrate_min_samples,
+                    profile_sample_every=self.config.profile_sample_every,
+                    auto_pin=self.config.auto_pin,
+                )
+            )
+        #: Recalibrated unit costs, hot-swapped by ``recalibrate(apply)``;
+        #: ``None`` means the defaults the optimizer was built with.
+        self._cost_params: Optional[CostParameters] = None
+        #: Entries evicted by a recalibration recost pass, awaiting
+        #: their replacement plan (consumed on the next cache miss so
+        #: the regression detector can compare old vs. new).
+        self._replanned: Dict[CacheKey, CachedPlan] = {}
         self._sessions: Dict[str, Session] = {}
         self._sessions_lock = threading.Lock()
         #: Serializes every touch of the shared store/schema/statistics.
@@ -188,6 +241,17 @@ class QueryService:
         else:
             self.metrics.record_error()
 
+    def _current_model(self) -> Optional[DetailedCostModel]:
+        """The recalibrated cost model, or ``None`` for the defaults
+        (callees build a default model lazily when they need one)."""
+        if self._cost_params is None:
+            return None
+        return DetailedCostModel(self.physical, self._cost_params)
+
+    def _optimizer(self):
+        """A fresh optimizer honouring the hot-swapped parameters."""
+        return cost_controlled_optimizer(self.physical, self._current_model())
+
     def _run_query(
         self,
         text: str,
@@ -195,25 +259,55 @@ class QueryService:
         timeout: Optional[float],
     ) -> dict:
         substituted = substitute_params(text, params)
+        feedback = self.feedback
+        fingerprint: Optional[str] = None
         optimize_started = time.perf_counter()
         with self._store_lock:
             key = self.cache.key_for(substituted, self.physical)
-            lookup = self.cache.lookup(key, self.physical)
+            lookup = self.cache.lookup(key, self.physical, self._current_model())
             if lookup.entry is not None:
                 plan, estimated = lookup.entry.plan, lookup.entry.cost
                 plans_costed = 0
+                fingerprint = lookup.entry.fingerprint
+                if feedback is not None and fingerprint is None:
+                    fingerprint = feedback.register_plan(
+                        key[0], plan, estimated
+                    )
+                    lookup.entry.fingerprint = fingerprint
             else:
                 graph = compile_text(substituted, self.database.catalog)
-                result = cost_controlled_optimizer(self.physical).optimize(graph)
+                optimizer = self._optimizer()
+                result = optimizer.optimize(graph)
                 plan, estimated = result.plan, result.cost
                 plans_costed = result.plans_costed
-                self.cache.store(key, plan, estimated, self.physical)
+                entry = self.cache.store(key, plan, estimated, self.physical)
+                if feedback is not None:
+                    fingerprint = feedback.register_plan(
+                        key[0], plan, estimated, optimizer.cost_model
+                    )
+                    entry.fingerprint = fingerprint
+                    # A drift eviction (this lookup) or a recalibration
+                    # recost pass (earlier) replaced a cached plan: put
+                    # the replacement on regression watch.
+                    old = lookup.evicted or self._replanned.pop(key, None)
+                    if old is not None:
+                        feedback.plan_changed(
+                            key[0],
+                            old.plan,
+                            old.cost,
+                            plan,
+                            estimated,
+                            lookup.reason or RECALIBRATION,
+                        )
         optimize_elapsed = time.perf_counter() - optimize_started
         self.metrics.count(f"cache_{lookup.status}")
 
         self.admission.admit(estimated)
         effective_timeout = self.admission.effective_timeout(timeout)
         token = CancellationToken(effective_timeout)
+        profiler: Optional[PlanProfiler] = None
+        if feedback is not None and feedback.should_profile():
+            profiler = PlanProfiler()
         with self.admission.slot():
             execute_started = time.perf_counter()
             with self._store_lock:
@@ -221,7 +315,7 @@ class QueryService:
                     self.physical,
                     max_fix_iterations=self.config.max_fix_iterations,
                 )
-                execution = engine.execute(plan, cancel=token)
+                execution = engine.execute(plan, cancel=token, profiler=profiler)
             execute_elapsed = time.perf_counter() - execute_started
 
         measured = execution.metrics.measured_cost()
@@ -237,6 +331,8 @@ class QueryService:
         )
         self.metrics.record_execution(record, execution.metrics)
         self._check_slow(record)
+        if feedback is not None and fingerprint is not None:
+            self._feed_back(key, fingerprint, record, execution, profiler)
 
         rows = execution.rows
         truncated = False
@@ -281,6 +377,47 @@ class QueryService:
         if reasons:
             self.metrics.record_slow(record, reasons)
 
+    def _feed_back(
+        self,
+        key: CacheKey,
+        fingerprint: str,
+        record: QueryRecord,
+        execution,
+        profiler: Optional[PlanProfiler],
+    ) -> None:
+        """Record one execution into the telemetry store and act on a
+        regression verdict (slow-log entry, counters, optional
+        auto-pin)."""
+        observation = build_observation(
+            record.request_id,
+            record.estimated_cost,
+            record.measured_cost,
+            record.execute_seconds,
+            record.rows,
+            execution.metrics,
+            profiler,
+        )
+        regression = self.feedback.observe(key[0], fingerprint, observation)
+        if regression is None:
+            return
+        self.metrics.count("plan_regressions")
+        self.metrics.record_slow(
+            record,
+            [
+                "plan_regression: new plan "
+                f"{regression['new_fingerprint']} is "
+                f"{regression['latency_ratio']}x slower than prior plan "
+                f"{regression['old_fingerprint']} "
+                f"(median {regression['new_median_ms']}ms vs "
+                f"{regression['old_median_ms']}ms)"
+            ],
+        )
+        if self.config.auto_pin:
+            try:
+                self._pin_locked(key, revert=True)
+            except ReproError:
+                pass  # the old plan no longer costs/fits; keep the new one
+
     def execute_statement(
         self,
         session_id: Optional[str],
@@ -303,13 +440,158 @@ class QueryService:
             self.physical.refresh_statistics()
         return {"refreshed": True}
 
-    def stats(self) -> dict:
+    def _require_feedback(self) -> FeedbackManager:
+        if self.feedback is None:
+            raise ServiceError(
+                "the feedback loop is disabled (feedback_enabled=False)"
+            )
+        return self.feedback
+
+    def recalibrate(self, apply: bool = False) -> dict:
+        """Fit fresh cost-model unit weights from the accumulated
+        telemetry; with ``apply``, hot-swap them into the serving path
+        and re-cost the plan cache under the new model (entries whose
+        estimate drifts beyond the ratio are re-optimized on their next
+        request, under regression watch)."""
+        feedback = self._require_feedback()
+        base = self._cost_params or CostParameters()
+        _weights, params, report = feedback.recalibrate(base)
+        self.metrics.count("recalibrations")
+        payload = {"applied": False, **report}
+        if apply:
+            with self._store_lock:
+                self._cost_params = params
+                evicted = self.cache.recost_all(
+                    self.physical, DetailedCostModel(self.physical, params)
+                )
+                for key, entry, _fresh in evicted:
+                    self._replanned[key] = entry
+            payload["applied"] = True
+            payload["plans_invalidated"] = len(evicted)
+        return payload
+
+    def reset_calibration(self) -> dict:
+        """Drop hot-swapped parameters, back to the built-in defaults."""
+        with self._store_lock:
+            was_applied = self._cost_params is not None
+            self._cost_params = None
+        return {"reset": was_applied}
+
+    def pin_query(
+        self,
+        text: str,
+        params: Optional[dict] = None,
+        revert: bool = False,
+    ) -> dict:
+        """Pin a query's cached plan against drift re-optimization;
+        with ``revert``, reinstall the *prior* plan of its last flagged
+        regression and pin that."""
+        substituted = substitute_params(text, params)
+        with self._store_lock:
+            key = self.cache.key_for(substituted, self.physical)
+            return self._pin_locked(key, revert=revert)
+
+    def _pin_locked(self, key: CacheKey, revert: bool) -> dict:
+        # Re-entrant: callers may already hold the (R)lock.
+        with self._store_lock:
+            return self._pin_impl(key, revert)
+
+    def _pin_impl(self, key: CacheKey, revert: bool) -> dict:
+        feedback = self.feedback
+        if revert:
+            if feedback is None:
+                raise ServiceError("pin revert requires the feedback loop")
+            change = feedback.regression_for(key[0])
+            if change is None:
+                raise ServiceError(
+                    "no flagged plan regression to revert for this query"
+                )
+            cost = change.old_cost
+            try:
+                cost = recost_plan(
+                    change.old_plan, self.physical, self._current_model()
+                )
+            except ReproError:
+                pass  # keep the plan-time estimate
+            entry = self.cache.store(
+                key, change.old_plan, cost, self.physical, pinned=True
+            )
+            entry.fingerprint = change.old_fingerprint
+            self.metrics.count("plans_pinned")
+            feedback.record_pin(key[0], change.old_fingerprint, True)
+            return {
+                "pinned": True,
+                "reverted": True,
+                "fingerprint": change.old_fingerprint,
+                "estimated_cost": round(cost, 2),
+            }
+        if not self.cache.pin(key, True):
+            raise ServiceError("no cached plan for this query to pin")
+        entry = self.cache.entry(key)
+        fingerprint = entry.fingerprint if entry is not None else None
+        self.metrics.count("plans_pinned")
+        if feedback is not None:
+            feedback.record_pin(key[0], fingerprint or "", True)
+        return {"pinned": True, "reverted": False, "fingerprint": fingerprint}
+
+    def unpin_query(self, text: str, params: Optional[dict] = None) -> dict:
+        substituted = substitute_params(text, params)
+        with self._store_lock:
+            key = self.cache.key_for(substituted, self.physical)
+            found = self.cache.pin(key, False)
+        if self.feedback is not None and found:
+            entry = self.cache.entry(key)
+            self.feedback.record_pin(
+                key[0], (entry.fingerprint if entry else None) or "", False
+            )
+        return {"pinned": False, "found": found}
+
+    def history(self, query: Optional[str] = None, limit: int = 20) -> dict:
+        """The ``history`` protocol payload: per-query plan histories
+        (estimated vs. measured, per operator) plus control-loop state."""
+        feedback = self._require_feedback()
+        self._refresh_feedback_gauges()
         return {
+            "history": feedback.store.snapshot(query, limit),
+            "feedback": feedback.snapshot(),
+        }
+
+    def _refresh_feedback_gauges(self) -> None:
+        """Publish per-query-class misestimate gauges from telemetry
+        (done on scrape, not per request — the summary walks history)."""
+        if self.feedback is None:
+            return
+        for query_cls, entry in self.feedback.misestimate_by_query().items():
+            if entry["cost_misestimate"] is not None:
+                self.metrics.set_gauge(
+                    "misestimate_ratio",
+                    entry["cost_misestimate"],
+                    "Mean estimated-vs-measured cost q-error per query class.",
+                    {"query_class": query_cls},
+                )
+            if entry["operator_misestimate"] is not None:
+                self.metrics.set_gauge(
+                    "operator_misestimate_ratio",
+                    entry["operator_misestimate"],
+                    "Mean per-operator misestimate q-error per query class.",
+                    {"query_class": query_cls},
+                )
+
+    def stats(self) -> dict:
+        payload = {
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "service": self.metrics.snapshot(),
             "cache": self.cache.snapshot(),
             "admission": self.admission.snapshot(),
         }
+        if self.feedback is not None:
+            payload["feedback"] = self.feedback.snapshot()
+        return payload
+
+    def close(self) -> None:
+        """Release resources (flush and close the telemetry sink)."""
+        if self.feedback is not None:
+            self.feedback.close()
 
     def explain_query(
         self,
@@ -326,7 +608,7 @@ class QueryService:
         request_id = self._next_request_id()
         with self._store_lock:
             graph = compile_text(substituted, self.database.catalog)
-            optimizer = cost_controlled_optimizer(self.physical)
+            optimizer = self._optimizer()
             result = optimizer.optimize(graph)
             profiler: Optional[PlanProfiler] = None
             rows = None
@@ -374,7 +656,7 @@ class QueryService:
         tracer = Tracer()
         with self._store_lock:
             graph = compile_text(substituted, self.database.catalog)
-            optimizer = cost_controlled_optimizer(self.physical)
+            optimizer = self._optimizer()
             with tracer.span("optimize"):
                 result = optimizer.optimize(graph, tracer=tracer)
             profiler: Optional[PlanProfiler] = None
@@ -403,6 +685,7 @@ class QueryService:
 
     def metrics_text(self) -> str:
         """The Prometheus exposition of the service counters."""
+        self._refresh_feedback_gauges()
         return self.metrics.to_prometheus()
 
     # -- protocol dispatch --------------------------------------------------
@@ -499,6 +782,32 @@ class QueryService:
     def _op_metrics(self, request: dict) -> dict:
         return {"metrics": self.metrics_text()}
 
+    def _op_history(self, request: dict) -> dict:
+        query = request.get("query")
+        if query is not None and not isinstance(query, str):
+            raise ProtocolError("history 'query' must be a string")
+        limit = request.get("limit", 20)
+        if not isinstance(limit, int) or limit <= 0:
+            raise ProtocolError("history 'limit' must be a positive integer")
+        return self.history(query, limit)
+
+    def _op_recalibrate(self, request: dict) -> dict:
+        return self.recalibrate(apply=bool(request.get("apply")))
+
+    def _op_pin(self, request: dict) -> dict:
+        text = request.get("text")
+        if not isinstance(text, str):
+            raise ProtocolError("pin requires a string 'text'")
+        return self.pin_query(
+            text, request.get("params"), revert=bool(request.get("revert"))
+        )
+
+    def _op_unpin(self, request: dict) -> dict:
+        text = request.get("text")
+        if not isinstance(text, str):
+            raise ProtocolError("unpin requires a string 'text'")
+        return self.unpin_query(text, request.get("params"))
+
 
 def _timeout_field(request: dict) -> Optional[float]:
     timeout = request.get("timeout")
@@ -571,6 +880,7 @@ class QueryServer:
             self._accept_thread.join(timeout=5)
         self._pool.shutdown(wait=True)
         self._listener.close()
+        self.service.close()
 
     # -- connection handling ------------------------------------------------
 
@@ -633,14 +943,12 @@ class MetricsServer:
     ) -> None:
         from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-        metrics = service.metrics
-
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 - http.server API
                 if self.path.split("?", 1)[0] != "/metrics":
                     self.send_error(404, "only /metrics is served here")
                     return
-                body = metrics.to_prometheus().encode("utf-8")
+                body = service.metrics_text().encode("utf-8")
                 self.send_response(200)
                 self.send_header(
                     "Content-Type", "text/plain; version=0.0.4; charset=utf-8"

@@ -96,6 +96,88 @@ class TestPrometheus:
             float(value)
 
 
+class TestLatencyHistogram:
+    """Satellite: fixed-bucket cumulative histogram next to the
+    percentile summary."""
+
+    def test_buckets_are_cumulative(self):
+        from repro.service.metrics import LatencyHistogram
+
+        histogram = LatencyHistogram(buckets=(0.01, 0.1, 1.0))
+        for seconds in (0.005, 0.05, 0.05, 0.5, 5.0):
+            histogram.observe(seconds)
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"] == {
+            "0.01": 1,
+            "0.1": 3,
+            "1": 4,
+            "+Inf": 5,
+        }
+        assert snapshot["count"] == 5
+        assert snapshot["sum"] == pytest.approx(5.605)
+
+    def test_histogram_exposition(self):
+        metrics = ServiceMetrics()
+        metrics.record_execution(record(execute_seconds=0.03), RuntimeMetrics())
+        metrics.record_execution(record(execute_seconds=0.3), RuntimeMetrics())
+        text = metrics.to_prometheus()
+        assert "# TYPE repro_execute_latency_hist_seconds histogram" in text
+        assert (
+            'repro_execute_latency_hist_seconds_bucket{le="0.05"} 1' in text
+        )
+        assert (
+            'repro_execute_latency_hist_seconds_bucket{le="0.5"} 2' in text
+        )
+        assert (
+            'repro_execute_latency_hist_seconds_bucket{le="+Inf"} 2' in text
+        )
+        assert "repro_execute_latency_hist_seconds_count 2" in text
+
+    def test_snapshot_carries_histogram(self):
+        metrics = ServiceMetrics()
+        metrics.record_execution(record(execute_seconds=0.03), RuntimeMetrics())
+        assert metrics.snapshot()["latency_histogram"]["count"] == 1
+
+
+class TestGauges:
+    def test_labelled_gauge_exposition(self):
+        metrics = ServiceMetrics()
+        metrics.set_gauge(
+            "misestimate_ratio",
+            2.5,
+            "Mean q-error per query class.",
+            {"query_class": "abc123"},
+        )
+        metrics.set_gauge(
+            "misestimate_ratio",
+            1.25,
+            "Mean q-error per query class.",
+            {"query_class": "def456"},
+        )
+        text = metrics.to_prometheus()
+        assert "# TYPE repro_misestimate_ratio gauge" in text
+        assert 'repro_misestimate_ratio{query_class="abc123"} 2.5' in text
+        assert 'repro_misestimate_ratio{query_class="def456"} 1.25' in text
+
+    def test_unlabelled_gauge_and_overwrite(self):
+        metrics = ServiceMetrics()
+        metrics.set_gauge("queue_depth", 3, "Current depth.")
+        metrics.set_gauge("queue_depth", 5, "Current depth.")
+        text = metrics.to_prometheus()
+        assert "repro_queue_depth 5" in text
+        assert "repro_queue_depth 3" not in text
+
+    def test_feedback_counters_exposed(self):
+        metrics = ServiceMetrics()
+        metrics.count("recalibrations")
+        metrics.count("plan_regressions", 2)
+        metrics.count("plans_pinned")
+        text = metrics.to_prometheus()
+        assert "repro_recalibrations_total 1" in text
+        assert "repro_plan_regressions_total 2" in text
+        assert "repro_plans_pinned_total 1" in text
+
+
 class TestConcurrency:
     def test_hammer_from_threads(self):
         """Counters stay consistent and the ring stays bounded when
