@@ -163,10 +163,28 @@ def check_feedback_calibration(gate, fresh, baseline):
     )
 
 
+def check_parallel_fixpoint(gate, fresh, baseline):
+    floor = fresh.get("required_speedup@4", 1.5)
+    gate.absolute(
+        "parallel_fixpoint",
+        "speedup@4 claim",
+        fresh.get("speedup@4", 0.0),
+        floor,
+    )
+    for metric in ("speedup@2", "speedup@4"):
+        gate.check(
+            "parallel_fixpoint",
+            metric,
+            fresh.get(metric, 0.0),
+            baseline.get(metric, 0.0),
+        )
+
+
 CHECKERS = {
     "BENCH_service_throughput.json": check_service_throughput,
     "BENCH_claim_strategy_time.json": check_strategy_time,
     "BENCH_feedback_calibration.json": check_feedback_calibration,
+    "BENCH_parallel_fixpoint.json": check_parallel_fixpoint,
 }
 
 

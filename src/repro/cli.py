@@ -106,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--limit", type=int, default=20, help="max rows to print"
     )
+    run_parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        help="worker threads for fixpoint evaluation (1 = serial "
+        "semi-naive loop)",
+    )
     add_common(run_parser)
 
     explain_parser = sub.add_parser("explain", help="optimize only")
@@ -195,6 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="execution slots before requests queue",
+    )
+    serve_parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        help="default fixpoint parallelism per query (requests may "
+        "override; a parallelism-N query reserves N execution slots)",
     )
     serve_parser.add_argument(
         "--metrics-port",
@@ -363,7 +377,9 @@ def _optimize(args, text: str, out):
 
 def cmd_run(args, out) -> int:
     db, result = _optimize(args, _read_query(args), out)
-    execution = Engine(db.physical).execute(result.plan)
+    execution = Engine(
+        db.physical, parallelism=max(1, getattr(args, "parallelism", 1))
+    ).execute(result.plan)
     print(file=out)
     print(f"=== {len(execution.rows)} rows ===", file=out)
     for row in execution.rows[: args.limit]:
@@ -508,6 +524,7 @@ def cmd_serve(args, out, server_box=None) -> int:
             cost_budget=args.budget,
             default_timeout=args.timeout,
             max_concurrent=args.max_concurrent,
+            parallelism=max(1, args.parallelism),
             slow_query_seconds=(
                 args.slow_query_ms / 1000.0 if args.slow_query_ms else None
             ),

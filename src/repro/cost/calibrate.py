@@ -85,6 +85,8 @@ class CalibratedWeights:
             temp_records_per_page=base.temp_records_per_page,
             default_fix_iterations=base.default_fix_iterations,
             default_delta_decay=base.default_delta_decay,
+            parallelism=base.parallelism,
+            parallel_overhead=base.parallel_overhead,
         )
 
 

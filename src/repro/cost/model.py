@@ -586,7 +586,17 @@ class DetailedCostModel:
 
         The base parts are costed once; the recursive parts are costed
         once per estimated semi-naive iteration against that
-        iteration's delta size."""
+        iteration's delta size.
+
+        With ``params.parallelism > 1`` each round's cost is divided by
+        the effective worker count for that round (workers cannot
+        exceed the number of base parts in the base round, nor the
+        delta tuples available to partition in a recursive round) plus
+        a per-delta-tuple partition/merge term — keeping transformPT's
+        push-vs-no-push comparison honest under a parallel engine: a
+        pushed selection shrinks the deltas, which shrinks both the
+        divided per-round cost *and* the partition overhead.
+        """
         from repro.engine.fixpoint import partition_parts
 
         base_parts, recursive_parts = partition_parts(node)
@@ -595,30 +605,45 @@ class DetailedCostModel:
         body_shape = TupleShape(
             dict(shape.fields), frozenset(node.invariant_fields)
         )
+        parallelism = max(1, self.params.parallelism)
+
         io, cpu = 0.0, 0.0
+        base_io, base_cpu = 0.0, 0.0
         for part in base_parts:
             part_io, part_cpu = self._cost(part, env, rows)
-            io += part_io
-            cpu += part_cpu
+            base_io += part_io
+            base_cpu += part_cpu
+        base_workers = min(parallelism, len(base_parts))
+        io += base_io / base_workers
+        cpu += base_cpu / base_workers
+
         deltas = fix_est.deltas or []
-        for delta in deltas[:-1] if len(deltas) > 1 else deltas[:0]:
+
+        def round_cost(delta: float) -> None:
+            nonlocal io, cpu
             inner_env = dict(env)
             inner_env[node.name] = (delta, body_shape)
+            round_io, round_cpu = 0.0, 0.0
             for part in recursive_parts:
                 part_rows: List[Tuple[str, float]] = []
                 part_io, part_cpu = self._cost(part, inner_env, part_rows)
-                io += part_io
-                cpu += part_cpu
+                round_io += part_io
+                round_cpu += part_cpu
+            workers = min(parallelism, max(1.0, delta))
+            io += round_io / workers
+            cpu += round_cpu / workers
+            if parallelism > 1:
+                cpu += delta * self.params.parallel_overhead
+
+        for delta in deltas[:-1] if len(deltas) > 1 else deltas[:0]:
+            round_cost(delta)
         # One extra empty-delta round detects the fixpoint; charge the
         # final delta's scan of the recursive parts as well.
         if len(deltas) > 1:
-            inner_env = dict(env)
-            inner_env[node.name] = (deltas[-1], body_shape)
-            for part in recursive_parts:
-                part_rows = []
-                part_io, part_cpu = self._cost(part, inner_env, part_rows)
-                io += part_io
-                cpu += part_cpu
-        # Materializing and deduplicating the accumulated result.
+            round_cost(deltas[-1])
+        # Materializing and deduplicating the accumulated result (the
+        # striped seen-set merge under parallelism).
         cpu += fix_est.tuples * self.params.tuple_cpu
+        if parallelism > 1:
+            cpu += fix_est.tuples * self.params.parallel_overhead
         return io, cpu

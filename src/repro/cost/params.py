@@ -41,6 +41,15 @@ class CostParameters:
     #: Default per-iteration delta decay when chain statistics are
     #: unavailable (fraction of the frontier surviving one iteration).
     default_delta_decay: float = 0.8
+    #: Worker threads the engine devotes to one fixpoint.  At 1 (the
+    #: default) the Fix formula is the paper's serial sum; above 1 the
+    #: parallel-Fix variant divides each iteration's cost by the
+    #: effective worker count (capped by that iteration's delta size)
+    #: and adds the partition/merge term below.
+    parallelism: int = 1
+    #: CPU cost per delta tuple for hash-partitioning the delta and
+    #: merging worker results through the striped seen-set.
+    parallel_overhead: float = 0.001
 
 
 @dataclass

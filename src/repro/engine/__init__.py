@@ -1,7 +1,9 @@
-"""Execution engine: plan evaluator, semi-naive fixpoint, reference
-(ground-truth) evaluator and runtime metrics."""
+"""Execution engine: plan evaluator, semi-naive fixpoint (serial and
+hash-partitioned parallel), reference (ground-truth) evaluator and
+runtime metrics."""
 
 from repro.engine.cancel import CancellationToken
+from repro.engine.context import ExecutionContext
 from repro.engine.eval_expr import (
     Binding,
     ExpressionEvaluator,
@@ -11,11 +13,18 @@ from repro.engine.eval_expr import (
 from repro.engine.evaluator import Engine, ExecutionResult
 from repro.engine.fixpoint import flatten_union, partition_parts
 from repro.engine.metrics import RuntimeMetrics
+from repro.engine.parallel import (
+    parallel_safe,
+    partition_delta,
+    partitionable,
+    run_fixpoint_parallel,
+)
 from repro.engine.reference import ReferenceEvaluator
 
 __all__ = [
     "Binding",
     "CancellationToken",
+    "ExecutionContext",
     "ExpressionEvaluator",
     "canonical_row",
     "normalize_value",
@@ -23,6 +32,10 @@ __all__ = [
     "ExecutionResult",
     "flatten_union",
     "partition_parts",
+    "parallel_safe",
+    "partition_delta",
+    "partitionable",
+    "run_fixpoint_parallel",
     "RuntimeMetrics",
     "ReferenceEvaluator",
 ]

@@ -1,0 +1,37 @@
+"""Per-execution settings for the engine.
+
+:class:`ExecutionContext` bundles everything that varies per run of a
+plan — the cancellation token, the optional profiler and the
+``parallelism`` knob — so callers (CLI, service, tests) thread one
+object instead of a growing keyword list.  ``Engine.execute`` still
+accepts the individual keywords for convenience; an explicit context
+wins over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.engine.cancel import CancellationToken
+from repro.obs.profile import PlanProfiler
+
+__all__ = ["ExecutionContext"]
+
+
+@dataclass
+class ExecutionContext:
+    """Knobs for one ``Engine.execute`` call."""
+
+    #: Cooperative cancellation/timeout token, polled at safe points.
+    cancel: Optional[CancellationToken] = None
+    #: Per-node runtime profiler (EXPLAIN ANALYZE); None = no metering.
+    profiler: Optional[PlanProfiler] = None
+    #: Worker threads a fixpoint may use; 1 = serial semi-naive loop,
+    #: >1 = hash-partitioned parallel evaluation
+    #: (:mod:`repro.engine.parallel`).
+    parallelism: int = 1
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")

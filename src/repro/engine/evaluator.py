@@ -20,6 +20,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import ExecutionError
 from repro.engine.cancel import CHECK_INTERVAL, CancellationToken
+from repro.engine.context import ExecutionContext
 from repro.engine.eval_expr import (
     Binding,
     ExpressionEvaluator,
@@ -84,6 +85,7 @@ class Engine:
         physical: PhysicalSchema,
         max_fix_iterations: int = 256,
         keep_temps: bool = False,
+        parallelism: int = 1,
     ) -> None:
         self.physical = physical
         self.store = physical.store
@@ -92,6 +94,11 @@ class Engine:
         #: looping unbounded on pathological cyclic data.
         self.max_fix_iterations = max_fix_iterations
         self.keep_temps = keep_temps
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        #: Worker threads a fixpoint may use; >1 routes Fix evaluation
+        #: through :mod:`repro.engine.parallel`.
+        self.parallelism = parallelism
         self.cancel_token: Optional["CancellationToken"] = None
         self.metrics = RuntimeMetrics()
         #: Optional per-node runtime profiler (EXPLAIN ANALYZE); when
@@ -116,6 +123,7 @@ class Engine:
         validate: bool = True,
         cancel: Optional["CancellationToken"] = None,
         profiler: Optional[PlanProfiler] = None,
+        context: Optional["ExecutionContext"] = None,
     ) -> ExecutionResult:
         """Evaluate a plan; returns rows plus runtime metrics.
 
@@ -129,7 +137,17 @@ class Engine:
         :class:`~repro.obs.profile.PlanProfiler`; when given, every
         node's generator is metered (per-node tuples, wall time, page
         reads, predicate evals, per-Fix-iteration deltas).
+
+        ``context`` is an optional
+        :class:`~repro.engine.context.ExecutionContext` bundling the
+        per-run knobs; its fields win over the individual keywords
+        (and its ``parallelism`` over the engine default).
         """
+        if context is not None:
+            cancel = context.cancel if context.cancel is not None else cancel
+            if context.profiler is not None:
+                profiler = context.profiler
+            self.parallelism = context.parallelism
         if validate:
             validate_plan(plan, self.physical)
         self.cancel_token = cancel
@@ -159,7 +177,46 @@ class Engine:
         self.metrics.buffer = self.store.buffer.stats.delta_since(buffer_before)
         return ExecutionResult(rows, self.metrics)
 
-    # -- engine services used by the fixpoint module -------------------------------
+    # -- engine services used by the fixpoint modules -------------------------------
+
+    def worker_clone(self) -> "Engine":
+        """A thread-confined view of this engine for parallel fixpoint
+        workers: shares the store, schema, plan metadata, temp ledger
+        and cancellation token, but owns its metrics, expression
+        evaluator and profiler view so counter updates never race.
+        The owned counters are flushed back via :meth:`absorb_worker`.
+        """
+        clone = Engine.__new__(Engine)
+        clone.physical = self.physical
+        clone.store = self.store
+        clone.max_fix_iterations = self.max_fix_iterations
+        clone.keep_temps = self.keep_temps
+        clone.parallelism = 1  # workers never nest pools
+        clone.cancel_token = self.cancel_token
+        clone.metrics = RuntimeMetrics()
+        clone._node_ids = self._node_ids
+        clone._temps_created = self._temps_created
+        clone._consumed_vars = self._consumed_vars
+        clone._fix_cache = {}
+        clone.profiler = (
+            self.profiler.worker_view(clone.metrics)
+            if self.profiler is not None
+            else None
+        )
+        clone._evaluator = ExpressionEvaluator(
+            self.store, clone.metrics, clone._resolve_method, charged=True
+        )
+        return clone
+
+    def absorb_worker(self, worker: "Engine") -> None:
+        """Flush a worker clone's thread-confined counters into this
+        engine (called from the coordinating thread after the pool has
+        quiesced)."""
+        self.metrics.merge(worker.metrics)
+        worker.metrics = RuntimeMetrics()
+        if self.profiler is not None and worker.profiler is not None:
+            self.profiler.merge_from(worker.profiler)
+            worker.profiler = None
 
     def note_temp(self, name: str) -> None:
         """Record a temporary created during this execution so it can

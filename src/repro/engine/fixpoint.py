@@ -9,6 +9,12 @@ into a temporary extent (the paper's temporary file, e.g.
 ``Influencer``); duplicate elimination on the full tuple guarantees
 termination on acyclic data and bounds work on cyclic data together
 with the engine's iteration cap.
+
+When the engine carries ``parallelism > 1`` the per-iteration work is
+handed to :mod:`repro.engine.parallel`, which hash-partitions the
+delta across a worker pool; this module remains the serial reference
+path (and the fallback for bodies the parallel evaluator must not
+reorder — see :func:`repro.engine.parallel.parallel_safe`).
 """
 
 from __future__ import annotations
@@ -22,7 +28,13 @@ from repro.engine.eval_expr import Binding, normalize_value
 from repro.physical.storage import StoredRecord
 from repro.plans.nodes import Fix, PlanNode, RecLeaf, UnionOp
 
-__all__ = ["flatten_union", "partition_parts", "run_fixpoint"]
+__all__ = [
+    "flatten_union",
+    "partition_parts",
+    "normalize_binding",
+    "key_of_normalized",
+    "run_fixpoint",
+]
 
 
 def flatten_union(node: PlanNode) -> List[PlanNode]:
@@ -58,14 +70,28 @@ def partition_parts(
     return base_parts, recursive_parts
 
 
-def _tuple_key(binding: Binding) -> tuple:
-    items = []
-    for key in sorted(binding):
-        value = normalize_value(binding[key])
+def normalize_binding(binding: Binding) -> Dict[str, object]:
+    """Normalize a produced binding once, at insertion time: records
+    collapse to their oids, collection values to tuples of normalized
+    elements.  The result is both the stored tuple and the input to
+    :func:`key_of_normalized` — the dedup probe never re-normalizes."""
+    values: Dict[str, object] = {}
+    for key, value in binding.items():
+        value = normalize_value(value)
         if isinstance(value, (list, tuple)):
-            value = tuple(normalize_value(v) for v in value)
-        items.append((key, value))
-    return tuple(items)
+            value = tuple(normalize_value(item) for item in value)
+        values[key] = value
+    return values
+
+
+def key_of_normalized(values: Dict[str, object]) -> tuple:
+    """Dedup key of an already-normalized tuple (sorted field order)."""
+    return tuple((key, values[key]) for key in sorted(values))
+
+
+def _tuple_key(binding: Binding) -> tuple:
+    """Backward-compatible key of a raw binding (normalizes first)."""
+    return key_of_normalized(normalize_binding(binding))
 
 
 def run_fixpoint(engine, fix: Fix, delta_env: Dict[str, List[StoredRecord]]) -> str:
@@ -74,7 +100,25 @@ def run_fixpoint(engine, fix: Fix, delta_env: Dict[str, List[StoredRecord]]) -> 
     ``engine`` is the :class:`repro.engine.evaluator.Engine` running the
     plan (passed in to avoid a circular import); ``delta_env`` is the
     enclosing delta environment (supporting nested fixpoints).
+
+    Dispatches to the hash-partitioned parallel evaluator when the
+    engine's ``parallelism`` knob exceeds 1 and the body is safe to
+    evaluate concurrently.
     """
+    if getattr(engine, "parallelism", 1) > 1:
+        from repro.engine.parallel import parallel_safe, run_fixpoint_parallel
+
+        if parallel_safe(fix):
+            return run_fixpoint_parallel(
+                engine, fix, delta_env, engine.parallelism
+            )
+    return run_fixpoint_serial(engine, fix, delta_env)
+
+
+def run_fixpoint_serial(
+    engine, fix: Fix, delta_env: Dict[str, List[StoredRecord]]
+) -> str:
+    """The serial semi-naive loop (also the parallel path's oracle)."""
     temp_info = engine.physical.register_temp(fix.name)
     temp_name = temp_info.name
     engine.note_temp(temp_name)
@@ -87,10 +131,8 @@ def run_fixpoint(engine, fix: Fix, delta_env: Dict[str, List[StoredRecord]]) -> 
         for produced, binding in enumerate(bindings):
             if produced % CHECK_INTERVAL == 0:
                 engine.check_cancelled()
-            values = {
-                key: normalize_value(value) for key, value in binding.items()
-            }
-            key = _tuple_key(values)
+            values = normalize_binding(binding)
+            key = key_of_normalized(values)
             if key in seen:
                 continue
             seen.add(key)

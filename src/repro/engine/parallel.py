@@ -1,0 +1,296 @@
+"""Hash-partitioned parallel semi-naive fixpoint evaluation.
+
+The serial loop in :mod:`repro.engine.fixpoint` evaluates every union
+part and the whole delta on one thread; this module spreads the same
+work over a pool:
+
+* **base round** — every non-recursive part becomes one pool task;
+* **delta rounds** — a recursive part whose recursion reference sits on
+  its driving (outer) chain has the current delta hash-partitioned on
+  the recursion-binding columns into one slice per worker, so each
+  worker owns a disjoint slice of new-tuple discovery; parts that
+  cannot be partitioned without changing their operator semantics run
+  as a single whole-delta task (still concurrent with the others).
+
+Workers deduplicate into a shared seen-set under a striped lock and
+serialize store inserts (the simulated store is a single-writer
+structure); everything a worker counts goes to thread-confined
+:class:`~repro.engine.metrics.RuntimeMetrics` / profiler views that
+are flushed into the coordinating engine's on merge.  The partition is
+deterministic, dedup is on full tuples, and semi-naive round
+boundaries are barriers — so the answer set, the per-round deltas and
+the per-node tuple counts are identical to the serial evaluator's
+regardless of thread interleaving (the property the differential
+harness in ``tests/test_differential_parallel.py`` checks).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from queue import SimpleQueue
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FixpointLimitError
+from repro.engine.cancel import CHECK_INTERVAL
+from repro.engine.fixpoint import (
+    key_of_normalized,
+    normalize_binding,
+    partition_parts,
+)
+from repro.physical.storage import StoredRecord
+from repro.plans.nodes import (
+    EJ,
+    IJ,
+    PIJ,
+    Fix,
+    Materialize,
+    PlanNode,
+    Proj,
+    RecLeaf,
+    Sel,
+)
+
+__all__ = [
+    "parallel_safe",
+    "partitionable",
+    "partition_delta",
+    "run_fixpoint_parallel",
+]
+
+#: Number of lock stripes protecting the shared seen-set (power of 2).
+SEEN_STRIPES = 16
+
+#: Test seam: when set, called as ``hook(stage, part)`` with stage
+#: ``"task_start"`` / ``"task_end"`` from inside every worker task.
+#: Tests install barriers here to force adversarial interleavings (all
+#: workers hammering the striped seen-set at once) or raise from a
+#: worker thread to exercise error propagation.  Never set in
+#: production paths.
+INTERLEAVE_HOOK: Optional[Callable[[str, PlanNode], None]] = None
+
+
+def parallel_safe(fix: Fix) -> bool:
+    """Whether a Fix body may be evaluated by concurrent workers.
+
+    A nested ``Fix`` or ``Materialize`` inside a part registers
+    temporaries and consults the per-execution fix cache — shared
+    mutable state whose dedup-by-caching makes tuple counts depend on
+    evaluation order.  Such bodies take the serial path.
+    """
+    return not any(
+        isinstance(node, (Fix, Materialize)) for node in fix.body.walk()
+    )
+
+
+def partitionable(part: PlanNode, name: str) -> bool:
+    """Whether hash-partitioning the delta preserves ``part``'s
+    semantics and per-node tuple counts.
+
+    True when the part contains exactly one recursion reference and it
+    sits on the driving (outer) chain — ``Sel``/``Proj``/``IJ``/``PIJ``
+    descend to their child, ``EJ`` to its left operand.  Every other
+    operator's work is then a function of the delta tuples flowing
+    past it, so counts are additive over disjoint slices.  A recursion
+    reference on an inner (re-scanned) side would instead be rescanned
+    per slice, multiplying the outer side's work.
+    """
+    references = [
+        node
+        for node in part.walk()
+        if isinstance(node, RecLeaf) and node.name == name
+    ]
+    if len(references) != 1:
+        return False
+    node = part
+    while True:
+        if isinstance(node, RecLeaf):
+            return node.name == name
+        if isinstance(node, (Sel, Proj, IJ, PIJ)):
+            node = node.child
+        elif isinstance(node, EJ):
+            node = node.left
+        else:
+            return False
+
+
+def _rebinding_fields(fix: Fix, delta: Sequence[StoredRecord]) -> List[str]:
+    """The recursion-binding columns: the tuple fields rewritten from
+    one iteration to the next (everything but the invariant fields).
+    Falls back to the full field set when all fields are invariant."""
+    if not delta:
+        return []
+    fields = sorted(delta[0].values)
+    rebinding = [f for f in fields if f not in fix.invariant_fields]
+    return rebinding or fields
+
+
+def partition_delta(
+    delta: Sequence[StoredRecord],
+    workers: int,
+    fields: Sequence[str],
+) -> List[List[StoredRecord]]:
+    """Hash-partition delta records on their recursion-binding columns
+    into ``workers`` (possibly empty) disjoint slices; deterministic
+    for a given delta content."""
+    slices: List[List[StoredRecord]] = [[] for _ in range(workers)]
+    for record in delta:
+        values = record.values
+        key = tuple(values.get(field) for field in fields)
+        try:
+            index = hash(key) % workers
+        except TypeError:  # an unhashable field value; rare but legal
+            index = hash(repr(key)) % workers
+        slices[index].append(record)
+    return slices
+
+
+class _StripedSeen:
+    """The shared dedup set, striped so concurrent workers rarely
+    contend on the same lock."""
+
+    __slots__ = ("_locks", "_sets", "_mask")
+
+    def __init__(self, stripes: int = SEEN_STRIPES) -> None:
+        self._mask = stripes - 1
+        self._locks = [threading.Lock() for _ in range(stripes)]
+        self._sets: List[set] = [set() for _ in range(stripes)]
+
+    def add(self, key: tuple) -> bool:
+        """Insert ``key``; True when it was not present before."""
+        stripe = hash(key) & self._mask
+        with self._locks[stripe]:
+            bucket = self._sets[stripe]
+            if key in bucket:
+                return False
+            bucket.add(key)
+            return True
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._sets)
+
+
+def run_fixpoint_parallel(
+    engine,
+    fix: Fix,
+    delta_env: Dict[str, List[StoredRecord]],
+    parallelism: int,
+) -> str:
+    """Evaluate ``fix`` semi-naively with a pool of worker threads;
+    returns the temp entity name (same contract as the serial path).
+
+    The coordinator (the calling thread) owns round boundaries, the
+    iteration cap and profiler ``fix_iteration`` records; workers own
+    part × delta-slice evaluation.  The first worker exception aborts
+    the remaining tasks and re-raises in the coordinator, after which
+    ``Engine.execute``'s cleanup drops the temporaries as usual.
+    """
+    temp_info = engine.physical.register_temp(fix.name)
+    temp_name = temp_info.name
+    engine.note_temp(temp_name)
+    base_parts, recursive_parts = partition_parts(fix)
+
+    seen = _StripedSeen()
+    insert_lock = threading.Lock()
+    abort = threading.Event()
+
+    # One thread-confined engine view per pool thread, handed out per
+    # task; their metrics/profiler views are flushed into the
+    # coordinating engine after the run.
+    contexts: "SimpleQueue" = SimpleQueue()
+    workers = [engine.worker_clone() for _ in range(parallelism)]
+    for worker in workers:
+        contexts.put(worker)
+
+    def run_task(part: PlanNode, env: Dict[str, List[StoredRecord]]):
+        if abort.is_set():
+            return []
+        worker = contexts.get()
+        hook = INTERLEAVE_HOOK
+        try:
+            if hook is not None:
+                hook("task_start", part)
+            fresh: List[StoredRecord] = []
+            for produced, binding in enumerate(worker.iterate(part, env)):
+                if produced % CHECK_INTERVAL == 0:
+                    worker.check_cancelled()
+                    if abort.is_set():
+                        break
+                values = normalize_binding(binding)
+                key = key_of_normalized(values)
+                if not seen.add(key):
+                    continue
+                with insert_lock:
+                    oid = worker.store.insert(temp_name, values)
+                fresh.append(worker.store.peek(oid))
+            if hook is not None:
+                hook("task_end", part)
+            return fresh
+        finally:
+            contexts.put(worker)
+
+    def run_round(tasks) -> List[StoredRecord]:
+        futures = [pool.submit(run_task, part, env) for part, env in tasks]
+        results: List[List[StoredRecord]] = []
+        error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                abort.set()
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        return [record for fresh in results for record in fresh]
+
+    profiler = getattr(engine, "profiler", None)
+    pool = ThreadPoolExecutor(
+        max_workers=parallelism, thread_name_prefix=f"fix-{fix.name}"
+    )
+    try:
+        # Base round: fan the non-recursive parts out across the pool.
+        round_start = time.perf_counter()
+        delta = run_round([(part, delta_env) for part in base_parts])
+        if profiler is not None:
+            profiler.fix_iteration(
+                fix, 0, len(delta), time.perf_counter() - round_start
+            )
+
+        rebinding = _rebinding_fields(fix, delta)
+        iterations = 0
+        while delta:
+            iterations += 1
+            if iterations > engine.max_fix_iterations:
+                raise FixpointLimitError(fix.name, engine.max_fix_iterations)
+            engine.check_cancelled()
+            engine.metrics.fix_iterations += 1
+            round_start = time.perf_counter()
+            tasks: List[Tuple[PlanNode, Dict[str, List[StoredRecord]]]] = []
+            for part in recursive_parts:
+                if partitionable(part, fix.name) and len(delta) > 1:
+                    for piece in partition_delta(delta, parallelism, rebinding):
+                        if not piece:
+                            continue
+                        env = dict(delta_env)
+                        env[fix.name] = piece
+                        tasks.append((part, env))
+                else:
+                    env = dict(delta_env)
+                    env[fix.name] = delta
+                    tasks.append((part, env))
+            delta = run_round(tasks)
+            if profiler is not None:
+                profiler.fix_iteration(
+                    fix,
+                    iterations,
+                    len(delta),
+                    time.perf_counter() - round_start,
+                )
+    finally:
+        abort.set()
+        pool.shutdown(wait=True)
+        for worker in workers:
+            engine.absorb_worker(worker)
+    return temp_name

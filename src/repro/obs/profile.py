@@ -148,6 +148,44 @@ class PlanProfiler:
         node_id = self._ids.get(id(node))
         return self.profiles.get(node_id) if node_id is not None else None
 
+    def worker_view(self, metrics) -> "PlanProfiler":
+        """A thread-confined profiler for one parallel-fixpoint worker.
+
+        Shares the node-id map and children topology (read-only) but
+        owns fresh :class:`NodeProfile` records, and reads its counter
+        deltas from the worker's own ``metrics``; the buffer counters
+        stay shared, so per-node *page-read* attribution is
+        approximate under concurrency (a worker may observe a peer's
+        miss) while tuples, wall time, index reads and predicate evals
+        stay exact.  Flushed back with :meth:`merge_from`.
+        """
+        clone = PlanProfiler()
+        clone._ids = self._ids
+        clone._buffer = self._buffer
+        clone._metrics = metrics
+        clone.children = self.children
+        clone.profiles = {
+            node_id: NodeProfile(node_id, profile.label, profile.kind)
+            for node_id, profile in self.profiles.items()
+        }
+        return clone
+
+    def merge_from(self, other: "PlanProfiler") -> None:
+        """Accumulate a worker view's per-node counters into this
+        profiler (called from the coordinating thread)."""
+        for node_id, theirs in other.profiles.items():
+            mine = self.profiles.get(node_id)
+            if mine is None:
+                self.profiles[node_id] = theirs
+                continue
+            mine.tuples_out += theirs.tuples_out
+            mine.next_calls += theirs.next_calls
+            mine.wall_seconds += theirs.wall_seconds
+            mine.page_reads += theirs.page_reads
+            mine.index_page_reads += theirs.index_page_reads
+            mine.predicate_evals += theirs.predicate_evals
+            mine.fix_iterations.extend(theirs.fix_iterations)
+
     # -- recording -----------------------------------------------------------
 
     def wrap(self, node, iterator: Iterator) -> Iterator:

@@ -11,6 +11,8 @@ physical reads.
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
@@ -58,28 +60,42 @@ class BufferPool:
     simplified cost model.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(self, capacity: int = 256, io_latency: float = 0.0) -> None:
         if capacity < 0:
             raise ValueError("buffer capacity must be >= 0")
         self.capacity = capacity
         self.stats = BufferStats()
+        #: Simulated device latency per physical read, in seconds.  0.0
+        #: (the default) keeps the simulator purely analytic; the
+        #: parallel-fixpoint benchmark sets it so the workload becomes
+        #: I/O-bound and worker threads genuinely overlap their waits
+        #: (the sleep happens outside the pool lock).
+        self.io_latency = io_latency
         self._resident: "OrderedDict[PageId, None]" = OrderedDict()
+        #: Residency and counters are shared across parallel-fixpoint
+        #: workers; one lock keeps the LRU bookkeeping consistent.
+        self._lock = threading.Lock()
 
     def touch(self, page_id: PageId) -> bool:
         """Access a page; return True on a buffer hit."""
-        self.stats.logical_reads += 1
-        if self.capacity == 0:
-            self.stats.physical_reads += 1
-            return False
-        if page_id in self._resident:
-            self._resident.move_to_end(page_id)
-            return True
-        self.stats.physical_reads += 1
-        self._resident[page_id] = None
-        if len(self._resident) > self.capacity:
-            self._resident.popitem(last=False)
-            self.stats.evictions += 1
-        return False
+        with self._lock:
+            self.stats.logical_reads += 1
+            if self.capacity == 0:
+                self.stats.physical_reads += 1
+                hit = False
+            elif page_id in self._resident:
+                self._resident.move_to_end(page_id)
+                hit = True
+            else:
+                self.stats.physical_reads += 1
+                self._resident[page_id] = None
+                if len(self._resident) > self.capacity:
+                    self._resident.popitem(last=False)
+                    self.stats.evictions += 1
+                hit = False
+        if not hit and self.io_latency > 0.0:
+            time.sleep(self.io_latency)
+        return hit
 
     def contains(self, page_id: PageId) -> bool:
         return page_id in self._resident

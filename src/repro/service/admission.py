@@ -7,10 +7,13 @@ Two gates, both cost-controlled:
   the store.  The estimate comes from the same Figure 5 model the
   optimizer searched with, so the budget is denominated in the paper's
   cost units (page reads + weighted predicate evaluations).
-* **slots** — at most ``max_concurrent`` requests execute at once;
-  excess requests queue for ``queue_timeout`` seconds and are then
-  rejected, bounding tail latency instead of letting the queue grow
-  without limit.
+* **slots** — at most ``max_concurrent`` units of execution run at
+  once; excess requests queue for ``queue_timeout`` seconds and are
+  then rejected, bounding tail latency instead of letting the queue
+  grow without limit.  A request running the fixpoint at parallelism
+  ``N`` reserves ``N`` slots (capped at ``max_concurrent``) — parallel
+  queries consume proportionally more of the concurrency budget, and a
+  timeout or cancellation releases every slot the request held.
 
 Per-query *timeouts* are handled downstream by the engine's
 cancellation token (:mod:`repro.engine.cancel`); the controller only
@@ -21,6 +24,7 @@ picks the effective timeout (request override capped by the policy's
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional
@@ -53,8 +57,9 @@ class AdmissionController:
         self.policy = policy or AdmissionPolicy()
         if self.policy.max_concurrent < 1:
             raise ValueError("max_concurrent must be >= 1")
-        self._slots = threading.BoundedSemaphore(self.policy.max_concurrent)
         self._lock = threading.Lock()
+        self._slots_free = self.policy.max_concurrent
+        self._slots_changed = threading.Condition(self._lock)
         self.admitted = 0
         self.rejected_budget = 0
         self.rejected_queue = 0
@@ -74,25 +79,39 @@ class AdmissionController:
         with self._lock:
             self.admitted += 1
 
+    def slot_weight(self, parallelism: int = 1) -> int:
+        """Execution slots a request at ``parallelism`` reserves: one
+        per worker, capped at ``max_concurrent`` (a wider ask could
+        never be granted)."""
+        return max(1, min(parallelism, self.policy.max_concurrent))
+
     @contextmanager
-    def slot(self):
-        """Hold one execution slot; raises :class:`AdmissionError` with
-        ``reason="queue_full"`` if none frees up within the queue
-        timeout."""
-        acquired = self._slots.acquire(timeout=self.policy.queue_timeout)
-        if not acquired:
-            with self._lock:
-                self.rejected_queue += 1
-            raise AdmissionError(
-                f"no execution slot became free within "
-                f"{self.policy.queue_timeout:.1f}s "
-                f"({self.policy.max_concurrent} concurrent max)",
-                reason="queue_full",
-            )
+    def slot(self, weight: int = 1):
+        """Hold ``weight`` execution slots, atomically; raises
+        :class:`AdmissionError` with ``reason="queue_full"`` if they do
+        not all free up within the queue timeout.  All ``weight``
+        slots are released together on exit — including on timeout or
+        cancellation of the guarded execution."""
+        weight = self.slot_weight(weight)
+        deadline = time.monotonic() + self.policy.queue_timeout
+        with self._slots_changed:
+            while self._slots_free < weight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._slots_changed.wait(remaining):
+                    self.rejected_queue += 1
+                    raise AdmissionError(
+                        f"{weight} execution slot(s) did not free up within "
+                        f"{self.policy.queue_timeout:.1f}s "
+                        f"({self.policy.max_concurrent} concurrent max)",
+                        reason="queue_full",
+                    )
+            self._slots_free -= weight
         try:
-            yield
+            yield weight
         finally:
-            self._slots.release()
+            with self._slots_changed:
+                self._slots_free += weight
+                self._slots_changed.notify_all()
 
     def effective_timeout(self, requested: Optional[float]) -> Optional[float]:
         """The timeout to enforce for a request: the request's own ask,
@@ -111,4 +130,5 @@ class AdmissionController:
                 "rejected_queue": self.rejected_queue,
                 "cost_budget": self.policy.cost_budget,
                 "max_concurrent": self.policy.max_concurrent,
+                "slots_in_use": self.policy.max_concurrent - self._slots_free,
             }

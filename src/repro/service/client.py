@@ -90,12 +90,15 @@ class ServiceClient:
         text: str,
         params: Optional[Dict[str, object]] = None,
         timeout: Optional[float] = None,
+        parallelism: Optional[int] = None,
     ) -> dict:
         payload: dict = {"op": "query", "text": text}
         if params is not None:
             payload["params"] = params
         if timeout is not None:
             payload["timeout"] = timeout
+        if parallelism is not None:
+            payload["parallelism"] = parallelism
         return self.request(payload)
 
     def prepare(self, text: str) -> str:
@@ -107,12 +110,15 @@ class ServiceClient:
         statement: str,
         params: Optional[Dict[str, object]] = None,
         timeout: Optional[float] = None,
+        parallelism: Optional[int] = None,
     ) -> dict:
         payload: dict = {"op": "execute", "statement": statement}
         if params is not None:
             payload["params"] = params
         if timeout is not None:
             payload["timeout"] = timeout
+        if parallelism is not None:
+            payload["parallelism"] = parallelism
         return self.request(payload)
 
     def stats(self) -> dict:

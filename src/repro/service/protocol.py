@@ -7,7 +7,8 @@ plus payload, or ``ok: false`` plus ``error: {code, message}``.
 
 Operations
     ``hello``                             → ``{session}``
-    ``query {text, params?, timeout?}``   → ``{rows, cache, ...}``
+    ``query {text, params?, timeout?, parallelism?}``
+                                          → ``{rows, cache, ...}``
     ``prepare {text}``                    → ``{statement, parameters}``
     ``execute {statement, params?, ...}`` → like ``query``
     ``explain {text, analyze?}``          → annotated plan (est vs. actual)

@@ -69,6 +69,11 @@ class ServiceConfig:
     default_timeout: Optional[float] = None
     max_timeout: Optional[float] = None
     max_fix_iterations: int = 256
+    #: Default fixpoint parallelism for requests that do not override
+    #: it; the per-request ``parallelism`` field wins, and either way
+    #: the grant is capped by ``max_concurrent`` (a parallel query
+    #: reserves one admission slot per worker).
+    parallelism: int = 1
     metrics_window: int = 256
     max_rows: Optional[int] = None
     #: A query slower than this (seconds) enters the slow-query log;
@@ -215,12 +220,15 @@ class QueryService:
         text: str,
         params: Optional[dict] = None,
         timeout: Optional[float] = None,
+        parallelism: Optional[int] = None,
     ) -> dict:
         """Serve one query text end to end; raises ReproError subclasses
-        on failure (the protocol layer maps them to error codes)."""
+        on failure (the protocol layer maps them to error codes).
+        ``parallelism`` overrides the service default for this request;
+        the grant is capped by the admission controller's slot count."""
         self.metrics.record_request()
         try:
-            return self._run_query(text, params, timeout)
+            return self._run_query(text, params, timeout, parallelism)
         except ReproError as error:
             self._count_failure(error)
             raise
@@ -241,11 +249,22 @@ class QueryService:
         else:
             self.metrics.record_error()
 
+    def _default_params(self) -> CostParameters:
+        """Built-in unit costs, at the service's default parallelism —
+        the parallel-Fix cost variant must see the worker count the
+        engine will actually use, or transformPT's push comparison
+        would be priced for the wrong machine."""
+        params = CostParameters()
+        params.parallelism = max(1, self.config.parallelism)
+        return params
+
     def _current_model(self) -> Optional[DetailedCostModel]:
         """The recalibrated cost model, or ``None`` for the defaults
         (callees build a default model lazily when they need one)."""
         if self._cost_params is None:
-            return None
+            if self.config.parallelism <= 1:
+                return None
+            return DetailedCostModel(self.physical, self._default_params())
         return DetailedCostModel(self.physical, self._cost_params)
 
     def _optimizer(self):
@@ -257,6 +276,7 @@ class QueryService:
         text: str,
         params: Optional[dict],
         timeout: Optional[float],
+        parallelism: Optional[int] = None,
     ) -> dict:
         substituted = substitute_params(text, params)
         feedback = self.feedback
@@ -308,12 +328,18 @@ class QueryService:
         profiler: Optional[PlanProfiler] = None
         if feedback is not None and feedback.should_profile():
             profiler = PlanProfiler()
-        with self.admission.slot():
+        requested = (
+            parallelism if parallelism is not None else self.config.parallelism
+        )
+        # A parallelism-N request reserves N slots (capped by the slot
+        # pool) and the engine runs with exactly the granted width.
+        with self.admission.slot(weight=requested) as granted:
             execute_started = time.perf_counter()
             with self._store_lock:
                 engine = Engine(
                     self.physical,
                     max_fix_iterations=self.config.max_fix_iterations,
+                    parallelism=granted,
                 )
                 execution = engine.execute(plan, cancel=token, profiler=profiler)
             execute_elapsed = time.perf_counter() - execute_started
@@ -351,6 +377,7 @@ class QueryService:
             "optimize_ms": round(optimize_elapsed * 1000, 3),
             "execute_ms": round(execute_elapsed * 1000, 3),
             "fix_iterations": execution.metrics.fix_iterations,
+            "parallelism": granted,
         }
 
     def _check_slow(self, record: QueryRecord) -> None:
@@ -424,12 +451,13 @@ class QueryService:
         statement_id: str,
         params: Optional[dict] = None,
         timeout: Optional[float] = None,
+        parallelism: Optional[int] = None,
     ) -> dict:
         session = self._session(session_id)
         template = session.statements.get(statement_id)
         if template is None:
             raise ProtocolError(f"unknown statement {statement_id!r}")
-        return self.run_query(template, params, timeout)
+        return self.run_query(template, params, timeout, parallelism)
 
     # -- maintenance / observability ---------------------------------------
 
@@ -454,7 +482,7 @@ class QueryService:
         estimate drifts beyond the ratio are re-optimized on their next
         request, under regression watch)."""
         feedback = self._require_feedback()
-        base = self._cost_params or CostParameters()
+        base = self._cost_params or self._default_params()
         _weights, params, report = feedback.recalibrate(base)
         self.metrics.count("recalibrations")
         payload = {"applied": False, **report}
@@ -731,7 +759,10 @@ class QueryService:
         if not isinstance(text, str):
             raise ProtocolError("query requires a string 'text'")
         return self.run_query(
-            text, request.get("params"), _timeout_field(request)
+            text,
+            request.get("params"),
+            _timeout_field(request),
+            _parallelism_field(request),
         )
 
     def _op_prepare(self, request: dict) -> dict:
@@ -749,6 +780,7 @@ class QueryService:
             statement,
             request.get("params"),
             _timeout_field(request),
+            _parallelism_field(request),
         )
 
     def _op_stats(self, request: dict) -> dict:
@@ -807,6 +839,16 @@ class QueryService:
         if not isinstance(text, str):
             raise ProtocolError("unpin requires a string 'text'")
         return self.unpin_query(text, request.get("params"))
+
+
+def _parallelism_field(request: dict) -> Optional[int]:
+    parallelism = request.get("parallelism")
+    if parallelism is None:
+        return None
+    if isinstance(parallelism, bool) or not isinstance(parallelism, int) \
+            or parallelism < 1:
+        raise ProtocolError("parallelism must be a positive integer")
+    return parallelism
 
 
 def _timeout_field(request: dict) -> Optional[float]:

@@ -91,6 +91,93 @@ class TestSlots:
         with controller.slot():
             pass
 
+    def test_parallel_request_reserves_proportional_slots(self):
+        """A parallelism-8 request takes all eight slots of an
+        8-concurrent controller: a second request queues behind it."""
+        controller = AdmissionController(
+            AdmissionPolicy(max_concurrent=8, queue_timeout=0.05)
+        )
+        entered = threading.Event()
+        release = threading.Event()
+
+        def hold():
+            with controller.slot(weight=8) as granted:
+                assert granted == 8
+                entered.set()
+                release.wait(timeout=5)
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        try:
+            assert entered.wait(timeout=5)
+            assert controller.snapshot()["slots_in_use"] == 8
+            with pytest.raises(AdmissionError) as excinfo:
+                with controller.slot():
+                    pass
+            assert excinfo.value.reason == "queue_full"
+        finally:
+            release.set()
+            holder.join()
+        # Every slot is back: a second wide request is admitted.
+        assert controller.snapshot()["slots_in_use"] == 0
+        with controller.slot(weight=8):
+            pass
+
+    def test_weight_is_capped_at_max_concurrent(self):
+        controller = AdmissionController(
+            AdmissionPolicy(max_concurrent=4, queue_timeout=0.05)
+        )
+        with controller.slot(weight=100) as granted:
+            assert granted == 4
+        assert controller.snapshot()["slots_in_use"] == 0
+
+    def test_wide_request_queues_until_slots_free(self):
+        """parallelism-4 waits for a narrow request to finish instead
+        of being rejected outright when the queue timeout allows it."""
+        controller = AdmissionController(
+            AdmissionPolicy(max_concurrent=4, queue_timeout=5.0)
+        )
+        entered = threading.Event()
+        release = threading.Event()
+
+        def hold():
+            with controller.slot(weight=2):
+                entered.set()
+                release.wait(timeout=5)
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        acquired = threading.Event()
+
+        def wide():
+            with controller.slot(weight=4):
+                acquired.set()
+
+        waiter = threading.Thread(target=wide)
+        try:
+            assert entered.wait(timeout=5)
+            waiter.start()
+            # Not enough free slots yet; the wide request is parked.
+            assert not acquired.wait(timeout=0.2)
+            release.set()
+            assert acquired.wait(timeout=5)
+        finally:
+            release.set()
+            holder.join()
+            waiter.join()
+
+    def test_failure_mid_query_releases_every_slot(self):
+        controller = AdmissionController(
+            AdmissionPolicy(max_concurrent=8, queue_timeout=0.05)
+        )
+        with pytest.raises(RuntimeError):
+            with controller.slot(weight=8):
+                assert controller.snapshot()["slots_in_use"] == 8
+                raise RuntimeError("query blew up")
+        assert controller.snapshot()["slots_in_use"] == 0
+        with controller.slot(weight=8):
+            pass
+
     def test_effective_timeout_prefers_request_then_default_then_cap(self):
         controller = AdmissionController(
             AdmissionPolicy(default_timeout=10.0, max_timeout=5.0)
@@ -182,3 +269,44 @@ class TestFixpointLimit:
         assert response["ok"] is False
         assert response["error"]["code"] == "fixpoint_limit"
         assert "8" in response["error"]["message"]
+
+
+class TestServiceParallelism:
+    def test_request_parallelism_is_granted_and_reported(self, db):
+        service = QueryService(db, ServiceConfig(max_concurrent=8))
+        response = service.run_query(RECURSIVE, parallelism=4)
+        assert response["parallelism"] == 4
+        assert response["row_count"] > 0
+
+    def test_grant_is_capped_by_admission(self, db):
+        service = QueryService(db, ServiceConfig(max_concurrent=4))
+        response = service.run_query(RECURSIVE, parallelism=16)
+        assert response["parallelism"] == 4
+
+    def test_wire_protocol_carries_parallelism(self, db):
+        service = QueryService(db, ServiceConfig(max_concurrent=8))
+        response = service.handle(
+            {"op": "query", "text": RECURSIVE, "parallelism": 2}
+        )
+        assert response["ok"] is True
+        assert response["parallelism"] == 2
+
+    def test_invalid_parallelism_is_a_protocol_error(self, db):
+        service = QueryService(db, ServiceConfig())
+        for bad in (0, -1, 1.5, "two", True):
+            response = service.handle(
+                {"op": "query", "text": RECURSIVE, "parallelism": bad}
+            )
+            assert response["ok"] is False
+            assert response["error"]["code"] == "protocol_error"
+
+    def test_timeout_releases_every_reserved_slot(self, db):
+        """A parallel query that times out must give back all its
+        slots, not just one — otherwise the service leaks capacity."""
+        service = QueryService(db, ServiceConfig(max_concurrent=8))
+        with pytest.raises(ExecutionTimeout):
+            service.run_query(RECURSIVE, timeout=1e-9, parallelism=8)
+        assert service.admission.snapshot()["slots_in_use"] == 0
+        # Capacity intact: the next wide query is admitted and runs.
+        ok = service.run_query(RECURSIVE, parallelism=8)
+        assert ok["row_count"] > 0
