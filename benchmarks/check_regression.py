@@ -180,11 +180,29 @@ def check_parallel_fixpoint(gate, fresh, baseline):
         )
 
 
+def check_batch_execution(gate, fresh, baseline):
+    floor = fresh.get("required_spj_speedup", 2.0)
+    gate.absolute(
+        "batch_execution",
+        "spj batched/tuple-at-a-time claim",
+        fresh.get("spj_speedup@batched", 0.0),
+        floor,
+    )
+    for metric in ("spj_speedup@batched", "contains_speedup@1024"):
+        gate.check(
+            "batch_execution",
+            metric,
+            fresh.get(metric, 0.0),
+            baseline.get(metric, 0.0),
+        )
+
+
 CHECKERS = {
     "BENCH_service_throughput.json": check_service_throughput,
     "BENCH_claim_strategy_time.json": check_strategy_time,
     "BENCH_feedback_calibration.json": check_feedback_calibration,
     "BENCH_parallel_fixpoint.json": check_parallel_fixpoint,
+    "BENCH_batch_execution.json": check_batch_execution,
 }
 
 

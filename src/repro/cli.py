@@ -113,6 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads for fixpoint evaluation (1 = serial "
         "semi-naive loop)",
     )
+    run_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="bindings per batch exchanged between operators "
+        "(default: REPRO_BATCH_SIZE or 256; 1 = tuple-at-a-time)",
+    )
     add_common(run_parser)
 
     explain_parser = sub.add_parser("explain", help="optimize only")
@@ -209,6 +216,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="default fixpoint parallelism per query (requests may "
         "override; a parallelism-N query reserves N execution slots)",
+    )
+    serve_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="bindings per batch the engine exchanges between operators "
+        "(requests may override; default: REPRO_BATCH_SIZE or 256)",
     )
     serve_parser.add_argument(
         "--metrics-port",
@@ -376,10 +390,17 @@ def _optimize(args, text: str, out):
 
 
 def cmd_run(args, out) -> int:
+    import time
+
     db, result = _optimize(args, _read_query(args), out)
-    execution = Engine(
-        db.physical, parallelism=max(1, getattr(args, "parallelism", 1))
-    ).execute(result.plan)
+    engine = Engine(
+        db.physical,
+        parallelism=max(1, getattr(args, "parallelism", 1)),
+        batch_size=getattr(args, "batch_size", None),
+    )
+    started = time.perf_counter()
+    execution = engine.execute(result.plan)
+    elapsed = time.perf_counter() - started
     print(file=out)
     print(f"=== {len(execution.rows)} rows ===", file=out)
     for row in execution.rows[: args.limit]:
@@ -394,6 +415,18 @@ def cmd_run(args, out) -> int:
         f"{metrics.predicate_evals} predicate evals, "
         f"{metrics.index_lookups} index lookups, "
         f"{metrics.fix_iterations} fixpoint iterations",
+        file=out,
+    )
+    rows_per_sec = len(execution.rows) / elapsed if elapsed > 0 else 0.0
+    # Effective batch size: tuples an average emitted batch carried
+    # (<= the configured size — selective filters shrink batches).
+    effective = (
+        metrics.total_tuples / metrics.batches if metrics.batches else 0.0
+    )
+    print(
+        f"throughput: {rows_per_sec:,.0f} rows/sec "
+        f"({elapsed * 1000:.1f} ms execute, batch size {engine.batch_size}, "
+        f"effective {effective:.1f})",
         file=out,
     )
     return 0
@@ -525,6 +558,7 @@ def cmd_serve(args, out, server_box=None) -> int:
             default_timeout=args.timeout,
             max_concurrent=args.max_concurrent,
             parallelism=max(1, args.parallelism),
+            batch_size=args.batch_size,
             slow_query_seconds=(
                 args.slow_query_ms / 1000.0 if args.slow_query_ms else None
             ),

@@ -44,6 +44,7 @@ EVENT_NAMES = (
     "predicate_evals",
     "method_weight",
     "tuples",
+    "batches",
 )
 
 
@@ -69,8 +70,10 @@ class CalibratedWeights:
     def cost_of(self, metrics: RuntimeMetrics) -> float:
         """Cost of a measured run under the fitted weights."""
         events = _events_of(metrics)
+        # Weights fitted before an event existed price it at zero.
         return sum(
-            self.weights[name] * value for name, value in events.items()
+            self.weights.get(name, 0.0) * value
+            for name, value in events.items()
         )
 
     def to_parameters(self, base: Optional[CostParameters] = None) -> CostParameters:
@@ -87,6 +90,12 @@ class CalibratedWeights:
             default_delta_decay=base.default_delta_decay,
             parallelism=base.parallelism,
             parallel_overhead=base.parallel_overhead,
+            batch_size=base.batch_size,
+            # Weights fitted before the batches event existed fall back
+            # to the reference per-batch charge.
+            batch_overhead=max(
+                self.weights.get("batches", base.batch_overhead), 1e-9
+            ),
         )
 
 
@@ -98,6 +107,7 @@ def events_of(metrics: RuntimeMetrics) -> Dict[str, float]:
         "predicate_evals": float(metrics.predicate_evals),
         "method_weight": float(metrics.method_eval_weight),
         "tuples": float(metrics.total_tuples),
+        "batches": float(metrics.batches),
     }
 
 

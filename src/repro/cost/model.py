@@ -177,17 +177,29 @@ class DetailedCostModel:
                 pass
         return io, cpu
 
+    def _batch_cost(self, tuples: float) -> float:
+        """Per-batch pipeline overhead of emitting ``tuples`` bindings:
+        each of the ``ceil(tuples / batch_size)`` batches costs one
+        generator resumption + cancellation poll + metering probe
+        (``params.batch_overhead``)."""
+        if tuples <= 0:
+            return 0.0
+        batch_size = max(1, self.params.batch_size)
+        return math.ceil(tuples / batch_size) * self.params.batch_overhead
+
     def _dispatch(self, node, env, rows) -> Tuple[float, float]:
         params = self.params
         if isinstance(node, (EntityLeaf, TempLeaf)):
             estimate = self.estimator.estimate(node, env)
             io = estimate.pages * params.page_read
             cpu = estimate.tuples * params.tuple_cpu
+            cpu += self._batch_cost(estimate.tuples)
             return io, cpu
         if isinstance(node, RecLeaf):
             estimate = self.estimator.estimate(node, env)
             io = estimate.pages * params.page_read
             cpu = estimate.tuples * params.tuple_cpu
+            cpu += self._batch_cost(estimate.tuples)
             return io, cpu
         if isinstance(node, Sel):
             indexed = self._indexed_selection(node, env)
@@ -198,6 +210,8 @@ class DetailedCostModel:
             pred_io, pred_cpu = self._predicate_cost(
                 node.predicate, child_est.tuples, child_est.varmap
             )
+            # A filter emits (at most) one batch per consumed batch.
+            pred_cpu += self._batch_cost(child_est.tuples)
             return child_io + pred_io, child_cpu + pred_cpu
         if isinstance(node, Proj):
             child_io, child_cpu = self._cost(node.child, env, rows)
@@ -206,6 +220,7 @@ class DetailedCostModel:
                 node.fields, child_est.tuples, child_est.varmap
             )
             proj_cpu += child_est.tuples * params.tuple_cpu
+            proj_cpu += self._batch_cost(child_est.tuples)
             return child_io + proj_io, child_cpu + proj_cpu
         if isinstance(node, IJ):
             return self._cost_ij(node, env, rows)
@@ -225,6 +240,7 @@ class DetailedCostModel:
             # Write out and read back the temporary once.
             io = 2.0 * estimate.pages * params.page_read
             cpu = estimate.tuples * params.tuple_cpu
+            cpu += self._batch_cost(estimate.tuples)
             return child_io + io, child_cpu + cpu
         raise CostModelError(f"cannot cost node {type(node).__name__}")
 
@@ -267,6 +283,7 @@ class DetailedCostModel:
                     )
                     weight += part_weight
                 cpu = matches * weight * self.params.eval_per_tuple
+                cpu += self._batch_cost(matches)
                 if best is None or io + cpu < best[0] + best[1]:
                     best = (io, cpu)
         return best
@@ -466,6 +483,7 @@ class DetailedCostModel:
             fetches, owner_entity, attribute, node.target.entity
         )
         cpu = out_est.tuples * self.params.tuple_cpu
+        cpu += self._batch_cost(out_est.tuples)
         return child_io + io, child_cpu + cpu
 
     def _ij_owner(
@@ -514,6 +532,7 @@ class DetailedCostModel:
                 continue
             io += self._miss_io(out_est.tuples, target.entity)
         cpu = out_est.tuples * self.params.tuple_cpu
+        cpu += self._batch_cost(out_est.tuples)
         return child_io + io, child_cpu + cpu
 
     def _cost_ej(self, node: EJ, env, rows) -> Tuple[float, float]:
@@ -535,6 +554,7 @@ class DetailedCostModel:
                 * pred_weight
                 * self.params.eval_per_tuple
             )
+            cpu += self._batch_cost(out_est.tuples)
             return left_io + io, left_cpu + cpu
         # Nested loop: Figure 5 charges one inner access per outer
         # tuple; the buffer absorbs re-reads of an inner that fits
@@ -554,6 +574,7 @@ class DetailedCostModel:
             evals * pred_weight * self.params.eval_per_tuple
             + inner_cpu * max(1.0, outer_tuples)
         )
+        cpu += self._batch_cost(out_est.tuples)
         io = rescan_io + evals * pred_hop_io
         return left_io + io, left_cpu + cpu
 
@@ -642,8 +663,10 @@ class DetailedCostModel:
         if len(deltas) > 1:
             round_cost(deltas[-1])
         # Materializing and deduplicating the accumulated result (the
-        # striped seen-set merge under parallelism).
+        # striped seen-set merge under parallelism), plus re-emitting
+        # it in batches from the temporary.
         cpu += fix_est.tuples * self.params.tuple_cpu
+        cpu += self._batch_cost(fix_est.tuples)
         if parallelism > 1:
             cpu += fix_est.tuples * self.params.parallel_overhead
         return io, cpu

@@ -50,6 +50,21 @@ class CostParameters:
     #: CPU cost per delta tuple for hash-partitioning the delta and
     #: merging worker results through the striped seen-set.
     parallel_overhead: float = 0.001
+    #: Bindings per batch the engine's operators exchange.  Every
+    #: operator pays the per-batch overhead below once per
+    #: ``ceil(tuples / batch_size)`` emitted batches, so plan costs
+    #: stay honest at any batch size (at 1 the term degenerates to a
+    #: per-tuple pipeline charge, the tuple-at-a-time regime).  Must
+    #: mirror :data:`repro.engine.batch.DEFAULT_BATCH_SIZE` (kept as a
+    #: literal here — the engine package transitively imports this
+    #: module, so importing the constant would be circular); a test
+    #: pins the two together.
+    batch_size: int = 256
+    #: CPU cost of emitting one batch: a generator resumption, a
+    #: cancellation poll and a metering probe.  Small relative to
+    #: ``eval_per_tuple`` so operator-choice comparisons (index vs
+    #: scan, push vs no-push) are not perturbed.
+    batch_overhead: float = 0.0005
 
 
 @dataclass

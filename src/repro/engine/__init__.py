@@ -2,6 +2,7 @@
 hash-partitioned parallel), reference (ground-truth) evaluator and
 runtime metrics."""
 
+from repro.engine.batch import Batch, DEFAULT_BATCH_SIZE, default_batch_size
 from repro.engine.cancel import CancellationToken
 from repro.engine.context import ExecutionContext
 from repro.engine.eval_expr import (
@@ -22,6 +23,9 @@ from repro.engine.parallel import (
 from repro.engine.reference import ReferenceEvaluator
 
 __all__ = [
+    "Batch",
+    "DEFAULT_BATCH_SIZE",
+    "default_batch_size",
     "Binding",
     "CancellationToken",
     "ExecutionContext",

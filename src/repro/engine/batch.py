@@ -1,0 +1,94 @@
+"""The batch abstraction of the vectorized execution engine.
+
+The engine's operators exchange :class:`Batch` objects — a list of
+bindings plus per-batch metadata — instead of single bindings.  One
+generator resumption, one cancellation poll and one metering probe then
+cover ``batch_size`` tuples, so the Python dispatch overhead that
+tuple-at-a-time pipelines pay per binding is amortized across the
+whole batch (the batch-at-a-time runtime substrate transformation-based
+recursive optimizers assume; see ``docs/architecture.md`` for the
+operator ABI).
+
+``batch_size=1`` degenerates to the exact tuple-at-a-time semantics:
+every batch carries one binding, and all per-batch bookkeeping happens
+per tuple — the compatibility path CI pins with ``REPRO_BATCH_SIZE=1``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, List, Optional
+
+__all__ = ["Batch", "DEFAULT_BATCH_SIZE", "default_batch_size", "rebatch"]
+
+#: Default number of bindings per batch.  Large enough to amortize the
+#: per-batch generator hop / cancellation poll / metering probe down to
+#: noise, small enough that a batch of music-schema bindings stays well
+#: inside a few cache lines of pointers.
+DEFAULT_BATCH_SIZE = 256
+
+
+def default_batch_size() -> int:
+    """The engine-wide default batch size.
+
+    ``REPRO_BATCH_SIZE`` overrides the built-in default so an entire
+    test run can be pinned to the tuple-at-a-time compatibility path
+    (``REPRO_BATCH_SIZE=1``) without touching any call site.
+    """
+    raw = os.environ.get("REPRO_BATCH_SIZE")
+    if not raw:
+        return DEFAULT_BATCH_SIZE
+    try:
+        size = int(raw)
+    except ValueError:
+        return DEFAULT_BATCH_SIZE
+    return size if size >= 1 else DEFAULT_BATCH_SIZE
+
+
+class Batch:
+    """One unit of exchange between plan operators.
+
+    ``rows`` is the list of bindings; ``node_id`` identifies the plan
+    node that produced the batch (the same stable pre-order id that
+    keys per-node tuple counters and profiler records).  Operators
+    never emit empty batches; a consumer may therefore treat every
+    received batch as carrying at least one binding.
+    """
+
+    __slots__ = ("rows", "node_id")
+
+    def __init__(self, rows: List[dict], node_id: Optional[str] = None) -> None:
+        self.rows = rows
+        self.node_id = node_id
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Batch({len(self.rows)} rows, node_id={self.node_id!r})"
+
+
+def rebatch(
+    batches: Iterable[Batch], size: int, node_id: Optional[str] = None
+) -> Iterator[Batch]:
+    """Re-slice a stream of batches to ``size`` rows per batch.
+
+    Used by operators that legitimately change batch granularity (a
+    high-fanout join may hold output rows until a full batch
+    accumulates, a selective filter may merge the survivors of several
+    input batches).  The relative row order is preserved.
+    """
+    pending: List[dict] = []
+    for batch in batches:
+        pending.extend(batch.rows)
+        while len(pending) >= size:
+            yield Batch(pending[:size], node_id)
+            pending = pending[size:]
+    if pending:
+        yield Batch(pending, node_id)

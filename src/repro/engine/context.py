@@ -31,7 +31,13 @@ class ExecutionContext:
     #: >1 = hash-partitioned parallel evaluation
     #: (:mod:`repro.engine.parallel`).
     parallelism: int = 1
+    #: Bindings per batch exchanged between operators; None keeps the
+    #: engine's configured size, 1 pins the exact tuple-at-a-time
+    #: compatibility semantics.
+    batch_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.parallelism < 1:
             raise ValueError("parallelism must be >= 1")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")

@@ -13,11 +13,21 @@ evaluation over complex objects follows the paper's semantics:
 * a method (computed attribute) is invoked on demand, charging its
   declared evaluation weight — the expensive-selection case that
   motivates the whole paper.
+
+Predicates and expressions are *compiled once per AST node* into Python
+closures (:meth:`ExpressionEvaluator.compile_predicate` /
+:meth:`~ExpressionEvaluator.compile_expr` /
+:meth:`~ExpressionEvaluator.compile_path`) and the closures are cached
+per node, so evaluating the same predicate over a million bindings
+walks the AST exactly once — the batch-vectorized engine applies the
+compiled closure per binding without re-interpreting the tree.  The
+``*_compilations`` counters exist so regression tests can prove the
+cache works (compilation counts must not scale with tuple counts).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError
 from repro.physical.storage import ObjectStore, Oid, StoredRecord
@@ -39,6 +49,20 @@ from repro.engine.metrics import RuntimeMetrics
 Binding = Dict[str, object]
 
 __all__ = ["Binding", "ExpressionEvaluator", "normalize_value", "canonical_row"]
+
+#: Sentinel distinguishing "attribute absent" from a stored None.
+_MISSING = object()
+
+#: ``const <op> path`` rewritten as ``path <mirrored op> const`` so the
+#: fast comparison path applies regardless of operand order.
+_MIRRORED_OPS = {
+    "=": "=",
+    "!=": "!=",
+    "<": ">",
+    "<=": ">=",
+    ">": "<",
+    ">=": "<=",
+}
 
 
 def normalize_value(value: object) -> object:
@@ -84,6 +108,29 @@ class ExpressionEvaluator:
         self._metrics = metrics
         self._method_resolver = method_resolver
         self._charged = charged
+        # Compiled-closure caches, keyed by AST node identity.  The
+        # cached tuples hold the node itself so its id() stays valid
+        # for the evaluator's lifetime.
+        self._compiled_predicates: Dict[
+            int, Tuple[Predicate, Callable[[Binding], bool]]
+        ] = {}
+        self._compiled_inner: Dict[
+            int, Tuple[Predicate, Callable[[Binding], bool]]
+        ] = {}
+        self._compiled_filters: Dict[
+            int, Tuple[Predicate, Callable[[Sequence[Binding]], List[Binding]]]
+        ] = {}
+        self._compiled_exprs: Dict[
+            int, Tuple[Expr, Callable[[Binding], List[object]]]
+        ] = {}
+        self._compiled_paths: Dict[
+            int, Tuple[PathRef, Callable[[Binding], List[object]]]
+        ] = {}
+        #: Compilation counters: how many closures were built.  Bounded
+        #: by the number of distinct AST nodes, never by tuple counts.
+        self.predicate_compilations = 0
+        self.expr_compilations = 0
+        self.path_compilations = 0
 
     # -- value access ----------------------------------------------------------
 
@@ -138,36 +185,120 @@ class ExpressionEvaluator:
         are returned as-is (oids stay oids — a comparison of reference
         attributes compares identities, per the object model).
         """
-        if path.var not in binding:
-            raise ExecutionError(f"unbound variable {path.var!r}")
-        current: List[object] = [binding[path.var]]
-        for attribute in path.attrs:
-            next_values: List[object] = []
-            for value in current:
-                next_values.extend(self._attribute_values(value, attribute))
-            current = next_values
-        return current
+        return self.compile_path(path)(binding)
+
+    def compile_path(self, path: PathRef) -> Callable[[Binding], List[object]]:
+        """The compiled navigation closure of a path (cached per node).
+
+        Unlike :meth:`compile_expr` the returned closure does *not*
+        count an expression evaluation — it matches the raw
+        ``path_values`` contract the join operators rely on.
+        """
+        cached = self._compiled_paths.get(id(path))
+        if cached is not None:
+            return cached[1]
+        walk = self._build_path(path)
+        self._compiled_paths[id(path)] = (path, walk)
+        self.path_compilations += 1
+        return walk
+
+    def _build_path(self, path: PathRef) -> Callable[[Binding], List[object]]:
+        var = path.var
+        attrs = tuple(path.attrs)
+        attribute_values = self._attribute_values
+
+        def walk(binding: Binding) -> List[object]:
+            try:
+                value = binding[var]
+            except KeyError:
+                raise ExecutionError(f"unbound variable {var!r}") from None
+            current: List[object] = [value]
+            for attribute in attrs:
+                next_values: List[object] = []
+                for value in current:
+                    next_values.extend(attribute_values(value, attribute))
+                current = next_values
+            return current
+
+        return walk
 
     # -- expressions ---------------------------------------------------------------
 
     def expr_values(self, binding: Binding, expr: Expr) -> List[object]:
         """All values of an expression (multivalued paths expand)."""
-        self._metrics.expr_evals += 1
+        return self.compile_expr(expr)(binding)
+
+    def compile_expr(self, expr: Expr) -> Callable[[Binding], List[object]]:
+        """The compiled value closure of an expression (cached per
+        node).  Each call counts one expression evaluation, exactly as
+        the interpreted ``expr_values`` did — sub-expressions of a
+        ``FunctionApp`` count their own calls.  Callers must not
+        mutate the returned list."""
+        cached = self._compiled_exprs.get(id(expr))
+        if cached is not None:
+            return cached[1]
+        fn = self._build_expr(expr)
+        self._compiled_exprs[id(expr)] = (expr, fn)
+        self.expr_compilations += 1
+        return fn
+
+    def _build_expr(self, expr: Expr) -> Callable[[Binding], List[object]]:
+        metrics = self._metrics
         if isinstance(expr, Const):
-            return [expr.value]
+            values = [expr.value]
+
+            def const_values(binding: Binding) -> List[object]:
+                metrics.expr_evals += 1
+                return values
+
+            return const_values
         if isinstance(expr, PathRef):
-            return self.path_values(binding, expr)
+            walk = self._build_path(expr)
+            if len(expr.attrs) == 1:
+                # Fast path for the dominant shape: one stored
+                # attribute of a directly bound record.  Oid deref,
+                # temp tuples, methods and unbound variables fall back
+                # to the generic walk (which also does the charging).
+                var, attr = expr.var, expr.attrs[0]
+
+                def fast_path_values(binding: Binding) -> List[object]:
+                    metrics.expr_evals += 1
+                    value = binding.get(var)
+                    if type(value) is StoredRecord:
+                        raw = value.values.get(attr, _MISSING)
+                        if raw is not _MISSING:
+                            if raw is None:
+                                return []
+                            if isinstance(raw, (list, tuple)):
+                                return list(raw)
+                            return [raw]
+                    return walk(binding)
+
+                return fast_path_values
+
+            def path_expr_values(binding: Binding) -> List[object]:
+                metrics.expr_evals += 1
+                return walk(binding)
+
+            return path_expr_values
         if isinstance(expr, FunctionApp):
-            argument_lists = [self.expr_values(binding, arg) for arg in expr.args]
-            results: List[object] = []
-            self._metrics.method_eval_weight += expr.eval_weight
-            for combo in _product(argument_lists):
-                if expr.fn is None:
-                    raise ExecutionError(
-                        f"function {expr.name!r} has no implementation"
-                    )
-                results.append(expr.fn(*combo))
-            return results
+            arg_fns = [self.compile_expr(arg) for arg in expr.args]
+            fn, name, weight = expr.fn, expr.name, expr.eval_weight
+
+            def app_values(binding: Binding) -> List[object]:
+                metrics.expr_evals += 1
+                argument_lists = [arg_fn(binding) for arg_fn in arg_fns]
+                results: List[object] = []
+                metrics.method_eval_weight += weight
+                for combo in _product(argument_lists):
+                    if fn is None:
+                        raise ExecutionError(
+                            f"function {name!r} has no implementation"
+                        )
+                    results.append(fn(*combo))
+                return results
+
+            return app_values
         raise ExecutionError(f"unknown expression type {type(expr).__name__}")
 
     def expr_single(self, binding: Binding, expr: Expr) -> object:
@@ -187,33 +318,240 @@ class ExpressionEvaluator:
     def holds(self, binding: Binding, predicate: Predicate) -> bool:
         """Whether ``predicate`` holds on ``binding`` (existential
         semantics over multivalued paths); counts one evaluation."""
-        self._metrics.predicate_evals += 1
-        return self._holds(binding, predicate)
+        return self.compile_predicate(predicate)(binding)
 
-    def _holds(self, binding: Binding, predicate: Predicate) -> bool:
+    def compile_predicate(
+        self, predicate: Predicate
+    ) -> Callable[[Binding], bool]:
+        """The compiled boolean closure of a predicate (cached per
+        node).  Each call counts one predicate evaluation — the same
+        top-level accounting the interpreted ``holds`` performed; the
+        conjuncts/disjuncts inside a composite predicate do not count
+        separately."""
+        cached = self._compiled_predicates.get(id(predicate))
+        if cached is not None:
+            return cached[1]
+        metrics = self._metrics
+        inner = self._inner_predicate(predicate)
+
+        def evaluate(binding: Binding) -> bool:
+            metrics.predicate_evals += 1
+            return inner(binding)
+
+        self._compiled_predicates[id(predicate)] = (predicate, evaluate)
+        return evaluate
+
+    def compile_filter(
+        self, predicate: Predicate
+    ) -> Callable[[Sequence[Binding]], List[Binding]]:
+        """The compiled *batch* filter of a predicate (cached per
+        node): one call filters a whole batch of bindings, updating
+        the evaluation counter once per batch instead of once per row
+        — the vectorized twin of :meth:`compile_predicate`, with the
+        identical per-row truth values and the identical final
+        ``predicate_evals`` total."""
+        cached = self._compiled_filters.get(id(predicate))
+        if cached is not None:
+            return cached[1]
+        metrics = self._metrics
+        inner = self._inner_predicate(predicate)
+
+        def filter_rows(rows: Sequence[Binding]) -> List[Binding]:
+            metrics.predicate_evals += len(rows)
+            return [row for row in rows if inner(row)]
+
+        self._compiled_filters[id(predicate)] = (predicate, filter_rows)
+        return filter_rows
+
+    def _inner_predicate(
+        self, predicate: Predicate
+    ) -> Callable[[Binding], bool]:
+        """The uncounted compiled closure of a predicate, shared by
+        the per-row and per-batch entry points.  Compiling (walking
+        the AST into closures) happens here, so the compilation
+        counter measures real builds no matter which entry point
+        triggered them."""
+        cached = self._compiled_inner.get(id(predicate))
+        if cached is not None:
+            return cached[1]
+        inner = self._build_predicate(predicate)
+        self._compiled_inner[id(predicate)] = (predicate, inner)
+        self.predicate_compilations += 1
+        return inner
+
+    def _build_predicate(
+        self, predicate: Predicate
+    ) -> Callable[[Binding], bool]:
         if isinstance(predicate, TruePredicate):
-            return True
+            return lambda binding: True
         if isinstance(predicate, Comparison):
             op = COMPARISON_OPS[predicate.op]
-            left_values = self.expr_values(binding, predicate.left)
-            right_values = self.expr_values(binding, predicate.right)
-            for left in left_values:
-                for right in right_values:
-                    try:
-                        if op(normalize_value(left), normalize_value(right)):
-                            return True
-                    except TypeError:
-                        continue
-            return False
+            left = self.compile_expr(predicate.left)
+            right = self.compile_expr(predicate.right)
+
+            def compare(binding: Binding) -> bool:
+                left_values = left(binding)
+                right_values = right(binding)
+                for left_value in left_values:
+                    left_norm = normalize_value(left_value)
+                    for right_value in right_values:
+                        try:
+                            if op(left_norm, normalize_value(right_value)):
+                                return True
+                        except TypeError:
+                            continue
+                return False
+
+            fast = self._fast_comparison(predicate, op, compare)
+            return fast if fast is not None else compare
         if isinstance(predicate, And):
-            return all(self._holds(binding, part) for part in predicate.parts)
+            parts = [self._build_predicate(part) for part in predicate.parts]
+            if len(parts) == 2:
+                # The dominant shape (a range or a filter + join
+                # conjunct); skipping the loop machinery is measurable
+                # at scan speed.
+                first, second = parts
+                two_part = (
+                    lambda binding: first(binding) and second(binding)
+                )
+                fused = self._fast_conjunction(predicate, two_part)
+                return fused if fused is not None else two_part
+
+            def conjunction(binding: Binding) -> bool:
+                for part in parts:
+                    if not part(binding):
+                        return False
+                return True
+
+            return conjunction
         if isinstance(predicate, Or):
-            return any(self._holds(binding, part) for part in predicate.parts)
+            parts = [self._build_predicate(part) for part in predicate.parts]
+
+            def disjunction(binding: Binding) -> bool:
+                for part in parts:
+                    if part(binding):
+                        return True
+                return False
+
+            return disjunction
         if isinstance(predicate, Not):
-            return not self._holds(binding, predicate.part)
+            inner = self._build_predicate(predicate.part)
+            return lambda binding: not inner(binding)
         raise ExecutionError(
             f"unknown predicate type {type(predicate).__name__}"
         )
+
+    @staticmethod
+    def _fast_spec(
+        predicate: Predicate,
+    ) -> Optional[Tuple[str, str, Callable, object]]:
+        """``(var, attr, op, normalized const)`` when ``predicate`` is
+        a ``record.attr <op> constant`` comparison (in either operand
+        order), else None."""
+        if not isinstance(predicate, Comparison):
+            return None
+        left, right = predicate.left, predicate.right
+        op_name = predicate.op
+        if isinstance(left, Const) and isinstance(right, PathRef):
+            op_name = _MIRRORED_OPS.get(op_name)
+            if op_name is None:
+                return None
+            left, right = right, left
+        if not (
+            isinstance(left, PathRef)
+            and len(left.attrs) == 1
+            and isinstance(right, Const)
+        ):
+            return None
+        return (
+            left.var,
+            left.attrs[0],
+            COMPARISON_OPS[op_name],
+            normalize_value(right.value),
+        )
+
+    def _fast_comparison(
+        self,
+        predicate: Comparison,
+        op,
+        slow: Callable[[Binding], bool],
+    ) -> Optional[Callable[[Binding], bool]]:
+        """A short-circuit closure for ``record.attr <op> constant``,
+        the dominant filter shape.  Counts the same two expression
+        evaluations the generic ``compare`` would; any uncommon shape
+        (oid deref, record- or multivalued attribute, method, temp
+        tuple, unbound variable) defers to ``slow``, whose compiled
+        operand closures do their own counting and buffer charging."""
+        spec = self._fast_spec(predicate)
+        if spec is None:
+            return None
+        metrics = self._metrics
+        var, attr, op, const_norm = spec
+
+        def fast_compare(binding: Binding) -> bool:
+            value = binding.get(var)
+            if type(value) is StoredRecord:
+                raw = value.values.get(attr, _MISSING)
+                if (
+                    raw is not _MISSING
+                    and raw is not None
+                    and not isinstance(raw, (StoredRecord, list, tuple))
+                ):
+                    metrics.expr_evals += 2
+                    try:
+                        return op(raw, const_norm)
+                    except TypeError:
+                        return False
+            return slow(binding)
+
+        return fast_compare
+
+    def _fast_conjunction(
+        self,
+        predicate: And,
+        slow: Callable[[Binding], bool],
+    ) -> Optional[Callable[[Binding], bool]]:
+        """One fused closure for ``lo <= record.attr <= hi``-style
+        conjunctions — two constant comparisons on the *same* stored
+        attribute share a single binding and attribute fetch.  The
+        expression-evaluation counts replicate the generic path
+        exactly, including the short-circuit (the second comparison's
+        operands are only counted when the first passed)."""
+        if len(predicate.parts) != 2:
+            return None
+        first = self._fast_spec(predicate.parts[0])
+        second = self._fast_spec(predicate.parts[1])
+        if first is None or second is None:
+            return None
+        if first[0] != second[0] or first[1] != second[1]:
+            return None
+        metrics = self._metrics
+        var, attr, first_op, first_const = first
+        second_op, second_const = second[2], second[3]
+
+        def fused(binding: Binding) -> bool:
+            value = binding.get(var)
+            if type(value) is StoredRecord:
+                raw = value.values.get(attr, _MISSING)
+                if (
+                    raw is not _MISSING
+                    and raw is not None
+                    and not isinstance(raw, (StoredRecord, list, tuple))
+                ):
+                    metrics.expr_evals += 2
+                    try:
+                        if not first_op(raw, first_const):
+                            return False
+                    except TypeError:
+                        return False
+                    metrics.expr_evals += 2
+                    try:
+                        return second_op(raw, second_const)
+                    except TypeError:
+                        return False
+            return slow(binding)
+
+        return fused
 
 
 def _product(lists: Sequence[List[object]]):

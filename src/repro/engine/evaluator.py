@@ -1,4 +1,4 @@
-"""The plan executor.
+"""The plan executor (batch-at-a-time).
 
 Evaluates processing trees against the simulated object store with
 faithful I/O behaviour: scans touch each page once, implicit joins
@@ -8,6 +8,18 @@ honestly re-scan their inner operand per outer tuple (the behaviour the
 page reads of ``nblevels + nbleaves/||C1||`` per lookup (the ``PIJ``
 formula), and fixpoints run semi-naively (the ``Fix`` formula).
 
+Operator ABI: every operator is a *generator of* :class:`Batch`
+*objects* (:meth:`Engine.iterate_batches`), each carrying up to
+``batch_size`` bindings.  One generator resumption, one cancellation
+poll and one profiler probe cover a whole batch, so the Python dispatch
+overhead that a tuple-at-a-time pipeline pays per binding is amortized
+across ``batch_size`` tuples.  The I/O-visible order of operations is
+unchanged — batching only groups *emissions*, never reorders fetches —
+so page-read and predicate-eval counters are identical at every batch
+size, and ``batch_size=1`` reproduces the exact tuple-at-a-time
+semantics.  The full contract (when operators may hold or split
+batches) is documented in ``docs/architecture.md``.
+
 The executor doubles as the cost model's ground truth: benchmarks
 compare its measured page I/O + predicate evaluations against the model
 estimates.
@@ -15,11 +27,11 @@ estimates.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set
 
 from repro.errors import ExecutionError
-from repro.engine.cancel import CHECK_INTERVAL, CancellationToken
+from repro.engine.batch import Batch, default_batch_size
+from repro.engine.cancel import CancellationToken
 from repro.engine.context import ExecutionContext
 from repro.engine.eval_expr import (
     Binding,
@@ -36,7 +48,6 @@ from repro.plans.nodes import (
     EJ,
     IJ,
     INDEX_JOIN,
-    NESTED_LOOP,
     PIJ,
     EntityLeaf,
     Fix,
@@ -86,6 +97,7 @@ class Engine:
         max_fix_iterations: int = 256,
         keep_temps: bool = False,
         parallelism: int = 1,
+        batch_size: Optional[int] = None,
     ) -> None:
         self.physical = physical
         self.store = physical.store
@@ -99,6 +111,13 @@ class Engine:
         #: Worker threads a fixpoint may use; >1 routes Fix evaluation
         #: through :mod:`repro.engine.parallel`.
         self.parallelism = parallelism
+        if batch_size is None:
+            batch_size = default_batch_size()
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        #: Bindings per :class:`Batch` exchanged between operators;
+        #: 1 = exact tuple-at-a-time compatibility semantics.
+        self.batch_size = batch_size
         self.cancel_token: Optional["CancellationToken"] = None
         self.metrics = RuntimeMetrics()
         #: Optional per-node runtime profiler (EXPLAIN ANALYZE); when
@@ -135,19 +154,22 @@ class Engine:
 
         ``profiler`` is an optional
         :class:`~repro.obs.profile.PlanProfiler`; when given, every
-        node's generator is metered (per-node tuples, wall time, page
-        reads, predicate evals, per-Fix-iteration deltas).
+        node's batch stream is metered (per-node tuples, wall time,
+        page reads, predicate evals, per-Fix-iteration deltas).
 
         ``context`` is an optional
         :class:`~repro.engine.context.ExecutionContext` bundling the
         per-run knobs; its fields win over the individual keywords
-        (and its ``parallelism`` over the engine default).
+        (and its ``parallelism``/``batch_size`` over the engine
+        defaults).
         """
         if context is not None:
             cancel = context.cancel if context.cancel is not None else cancel
             if context.profiler is not None:
                 profiler = context.profiler
             self.parallelism = context.parallelism
+            if context.batch_size is not None:
+                self.batch_size = context.batch_size
         if validate:
             validate_plan(plan, self.physical)
         self.cancel_token = cancel
@@ -167,8 +189,10 @@ class Engine:
 
         self._consumed_vars = consumed_variables(plan)
         buffer_before = self.store.buffer.stats.snapshot()
+        rows: List[Binding] = []
         try:
-            rows = list(self.iterate(plan, {}))
+            for batch in self.iterate_batches(plan, {}):
+                rows.extend(batch.rows)
         finally:
             if not self.keep_temps:
                 for temp_name in self._temps_created:
@@ -192,6 +216,7 @@ class Engine:
         clone.max_fix_iterations = self.max_fix_iterations
         clone.keep_temps = self.keep_temps
         clone.parallelism = 1  # workers never nest pools
+        clone.batch_size = self.batch_size
         clone.cancel_token = self.cancel_token
         clone.metrics = RuntimeMetrics()
         clone._node_ids = self._node_ids
@@ -241,34 +266,34 @@ class Engine:
 
     # -- dispatch -----------------------------------------------------------------
 
+    def iterate_batches(
+        self, node: PlanNode, delta_env: Dict[str, List[StoredRecord]]
+    ) -> Iterator[Batch]:
+        """Stream the batches a plan node produces (operator dispatch;
+        ``delta_env`` carries semi-naive deltas).  When a profiler is
+        active the stream is metered per node, one probe per batch."""
+        batches = self._batches(node, delta_env)
+        if self.profiler is not None:
+            return self.profiler.wrap_batches(node, batches)
+        return batches
+
     def iterate(
         self, node: PlanNode, delta_env: Dict[str, List[StoredRecord]]
     ) -> Iterator[Binding]:
-        """Stream the bindings a plan node produces (operator
-        dispatch; ``delta_env`` carries semi-naive deltas).  When a
-        profiler is active the stream is metered per node."""
-        iterator = self._iterate(node, delta_env)
-        if self.profiler is not None:
-            return self.profiler.wrap(node, iterator)
-        return iterator
+        """Tuple-at-a-time view of :meth:`iterate_batches` (flattens
+        each batch); kept for callers that consume single bindings."""
+        for batch in self.iterate_batches(node, delta_env):
+            yield from batch.rows
 
-    def _iterate(
+    def _batches(
         self, node: PlanNode, delta_env: Dict[str, List[StoredRecord]]
-    ) -> Iterator[Binding]:
+    ) -> Iterator[Batch]:
         evaluator = self._evaluator
         if evaluator is None:
-            raise ExecutionError("iterate() called outside execute()")
+            raise ExecutionError("iterate_batches() called outside execute()")
         node_id = self._node_ids.get(id(node))
         if isinstance(node, (EntityLeaf, TempLeaf)):
-            produced = 0
-            try:
-                for scanned, record in enumerate(self.store.scan(node.entity)):
-                    if scanned % CHECK_INTERVAL == 0:
-                        self.check_cancelled()
-                    produced += 1
-                    yield {node.var: record}
-            finally:
-                self.metrics.add_tuples("scan", node_id, produced)
+            yield from self._scan_batches(node.entity, node.var, "scan", node_id)
             return
         if isinstance(node, RecLeaf):
             delta = delta_env.get(node.name)
@@ -277,65 +302,82 @@ class Engine:
                     f"recursion reference {node.name!r} evaluated outside "
                     "its fixpoint"
                 )
-            yield from self._scan_delta(node, delta, node_id)
+            yield from self._scan_delta_batches(node, delta, node_id)
             return
         if isinstance(node, Sel):
             indexed = self._indexed_selection_access(node, node_id)
             if indexed is not None:
                 yield from indexed
                 return
+            batch_filter = evaluator.compile_filter(node.predicate)
+            metrics = self.metrics
             produced = 0
             try:
-                for binding in self.iterate(node.child, delta_env):
-                    if evaluator.holds(binding, node.predicate):
-                        produced += 1
-                        yield binding
+                for batch in self.iterate_batches(node.child, delta_env):
+                    rows = batch_filter(batch.rows)
+                    # The survivors of one input batch travel as one
+                    # (possibly smaller) output batch: merging across
+                    # input batches would delay emission behind a
+                    # selective filter for no measured gain.
+                    if rows:
+                        produced += len(rows)
+                        metrics.batches += 1
+                        yield Batch(rows, node_id)
             finally:
-                self.metrics.add_tuples("sel", node_id, produced)
+                metrics.add_tuples("sel", node_id, produced)
             return
         if isinstance(node, Proj):
+            fields = [
+                (field.name, evaluator.compile_expr(field.expr))
+                for field in node.fields.fields
+            ]
+            metrics = self.metrics
             produced = 0
             try:
-                for binding in self.iterate(node.child, delta_env):
-                    row: Binding = {}
-                    suppressed = False
-                    for field in node.fields.fields:
-                        values = evaluator.expr_values(binding, field.expr)
-                        if not values:
-                            # Path semantics: a traversal over a null
-                            # reference yields nothing, so the output
-                            # tuple is suppressed (like the paper's base
-                            # rule, which emits no Influencer tuple for a
-                            # composer without a master).
-                            suppressed = True
-                            break
-                        if len(values) > 1:
-                            raise ExecutionError(
-                                f"output field {field.name!r} is multivalued"
-                            )
-                        row[field.name] = values[0]
-                    if suppressed:
-                        continue
-                    produced += 1
-                    yield row
+                for batch in self.iterate_batches(node.child, delta_env):
+                    rows: List[Binding] = []
+                    for binding in batch.rows:
+                        row: Binding = {}
+                        suppressed = False
+                        for name, value_fn in fields:
+                            values = value_fn(binding)
+                            if not values:
+                                # Path semantics: a traversal over a null
+                                # reference yields nothing, so the output
+                                # tuple is suppressed (like the paper's base
+                                # rule, which emits no Influencer tuple for a
+                                # composer without a master).
+                                suppressed = True
+                                break
+                            if len(values) > 1:
+                                raise ExecutionError(
+                                    f"output field {name!r} is multivalued"
+                                )
+                            row[name] = values[0]
+                        if not suppressed:
+                            rows.append(row)
+                    if rows:
+                        produced += len(rows)
+                        metrics.batches += 1
+                        yield Batch(rows, node_id)
             finally:
-                self.metrics.add_tuples("proj", node_id, produced)
+                metrics.add_tuples("proj", node_id, produced)
             return
         if isinstance(node, IJ):
-            yield from self._iterate_ij(node, delta_env)
+            yield from self._ij_batches(node, delta_env)
             return
         if isinstance(node, PIJ):
-            yield from self._iterate_pij(node, delta_env)
+            yield from self._pij_batches(node, delta_env)
             return
         if isinstance(node, EJ):
             if node.algorithm == INDEX_JOIN:
-                yield from self._iterate_index_join(node, delta_env)
+                yield from self._index_join_batches(node, delta_env)
             else:
-                yield from self._iterate_nested_loop(node, delta_env)
+                yield from self._nested_loop_batches(node, delta_env)
             return
         if isinstance(node, UnionOp):
-            yield from self.iterate(node.left, delta_env)
-            yield from self.iterate(node.right, delta_env)
+            yield from self.iterate_batches(node.left, delta_env)
+            yield from self.iterate_batches(node.right, delta_env)
             return
         if isinstance(node, Fix):
             # The out_var does not affect the computed content: cache
@@ -355,34 +397,86 @@ class Engine:
                 temp_name = run_fixpoint(self, node, delta_env)
                 if cacheable:
                     self._fix_cache[cache_key] = temp_name
-            produced = 0
-            try:
-                for record in self.store.scan(temp_name):
-                    produced += 1
-                    yield {node.out_var: record}
-            finally:
-                self.metrics.add_tuples("fix", node_id, produced)
+            yield from self._scan_batches(temp_name, node.out_var, "fix", node_id)
             return
         if isinstance(node, Materialize):
             temp_info = self.physical.register_temp(node.name)
             self.note_temp(temp_info.name)
-            for binding in self.iterate(node.child, delta_env):
-                values = {
-                    key: normalize_value(value)
-                    for key, value in binding.items()
-                }
-                self.store.insert(temp_info.name, values)
-            produced = 0
-            try:
-                for record in self.store.scan(temp_info.name):
-                    produced += 1
-                    yield {node.out_var: record}
-            finally:
-                self.metrics.add_tuples("materialize", node_id, produced)
+            insert = self.store.insert
+            for batch in self.iterate_batches(node.child, delta_env):
+                for binding in batch.rows:
+                    insert(
+                        temp_info.name,
+                        {
+                            key: normalize_value(value)
+                            for key, value in binding.items()
+                        },
+                    )
+            yield from self._scan_batches(
+                temp_info.name, node.out_var, "materialize", node_id
+            )
             return
         raise ExecutionError(f"unknown plan node {type(node).__name__}")
 
     # -- operator implementations ------------------------------------------------------
+
+    def _scan_batches(
+        self, entity: str, var: str, kind: str, node_id: Optional[str]
+    ) -> Iterator[Batch]:
+        """Scan an extent into batches.  One cancellation poll and one
+        ``batches`` increment per batch; the page-touch order of the
+        underlying scan is untouched."""
+        batch_size = self.batch_size
+        metrics = self.metrics
+        produced = 0
+        rows: List[Binding] = []
+        try:
+            for record in self.store.scan(entity):
+                rows.append({var: record})
+                if len(rows) >= batch_size:
+                    self.check_cancelled()
+                    produced += len(rows)
+                    metrics.batches += 1
+                    yield Batch(rows, node_id)
+                    rows = []
+            if rows:
+                self.check_cancelled()
+                produced += len(rows)
+                metrics.batches += 1
+                yield Batch(rows, node_id)
+        finally:
+            metrics.add_tuples(kind, node_id, produced)
+
+    def _scan_delta_batches(
+        self, node: RecLeaf, delta: List[StoredRecord], node_id: Optional[str]
+    ) -> Iterator[Batch]:
+        """Scan the current delta in slices of ``batch_size``, charging
+        each distinct page once."""
+        batch_size = self.batch_size
+        metrics = self.metrics
+        touch = self.store.buffer.touch
+        var = node.var
+        touched = set()
+        produced = 0
+        rows: List[Binding] = []
+        try:
+            for record in delta:
+                page_id = record.page_id
+                if page_id is not None and page_id not in touched:
+                    touched.add(page_id)
+                    touch(page_id)
+                rows.append({var: record})
+                if len(rows) >= batch_size:
+                    produced += len(rows)
+                    metrics.batches += 1
+                    yield Batch(rows, node_id)
+                    rows = []
+            if rows:
+                produced += len(rows)
+                metrics.batches += 1
+                yield Batch(rows, node_id)
+        finally:
+            metrics.add_tuples("delta", node_id, produced)
 
     def _indexed_selection_access(self, node: Sel, node_id: Optional[str] = None):
         """Index-assisted selection over a base entity
@@ -437,14 +531,25 @@ class Engine:
                                  residual=residual, node_id=node_id):
                         self.metrics.index_lookups += 1
                         self.metrics.index_page_reads += index.nblevels
+                        residual_fn = evaluator.compile_predicate(residual)
+                        batch_size = self.batch_size
                         produced = 0
+                        rows: List[Binding] = []
                         try:
                             for oid in index.lookup(key):
                                 record = self.store.fetch(oid)
                                 binding = {leaf.var: record}
-                                if evaluator.holds(binding, residual):
-                                    produced += 1
-                                    yield binding
+                                if residual_fn(binding):
+                                    rows.append(binding)
+                                    if len(rows) >= batch_size:
+                                        produced += len(rows)
+                                        self.metrics.batches += 1
+                                        yield Batch(rows, node_id)
+                                        rows = []
+                            if rows:
+                                produced += len(rows)
+                                self.metrics.batches += 1
+                                yield Batch(rows, node_id)
                         finally:
                             self.metrics.add_tuples("sel", node_id, produced)
 
@@ -465,8 +570,11 @@ class Engine:
                     ):
                         self.metrics.index_lookups += 1
                         self.metrics.index_page_reads += index.nblevels
+                        residual_fn = evaluator.compile_predicate(residual)
+                        batch_size = self.batch_size
                         seen = set()
                         produced = 0
+                        rows: List[Binding] = []
                         try:
                             for path_tuple in index.reverse(key):
                                 head = path_tuple[0]
@@ -475,57 +583,64 @@ class Engine:
                                 seen.add(head)
                                 record = self.store.fetch(head)
                                 binding = {leaf.var: record}
-                                if evaluator.holds(binding, residual):
-                                    produced += 1
-                                    yield binding
+                                if residual_fn(binding):
+                                    rows.append(binding)
+                                    if len(rows) >= batch_size:
+                                        produced += len(rows)
+                                        self.metrics.batches += 1
+                                        yield Batch(rows, node_id)
+                                        rows = []
+                            if rows:
+                                produced += len(rows)
+                                self.metrics.batches += 1
+                                yield Batch(rows, node_id)
                         finally:
                             self.metrics.add_tuples("sel", node_id, produced)
 
                     return generate_reverse()
         return None
 
-    def _scan_delta(
-        self, node: RecLeaf, delta: List[StoredRecord], node_id: Optional[str]
-    ) -> Iterator[Binding]:
-        """Scan the current delta, charging each distinct page once."""
-        touched = set()
-        produced = 0
-        try:
-            for record in delta:
-                if record.page_id is not None and record.page_id not in touched:
-                    touched.add(record.page_id)
-                    self.store.buffer.touch(record.page_id)
-                produced += 1
-                yield {node.var: record}
-        finally:
-            self.metrics.add_tuples("delta", node_id, produced)
-
-    def _iterate_ij(
+    def _ij_batches(
         self, node: IJ, delta_env: Dict[str, List[StoredRecord]]
-    ) -> Iterator[Binding]:
+    ) -> Iterator[Batch]:
         evaluator = self._evaluator
         assert evaluator is not None
         node_id = self._node_ids.get(id(node))
+        path_fn = evaluator.compile_path(node.source)
+        fetch = self.store.fetch
+        out_var = node.out_var
+        batch_size = self.batch_size
+        metrics = self.metrics
         produced = 0
+        rows: List[Binding] = []
         try:
-            for binding in self.iterate(node.child, delta_env):
-                for value in evaluator.path_values(binding, node.source):
-                    if isinstance(value, Oid):
-                        record = self.store.fetch(value)
-                    elif isinstance(value, StoredRecord):
-                        record = value
-                    else:
-                        continue  # null or non-reference: inner-join drops it
-                    produced += 1
-                    merged = dict(binding)
-                    merged[node.out_var] = record
-                    yield merged
+            for batch in self.iterate_batches(node.child, delta_env):
+                for binding in batch.rows:
+                    for value in path_fn(binding):
+                        if isinstance(value, Oid):
+                            record = fetch(value)
+                        elif isinstance(value, StoredRecord):
+                            record = value
+                        else:
+                            continue  # null or non-reference: inner-join drops it
+                        merged = dict(binding)
+                        merged[out_var] = record
+                        rows.append(merged)
+                        if len(rows) >= batch_size:
+                            produced += len(rows)
+                            metrics.batches += 1
+                            yield Batch(rows, node_id)
+                            rows = []
+            if rows:
+                produced += len(rows)
+                metrics.batches += 1
+                yield Batch(rows, node_id)
         finally:
-            self.metrics.add_tuples("ij", node_id, produced)
+            metrics.add_tuples("ij", node_id, produced)
 
-    def _iterate_pij(
+    def _pij_batches(
         self, node: PIJ, delta_env: Dict[str, List[StoredRecord]]
-    ) -> Iterator[Binding]:
+    ) -> Iterator[Batch]:
         evaluator = self._evaluator
         assert evaluator is not None
         node_id = self._node_ids.get(id(node))
@@ -537,60 +652,93 @@ class Engine:
         stats = self.physical.statistics
         head_count = max(1, stats.instances(index.root_entity))
         per_lookup = index.nblevels + index.nbleaves / head_count
+        path_fn = evaluator.compile_path(node.source)
+        fetch = self.store.fetch
+        consumed_vars = self._consumed_vars
+        batch_size = self.batch_size
+        metrics = self.metrics
         produced = 0
+        rows: List[Binding] = []
         try:
-            for binding in self.iterate(node.child, delta_env):
-                for value in evaluator.path_values(binding, node.source):
-                    if isinstance(value, StoredRecord):
-                        head = value.oid
-                    elif isinstance(value, Oid):
-                        head = value
-                    else:
-                        continue
-                    self.metrics.index_lookups += 1
-                    self.metrics.index_page_reads += per_lookup
-                    for path_tuple in index.forward(head):
-                        merged = dict(binding)
-                        for position, out_var in enumerate(node.out_vars):
-                            oid = path_tuple[position + 1]
-                            # Only fetch objects somebody consumes; the
-                            # others stay as oids (dereferenced on demand
-                            # if a predicate surprises us) — the whole
-                            # point of a path index is skipping the
-                            # intermediate objects ([MS86]).
-                            if out_var in self._consumed_vars:
-                                merged[out_var] = self.store.fetch(oid)
-                            else:
-                                merged[out_var] = oid
-                        produced += 1
-                        yield merged
+            for batch in self.iterate_batches(node.child, delta_env):
+                for binding in batch.rows:
+                    for value in path_fn(binding):
+                        if isinstance(value, StoredRecord):
+                            head = value.oid
+                        elif isinstance(value, Oid):
+                            head = value
+                        else:
+                            continue
+                        metrics.index_lookups += 1
+                        metrics.index_page_reads += per_lookup
+                        for path_tuple in index.forward(head):
+                            merged = dict(binding)
+                            for position, out_var in enumerate(node.out_vars):
+                                oid = path_tuple[position + 1]
+                                # Only fetch objects somebody consumes; the
+                                # others stay as oids (dereferenced on demand
+                                # if a predicate surprises us) — the whole
+                                # point of a path index is skipping the
+                                # intermediate objects ([MS86]).
+                                if out_var in consumed_vars:
+                                    merged[out_var] = fetch(oid)
+                                else:
+                                    merged[out_var] = oid
+                            rows.append(merged)
+                            if len(rows) >= batch_size:
+                                produced += len(rows)
+                                metrics.batches += 1
+                                yield Batch(rows, node_id)
+                                rows = []
+            if rows:
+                produced += len(rows)
+                metrics.batches += 1
+                yield Batch(rows, node_id)
         finally:
-            self.metrics.add_tuples("pij", node_id, produced)
+            metrics.add_tuples("pij", node_id, produced)
 
-    def _iterate_nested_loop(
+    def _nested_loop_batches(
         self, node: EJ, delta_env: Dict[str, List[StoredRecord]]
-    ) -> Iterator[Binding]:
+    ) -> Iterator[Batch]:
         """Nested-loop join: the inner operand is honestly re-scanned
-        for every outer binding, re-charging its I/O — this is exactly
-        what the EJ cost formula of Figure 5 prices."""
+        for every outer *binding* — not per outer batch — re-charging
+        its I/O exactly as the EJ cost formula of Figure 5 prices it
+        (rescanning per batch would make measured I/O depend on the
+        batch size, which the parity contract forbids)."""
         evaluator = self._evaluator
         assert evaluator is not None
         node_id = self._node_ids.get(id(node))
+        predicate = evaluator.compile_predicate(node.predicate)
+        batch_size = self.batch_size
+        metrics = self.metrics
         produced = 0
+        rows: List[Binding] = []
         try:
-            for left_binding in self.iterate(node.left, delta_env):
-                for right_binding in self.iterate(node.right, delta_env):
-                    merged = dict(left_binding)
-                    merged.update(right_binding)
-                    if evaluator.holds(merged, node.predicate):
-                        produced += 1
-                        yield merged
+            for left_batch in self.iterate_batches(node.left, delta_env):
+                for left_binding in left_batch.rows:
+                    for right_batch in self.iterate_batches(
+                        node.right, delta_env
+                    ):
+                        for right_binding in right_batch.rows:
+                            merged = dict(left_binding)
+                            merged.update(right_binding)
+                            if predicate(merged):
+                                rows.append(merged)
+                                if len(rows) >= batch_size:
+                                    produced += len(rows)
+                                    metrics.batches += 1
+                                    yield Batch(rows, node_id)
+                                    rows = []
+            if rows:
+                produced += len(rows)
+                metrics.batches += 1
+                yield Batch(rows, node_id)
         finally:
-            self.metrics.add_tuples("ej", node_id, produced)
+            metrics.add_tuples("ej", node_id, produced)
 
-    def _iterate_index_join(
+    def _index_join_batches(
         self, node: EJ, delta_env: Dict[str, List[StoredRecord]]
-    ) -> Iterator[Binding]:
+    ) -> Iterator[Batch]:
         evaluator = self._evaluator
         assert evaluator is not None
         node_id = self._node_ids.get(id(node))
@@ -604,25 +752,46 @@ class Engine:
         outer_expr, attribute = equality
         index = self.physical.selection_index(leaf.entity, attribute)
         assert index is not None
+        key_fn = evaluator.compile_expr(outer_expr)
+        residual_fn = (
+            evaluator.compile_predicate(residual_wrap)
+            if residual_wrap is not None
+            else None
+        )
+        predicate = evaluator.compile_predicate(node.predicate)
+        fetch = self.store.fetch
+        inner_var = leaf.var
+        batch_size = self.batch_size
+        metrics = self.metrics
         produced = 0
+        rows: List[Binding] = []
         try:
-            for left_binding in self.iterate(node.left, delta_env):
-                for key in evaluator.expr_values(left_binding, outer_expr):
-                    self.metrics.index_lookups += 1
-                    self.metrics.index_page_reads += index.nblevels
-                    for oid in index.lookup(normalize_value(key)):
-                        record = self.store.fetch(oid)
-                        merged = dict(left_binding)
-                        merged[leaf.var] = record
-                        if residual_wrap is not None and not evaluator.holds(
-                            merged, residual_wrap
-                        ):
-                            continue
-                        if evaluator.holds(merged, node.predicate):
-                            produced += 1
-                            yield merged
+            for left_batch in self.iterate_batches(node.left, delta_env):
+                for left_binding in left_batch.rows:
+                    for key in key_fn(left_binding):
+                        metrics.index_lookups += 1
+                        metrics.index_page_reads += index.nblevels
+                        for oid in index.lookup(normalize_value(key)):
+                            record = fetch(oid)
+                            merged = dict(left_binding)
+                            merged[inner_var] = record
+                            if residual_fn is not None and not residual_fn(
+                                merged
+                            ):
+                                continue
+                            if predicate(merged):
+                                rows.append(merged)
+                                if len(rows) >= batch_size:
+                                    produced += len(rows)
+                                    metrics.batches += 1
+                                    yield Batch(rows, node_id)
+                                    rows = []
+            if rows:
+                produced += len(rows)
+                metrics.batches += 1
+                yield Batch(rows, node_id)
         finally:
-            self.metrics.add_tuples("ej", node_id, produced)
+            metrics.add_tuples("ej", node_id, produced)
 
     def _index_join_inner(self, right: PlanNode):
         """The inner entity leaf and any residual selection around it."""

@@ -20,10 +20,10 @@ reorder — see :func:`repro.engine.parallel.parallel_safe`).
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.errors import ExecutionError, FixpointLimitError
-from repro.engine.cancel import CHECK_INTERVAL
+from repro.engine.batch import Batch
 from repro.engine.eval_expr import Binding, normalize_value
 from repro.physical.storage import StoredRecord
 from repro.plans.nodes import Fix, PlanNode, RecLeaf, UnionOp
@@ -126,18 +126,23 @@ def run_fixpoint_serial(
 
     seen: Set[tuple] = set()
 
-    def materialize(bindings: Iterator[Binding]) -> List[StoredRecord]:
+    def materialize(batches: Iterable[Batch]) -> List[StoredRecord]:
+        """Dedup + insert a part's output, one batch at a time: a
+        single cancellation poll covers the whole batch, and the
+        seen-set probes run over a local slice of bindings instead of
+        interleaving with generator resumptions."""
         fresh: List[StoredRecord] = []
-        for produced, binding in enumerate(bindings):
-            if produced % CHECK_INTERVAL == 0:
-                engine.check_cancelled()
-            values = normalize_binding(binding)
-            key = key_of_normalized(values)
-            if key in seen:
-                continue
-            seen.add(key)
-            oid = engine.store.insert(temp_name, values)
-            fresh.append(engine.store.peek(oid))
+        insert = engine.store.insert
+        peek = engine.store.peek
+        for batch in batches:
+            engine.check_cancelled()
+            for binding in batch.rows:
+                values = normalize_binding(binding)
+                key = key_of_normalized(values)
+                if key in seen:
+                    continue
+                seen.add(key)
+                fresh.append(peek(insert(temp_name, values)))
         return fresh
 
     profiler = getattr(engine, "profiler", None)
@@ -146,7 +151,7 @@ def run_fixpoint_serial(
     round_start = time.perf_counter()
     delta: List[StoredRecord] = []
     for part in base_parts:
-        delta.extend(materialize(engine.iterate(part, delta_env)))
+        delta.extend(materialize(engine.iterate_batches(part, delta_env)))
     if profiler is not None:
         profiler.fix_iteration(
             fix, 0, len(delta), time.perf_counter() - round_start
@@ -165,7 +170,9 @@ def run_fixpoint_serial(
         inner_env = dict(delta_env)
         inner_env[fix.name] = delta
         for part in recursive_parts:
-            next_delta.extend(materialize(engine.iterate(part, inner_env)))
+            next_delta.extend(
+                materialize(engine.iterate_batches(part, inner_env))
+            )
         if profiler is not None:
             profiler.fix_iteration(
                 fix,

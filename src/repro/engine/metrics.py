@@ -9,6 +9,7 @@ cost figure using the same unit weights the cost model uses.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -17,7 +18,13 @@ from repro.physical.buffer import BufferStats
 __all__ = ["RuntimeMetrics"]
 
 
-@dataclass
+#: ``slots=True`` (3.10+) because the counter increments are the
+#: engine's hottest attribute writes (one per predicate/expression
+#: evaluation); on 3.9 the class works identically, just with a dict.
+_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
+
+
+@dataclass(**_SLOTS)
 class RuntimeMetrics:
     """Counters accumulated during one plan evaluation."""
 
@@ -28,6 +35,11 @@ class RuntimeMetrics:
     #: Fractional: PIJ lookups charge ``nblevels + nbleaves/||C1||``.
     index_page_reads: float = 0.0
     fix_iterations: int = 0
+    #: Batches exchanged between operators (one per ``Batch`` an
+    #: operator emitted).  The runtime twin of the cost model's
+    #: per-batch overhead term: at ``batch_size=1`` this equals the
+    #: tuple count, at larger sizes it shrinks by ~``1/batch_size``.
+    batches: int = 0
     #: Kind-level rollup (``"sel"``, ``"ij"``, ...): kept for backward
     #: compatibility, but same-kind nodes collide here — per-node
     #: counts live in :attr:`tuples_by_node`.
@@ -87,6 +99,7 @@ class RuntimeMetrics:
             "index_lookups": self.index_lookups,
             "index_page_reads": round(self.index_page_reads, 4),
             "fix_iterations": self.fix_iterations,
+            "batches": self.batches,
             "physical_reads": self.buffer.physical_reads,
             "total_tuples": self.total_tuples,
             "tuples_by_node": dict(self.tuples_by_node),
@@ -100,6 +113,7 @@ class RuntimeMetrics:
         self.index_lookups += other.index_lookups
         self.index_page_reads += other.index_page_reads
         self.fix_iterations += other.fix_iterations
+        self.batches += other.batches
         for operator, count in other.tuples_by_operator.items():
             self.tuples_by_operator[operator] = (
                 self.tuples_by_operator.get(operator, 0) + count

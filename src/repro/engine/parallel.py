@@ -33,7 +33,6 @@ from queue import SimpleQueue
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import FixpointLimitError
-from repro.engine.cancel import CHECK_INTERVAL
 from repro.engine.fixpoint import (
     key_of_normalized,
     normalize_binding,
@@ -167,6 +166,28 @@ class _StripedSeen:
             bucket.add(key)
             return True
 
+    def add_batch(self, keys: Sequence[tuple]) -> List[bool]:
+        """Insert a batch of keys; returns one freshness flag per key
+        (order-aligned with ``keys``).  Keys are grouped by stripe so
+        each stripe lock is taken at most once per batch; a duplicate
+        *within* the batch is correctly reported stale because the
+        first occurrence marks the bucket before the second probes it.
+        """
+        mask = self._mask
+        flags = [False] * len(keys)
+        by_stripe: Dict[int, List[int]] = {}
+        for position, key in enumerate(keys):
+            by_stripe.setdefault(hash(key) & mask, []).append(position)
+        for stripe, positions in by_stripe.items():
+            with self._locks[stripe]:
+                bucket = self._sets[stripe]
+                for position in positions:
+                    key = keys[position]
+                    if key not in bucket:
+                        bucket.add(key)
+                        flags[position] = True
+        return flags
+
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._sets)
 
@@ -212,18 +233,32 @@ def run_fixpoint_parallel(
             if hook is not None:
                 hook("task_start", part)
             fresh: List[StoredRecord] = []
-            for produced, binding in enumerate(worker.iterate(part, env)):
-                if produced % CHECK_INTERVAL == 0:
-                    worker.check_cancelled()
-                    if abort.is_set():
-                        break
-                values = normalize_binding(binding)
-                key = key_of_normalized(values)
-                if not seen.add(key):
+            store = worker.store
+            for batch in worker.iterate_batches(part, env):
+                worker.check_cancelled()
+                if abort.is_set():
+                    break
+                # Move the whole batch through dedup and insertion in
+                # three set-oriented steps: normalize the slice, claim
+                # the fresh keys with one striped-lock pass, then take
+                # the insert lock once for all of the batch's inserts.
+                normalized = [normalize_binding(b) for b in batch.rows]
+                flags = seen.add_batch(
+                    [key_of_normalized(values) for values in normalized]
+                )
+                to_insert = [
+                    values
+                    for values, is_new in zip(normalized, flags)
+                    if is_new
+                ]
+                if not to_insert:
                     continue
                 with insert_lock:
-                    oid = worker.store.insert(temp_name, values)
-                fresh.append(worker.store.peek(oid))
+                    oids = [
+                        store.insert(temp_name, values)
+                        for values in to_insert
+                    ]
+                fresh.extend(store.peek(oid) for oid in oids)
             if hook is not None:
                 hook("task_end", part)
             return fresh

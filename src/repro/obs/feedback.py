@@ -386,10 +386,11 @@ class FeedbackManager:
         actuals (the online counterpart of
         :func:`repro.cost.calibrate.calibrate`); returns
         ``(CalibratedWeights, CostParameters, report_dict)``."""
-        from repro.cost.calibrate import fit_from_samples
+        from repro.cost.calibrate import EVENT_NAMES, fit_from_samples
 
         samples = self.store.calibration_samples()
-        needed = max(self.config.recalibrate_min_samples, 5)
+        # The fit is underdetermined below one sample per event weight.
+        needed = max(self.config.recalibrate_min_samples, len(EVENT_NAMES))
         if len(samples) < needed:
             raise ServiceError(
                 f"recalibration needs at least {needed} observed "

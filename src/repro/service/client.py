@@ -91,6 +91,7 @@ class ServiceClient:
         params: Optional[Dict[str, object]] = None,
         timeout: Optional[float] = None,
         parallelism: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> dict:
         payload: dict = {"op": "query", "text": text}
         if params is not None:
@@ -99,6 +100,8 @@ class ServiceClient:
             payload["timeout"] = timeout
         if parallelism is not None:
             payload["parallelism"] = parallelism
+        if batch_size is not None:
+            payload["batch_size"] = batch_size
         return self.request(payload)
 
     def prepare(self, text: str) -> str:
@@ -111,6 +114,7 @@ class ServiceClient:
         params: Optional[Dict[str, object]] = None,
         timeout: Optional[float] = None,
         parallelism: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> dict:
         payload: dict = {"op": "execute", "statement": statement}
         if params is not None:
@@ -119,6 +123,8 @@ class ServiceClient:
             payload["timeout"] = timeout
         if parallelism is not None:
             payload["parallelism"] = parallelism
+        if batch_size is not None:
+            payload["batch_size"] = batch_size
         return self.request(payload)
 
     def stats(self) -> dict:

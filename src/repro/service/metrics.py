@@ -41,6 +41,10 @@ class QueryRecord:
     execute_seconds: float
     rows: int
     request_id: str = ""
+    #: Engine batch size the request ran with, so slow-log entries and
+    #: telemetry attribute latency regressions to the right pipeline
+    #: configuration (0 = unknown, for records predating the field).
+    batch_size: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -52,6 +56,7 @@ class QueryRecord:
             "execute_ms": round(self.execute_seconds * 1000, 3),
             "rows": self.rows,
             "request_id": self.request_id,
+            "batch_size": self.batch_size,
         }
 
 

@@ -7,7 +7,7 @@ plus payload, or ``ok: false`` plus ``error: {code, message}``.
 
 Operations
     ``hello``                             → ``{session}``
-    ``query {text, params?, timeout?, parallelism?}``
+    ``query {text, params?, timeout?, parallelism?, batch_size?}``
                                           → ``{rows, cache, ...}``
     ``prepare {text}``                    → ``{statement, parameters}``
     ``execute {statement, params?, ...}`` → like ``query``

@@ -33,6 +33,7 @@ from repro.core.baselines import cost_controlled_optimizer
 from repro.cost.model import DetailedCostModel
 from repro.cost.params import CostParameters
 from repro.cost.recost import recost_plan
+from repro.engine.batch import default_batch_size
 from repro.engine.cancel import CancellationToken
 from repro.engine.evaluator import Engine
 from repro.errors import ProtocolError, ReproError, ServiceError
@@ -74,6 +75,10 @@ class ServiceConfig:
     #: the grant is capped by ``max_concurrent`` (a parallel query
     #: reserves one admission slot per worker).
     parallelism: int = 1
+    #: Default engine batch size for requests that do not override it
+    #: (the per-request ``batch_size`` field wins); ``None`` defers to
+    #: the engine default (``REPRO_BATCH_SIZE`` or 256).
+    batch_size: Optional[int] = None
     metrics_window: int = 256
     max_rows: Optional[int] = None
     #: A query slower than this (seconds) enters the slow-query log;
@@ -221,14 +226,16 @@ class QueryService:
         params: Optional[dict] = None,
         timeout: Optional[float] = None,
         parallelism: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> dict:
         """Serve one query text end to end; raises ReproError subclasses
         on failure (the protocol layer maps them to error codes).
-        ``parallelism`` overrides the service default for this request;
-        the grant is capped by the admission controller's slot count."""
+        ``parallelism`` overrides the service default for this request
+        (the grant is capped by the admission controller's slot count);
+        ``batch_size`` overrides the engine batch size."""
         self.metrics.record_request()
         try:
-            return self._run_query(text, params, timeout, parallelism)
+            return self._run_query(text, params, timeout, parallelism, batch_size)
         except ReproError as error:
             self._count_failure(error)
             raise
@@ -256,6 +263,7 @@ class QueryService:
         would be priced for the wrong machine."""
         params = CostParameters()
         params.parallelism = max(1, self.config.parallelism)
+        params.batch_size = self.config.batch_size or default_batch_size()
         return params
 
     def _current_model(self) -> Optional[DetailedCostModel]:
@@ -277,6 +285,7 @@ class QueryService:
         params: Optional[dict],
         timeout: Optional[float],
         parallelism: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> dict:
         substituted = substitute_params(text, params)
         feedback = self.feedback
@@ -340,6 +349,11 @@ class QueryService:
                     self.physical,
                     max_fix_iterations=self.config.max_fix_iterations,
                     parallelism=granted,
+                    batch_size=(
+                        batch_size
+                        if batch_size is not None
+                        else self.config.batch_size
+                    ),
                 )
                 execution = engine.execute(plan, cancel=token, profiler=profiler)
             execute_elapsed = time.perf_counter() - execute_started
@@ -354,6 +368,7 @@ class QueryService:
             execute_seconds=execute_elapsed,
             rows=len(execution.rows),
             request_id=self._next_request_id(),
+            batch_size=engine.batch_size,
         )
         self.metrics.record_execution(record, execution.metrics)
         self._check_slow(record)
@@ -378,6 +393,7 @@ class QueryService:
             "execute_ms": round(execute_elapsed * 1000, 3),
             "fix_iterations": execution.metrics.fix_iterations,
             "parallelism": granted,
+            "batch_size": engine.batch_size,
         }
 
     def _check_slow(self, record: QueryRecord) -> None:
@@ -452,12 +468,13 @@ class QueryService:
         params: Optional[dict] = None,
         timeout: Optional[float] = None,
         parallelism: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> dict:
         session = self._session(session_id)
         template = session.statements.get(statement_id)
         if template is None:
             raise ProtocolError(f"unknown statement {statement_id!r}")
-        return self.run_query(template, params, timeout, parallelism)
+        return self.run_query(template, params, timeout, parallelism, batch_size)
 
     # -- maintenance / observability ---------------------------------------
 
@@ -763,6 +780,7 @@ class QueryService:
             request.get("params"),
             _timeout_field(request),
             _parallelism_field(request),
+            _batch_size_field(request),
         )
 
     def _op_prepare(self, request: dict) -> dict:
@@ -781,6 +799,7 @@ class QueryService:
             request.get("params"),
             _timeout_field(request),
             _parallelism_field(request),
+            _batch_size_field(request),
         )
 
     def _op_stats(self, request: dict) -> dict:
@@ -849,6 +868,16 @@ def _parallelism_field(request: dict) -> Optional[int]:
             or parallelism < 1:
         raise ProtocolError("parallelism must be a positive integer")
     return parallelism
+
+
+def _batch_size_field(request: dict) -> Optional[int]:
+    batch_size = request.get("batch_size")
+    if batch_size is None:
+        return None
+    if isinstance(batch_size, bool) or not isinstance(batch_size, int) \
+            or batch_size < 1:
+        raise ProtocolError("batch_size must be a positive integer")
+    return batch_size
 
 
 def _timeout_field(request: dict) -> Optional[float]:

@@ -2,12 +2,13 @@
 vs. the naive reference evaluator, over randomized schemas and queries.
 
 Every generated query is optimized once, then executed on fresh
-engines at parallelism 1, 2 and 8.  All three runs must produce the
-identical answer set (matching :class:`ReferenceEvaluator` ground
-truth), and — because rounds are barriers and partition slices are
-disjoint — the identical *total tuple count*, so a lost or duplicated
-tuple anywhere in the pipeline fails the run even when dedup would
-hide it from the answer set.
+engines across the batch-size × parallelism grid.  Every run must
+produce the identical answer set (matching
+:class:`ReferenceEvaluator` ground truth), and — because rounds are
+barriers, partition slices are disjoint, and batching only groups
+emissions without reordering fetches — the identical *per-node tuple
+counts*, so a lost or duplicated tuple anywhere in the pipeline fails
+the run even when dedup would hide it from the answer set.
 
 ``REPRO_DIFF_EXAMPLES`` scales the example count (CI runs 100 per
 strategy; three strategies makes >=200 randomized queries per CI run).
@@ -49,7 +50,8 @@ from repro.workloads.queries import influencer_rules
 
 MAX_EXAMPLES = int(os.environ.get("REPRO_DIFF_EXAMPLES", "25"))
 
-PARALLELISM_LEVELS = (1, 2, 8)
+BATCH_SIZES = (1, 64, 1024)
+PARALLELISM_LEVELS = (1, 4)
 
 DIFF_SETTINGS = dict(
     max_examples=MAX_EXAMPLES,
@@ -171,15 +173,30 @@ def run_differential(db, graph):
         return
     want = ReferenceEvaluator(db.physical).answer_set(graph)
     counts = {}
-    for level in PARALLELISM_LEVELS:
-        result = Engine(db.physical, parallelism=level).execute(plan)
-        assert result.answer_set() == want, (
-            f"parallelism={level} diverged from the reference evaluator"
-        )
-        counts[level] = result.metrics.total_tuples
+    by_node = {}
+    for batch_size in BATCH_SIZES:
+        for level in PARALLELISM_LEVELS:
+            engine = Engine(
+                db.physical, parallelism=level, batch_size=batch_size
+            )
+            result = engine.execute(plan)
+            config = (batch_size, level)
+            assert result.answer_set() == want, (
+                f"batch_size={batch_size} parallelism={level} diverged "
+                f"from the reference evaluator"
+            )
+            counts[config] = result.metrics.total_tuples
+            by_node[config] = dict(result.metrics.tuples_by_node)
     assert len(set(counts.values())) == 1, (
-        f"tuple counts diverged across parallelism levels: {counts}"
+        f"tuple counts diverged across the batch×parallelism grid: {counts}"
     )
+    reference_nodes = by_node[(BATCH_SIZES[0], PARALLELISM_LEVELS[0])]
+    for config, nodes in by_node.items():
+        assert nodes == reference_nodes, (
+            f"per-node tuple counts at batch_size={config[0]} "
+            f"parallelism={config[1]} diverged from the "
+            f"(batch_size=1, serial) reference: {nodes} != {reference_nodes}"
+        )
 
 
 # -- fixtures -----------------------------------------------------------------

@@ -311,7 +311,9 @@ class TestProtocolSurface:
             ServiceConfig(recalibrate_min_samples=5, history_window=8),
         )
         try:
-            for _run in range(5):
+            # One observation per calibration event weight (the fit is
+            # underdetermined below len(EVENT_NAMES) samples).
+            for _run in range(6):
                 service.handle({"op": "query", "text": SCAN})
             response = service.handle({"op": "history"})
             assert response["ok"]
