@@ -120,6 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="bindings per batch exchanged between operators "
         "(default: REPRO_BATCH_SIZE or 256; 1 = tuple-at-a-time)",
     )
+    run_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard the store across N workers and run fixpoints as "
+        "distributed scatter-gather rounds (1 = single process)",
+    )
     add_common(run_parser)
 
     explain_parser = sub.add_parser("explain", help="optimize only")
@@ -223,6 +230,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bindings per batch the engine exchanges between operators "
         "(requests may override; default: REPRO_BATCH_SIZE or 256)",
+    )
+    serve_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="default shard fan-out per query (requests may override; "
+        "a shards-N query reserves N execution slots)",
     )
     serve_parser.add_argument(
         "--metrics-port",
@@ -393,13 +407,25 @@ def cmd_run(args, out) -> int:
     import time
 
     db, result = _optimize(args, _read_query(args), out)
+    shards = max(1, getattr(args, "shards", 1))
+    cluster = None
+    if shards > 1:
+        from repro.dist import ShardCluster
+
+        cluster = ShardCluster(db.physical, shards)
     engine = Engine(
         db.physical,
         parallelism=max(1, getattr(args, "parallelism", 1)),
         batch_size=getattr(args, "batch_size", None),
+        shards=shards,
+        cluster=cluster,
     )
     started = time.perf_counter()
-    execution = engine.execute(result.plan)
+    try:
+        execution = engine.execute(result.plan)
+    finally:
+        if cluster is not None:
+            cluster.close()
     elapsed = time.perf_counter() - started
     print(file=out)
     print(f"=== {len(execution.rows)} rows ===", file=out)
@@ -429,6 +455,18 @@ def cmd_run(args, out) -> int:
         f"effective {effective:.1f})",
         file=out,
     )
+    if metrics.shards_used:
+        per_shard = ", ".join(
+            f"shard {shard}: {count} tuples"
+            for shard, count in sorted(metrics.tuples_by_shard.items())
+        )
+        print(
+            f"distributed: {metrics.shards_used} shards, "
+            f"{metrics.exchange_rounds} exchange rounds, "
+            f"{metrics.exchange_tuples} tuples / "
+            f"{metrics.exchange_bytes} bytes exchanged ({per_shard})",
+            file=out,
+        )
     return 0
 
 
@@ -559,6 +597,7 @@ def cmd_serve(args, out, server_box=None) -> int:
             max_concurrent=args.max_concurrent,
             parallelism=max(1, args.parallelism),
             batch_size=args.batch_size,
+            shards=max(1, args.shards),
             slow_query_seconds=(
                 args.slow_query_ms / 1000.0 if args.slow_query_ms else None
             ),

@@ -617,7 +617,17 @@ class DetailedCostModel:
         push-vs-no-push comparison honest under a parallel engine: a
         pushed selection shrinks the deltas, which shrinks both the
         divided per-round cost *and* the partition overhead.
+
+        With ``params.shards > 1`` the distributed-Fix variant applies
+        instead: each round's serial cost is priced both shard-local
+        (no exchange, pay the configured skew) and repartitioned
+        (re-scatter the delta, run balanced) and the cheaper strategy
+        is charged, plus the gather leg's network cost for the tuples
+        the round produces (see :mod:`repro.cost.distributed`).  Every
+        distributed term is gated behind ``shards > 1``, so at one
+        shard this is bit-for-bit the serial (or parallel) formula.
         """
+        from repro.cost.distributed import choose_round_strategy, exchange_cost
         from repro.engine.fixpoint import partition_parts
 
         base_parts, recursive_parts = partition_parts(node)
@@ -627,6 +637,8 @@ class DetailedCostModel:
             dict(shape.fields), frozenset(node.invariant_fields)
         )
         parallelism = max(1, self.params.parallelism)
+        shards = max(1, self.params.shards)
+        distributed = shards > 1
 
         io, cpu = 0.0, 0.0
         base_io, base_cpu = 0.0, 0.0
@@ -634,13 +646,21 @@ class DetailedCostModel:
             part_io, part_cpu = self._cost(part, env, rows)
             base_io += part_io
             base_cpu += part_cpu
-        base_workers = min(parallelism, len(base_parts))
-        io += base_io / base_workers
-        cpu += base_cpu / base_workers
-
         deltas = fix_est.deltas or []
+        if distributed:
+            base_workers = min(shards, len(base_parts))
+            io += base_io / base_workers
+            cpu += base_cpu / base_workers
+            # Gather leg of the base round: the whole first frontier
+            # crosses the exchange back to the coordinator.
+            first_delta = deltas[0] if deltas else fix_est.tuples
+            io += exchange_cost(first_delta, shards, self.params)
+        else:
+            base_workers = min(parallelism, len(base_parts))
+            io += base_io / base_workers
+            cpu += base_cpu / base_workers
 
-        def round_cost(delta: float) -> None:
+        def round_cost(delta: float, produced: float) -> None:
             nonlocal io, cpu
             inner_env = dict(env)
             inner_env[node.name] = (delta, body_shape)
@@ -650,23 +670,38 @@ class DetailedCostModel:
                 part_io, part_cpu = self._cost(part, inner_env, part_rows)
                 round_io += part_io
                 round_cpu += part_cpu
+            if distributed:
+                _strategy, dist_io, dist_cpu = choose_round_strategy(
+                    round_io, round_cpu, delta, shards, self.params
+                )
+                io += dist_io
+                cpu += dist_cpu
+                # Gather leg: the round's fresh tuples travel back.
+                io += exchange_cost(produced, shards, self.params)
+                # Coordinator-side dedup/merge of the gathered tuples.
+                cpu += delta * self.params.parallel_overhead
+                return
             workers = min(parallelism, max(1.0, delta))
             io += round_io / workers
             cpu += round_cpu / workers
             if parallelism > 1:
                 cpu += delta * self.params.parallel_overhead
 
-        for delta in deltas[:-1] if len(deltas) > 1 else deltas[:0]:
-            round_cost(delta)
+        for index, delta in enumerate(
+            deltas[:-1] if len(deltas) > 1 else deltas[:0]
+        ):
+            produced = deltas[index + 1] if index + 1 < len(deltas) else 0.0
+            round_cost(delta, produced)
         # One extra empty-delta round detects the fixpoint; charge the
         # final delta's scan of the recursive parts as well.
         if len(deltas) > 1:
-            round_cost(deltas[-1])
+            round_cost(deltas[-1], 0.0)
         # Materializing and deduplicating the accumulated result (the
-        # striped seen-set merge under parallelism), plus re-emitting
-        # it in batches from the temporary.
+        # striped seen-set merge under parallelism, the coordinator
+        # seen-set under sharding), plus re-emitting it in batches from
+        # the temporary.
         cpu += fix_est.tuples * self.params.tuple_cpu
         cpu += self._batch_cost(fix_est.tuples)
-        if parallelism > 1:
+        if distributed or parallelism > 1:
             cpu += fix_est.tuples * self.params.parallel_overhead
         return io, cpu

@@ -65,6 +65,23 @@ class CostParameters:
     #: ``eval_per_tuple`` so operator-choice comparisons (index vs
     #: scan, push vs no-push) are not perturbed.
     batch_overhead: float = 0.0005
+    #: Shard fan-out the engine devotes to one fixpoint.  At 1 (the
+    #: default) every distributed term below is inert and the Fix
+    #: formula is exactly the serial (or parallel) sum; above 1 the
+    #: distributed-Fix variant divides each round across shards, adds
+    #: the network terms for both exchange legs and applies the skew
+    #: multiplier (see :mod:`repro.cost.distributed`).
+    shards: int = 1
+    #: Network cost of moving one tuple through the delta exchange
+    #: (one leg); the ``alpha`` term of the mongodb-d4 decomposition.
+    network_per_tuple: float = 0.005
+    #: Fixed per-shard per-exchange frame cost (scatter or gather
+    #: latency), charged once per shard per leg.
+    network_per_round: float = 0.05
+    #: Expected partition imbalance (max shard load / mean shard load,
+    #: >= 1.0); the ``gamma`` term — a barrier round is gated by its
+    #: most loaded shard.
+    shard_skew: float = 1.0
 
 
 @dataclass

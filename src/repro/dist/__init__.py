@@ -1,0 +1,40 @@
+"""Distribution subsystem: sharded store replicas and the distributed
+scatter-gather semi-naive fixpoint.
+
+Layout:
+
+* :mod:`repro.dist.partition` — placement metadata (:class:`ShardMap`)
+  and the hash/range shard-of functions;
+* :mod:`repro.dist.exchange` — tuples as line-JSON frames (the service
+  protocol's framing) plus exchange-volume accounting and the
+  per-shard telemetry sink;
+* :mod:`repro.dist.shard` — :class:`ShardWorker` (one shard: schema
+  replica over a private buffer pool) and :class:`ShardSession` (one
+  request's private view of a worker);
+* :mod:`repro.dist.coordinator` — :class:`ShardCluster` and
+  :func:`run_fixpoint_distributed`, the scatter-gather rounds.
+
+Entry points: build a :class:`ShardCluster` over a physical schema,
+hand it to an :class:`~repro.engine.evaluator.Engine` (``cluster=``,
+``shards=N``) and execute plans as usual — every ``parallel_safe``
+fixpoint runs distributed, and ``shards=1`` bypasses this package
+entirely (exact single-process semantics).
+"""
+
+from repro.dist.coordinator import ShardCluster, run_fixpoint_distributed
+from repro.dist.exchange import ExchangeStats, decode_tuples, encode_tuples
+from repro.dist.partition import ShardMap, hash_shard, range_shard
+from repro.dist.shard import ShardSession, ShardWorker
+
+__all__ = [
+    "ShardCluster",
+    "ShardMap",
+    "ShardSession",
+    "ShardWorker",
+    "ExchangeStats",
+    "encode_tuples",
+    "decode_tuples",
+    "hash_shard",
+    "range_shard",
+    "run_fixpoint_distributed",
+]

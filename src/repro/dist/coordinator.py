@@ -1,0 +1,351 @@
+"""The shard cluster and the distributed scatter-gather fixpoint.
+
+:class:`ShardCluster` owns N :class:`~repro.dist.shard.ShardWorker`
+replicas of a physical schema plus the pool their tasks run on.
+:func:`run_fixpoint_distributed` is the distributed twin of
+:func:`repro.engine.parallel.run_fixpoint_parallel`: the same
+semi-naive structure, but each round is a **scatter-gather exchange**
+instead of an in-process fan-out —
+
+1. *partition*: the coordinator hash-partitions the round's delta on
+   the recursion-binding columns (one slice per shard; parts whose
+   semantics partitioning would change take the whole delta on one
+   shard, rotating per round);
+2. *scatter*: each shard's slice crosses the service's line-JSON
+   framing as ``delta`` frames and is staged into the shard session's
+   private store;
+3. *evaluate*: each shard runs its recursive parts against the staged
+   slice with the batch pipeline, reading base extents through its own
+   buffer pool;
+4. *gather*: produced tuples come back as ``result`` frames, and the
+   coordinator — sole owner of the seen-set — dedups in shard order
+   and materializes the fresh tuples as the next delta.
+
+Rounds are barriers and slices are disjoint, so answer sets and
+per-node tuple counts match the serial evaluator exactly (the same
+additivity argument as the parallel path).  The first shard error
+aborts the remaining work of the round and re-raises in the
+coordinator; ``Engine.execute``'s cleanup then drops the coordinator
+temp, and each session's ``close()`` drops its shard-local staging
+extents — failure semantics are documented in
+``docs/architecture.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.dist import exchange
+from repro.dist.partition import ShardMap
+from repro.dist.shard import ShardSession, ShardWorker
+from repro.engine.fixpoint import key_of_normalized, partition_parts
+from repro.engine.parallel import (
+    _rebinding_fields,
+    partition_delta,
+    partitionable,
+)
+from repro.errors import FixpointLimitError
+from repro.physical.schema import PhysicalSchema
+from repro.physical.storage import StoredRecord
+from repro.plans.nodes import Fix, PlanNode
+
+__all__ = ["ShardCluster", "run_fixpoint_distributed"]
+
+
+class ShardCluster:
+    """N shard workers over replicas of one physical schema.
+
+    Base extents are replicated (zero-copy; each shard reads them
+    through its own buffer pool); recursion tuple spaces are
+    hash-partitioned per round by the distributed fixpoint, which
+    records the partitioning in :attr:`shard_map`.  One cluster may
+    serve many engines — and several concurrently: all per-request
+    state lives in :class:`~repro.dist.shard.ShardSession` objects.
+    """
+
+    def __init__(
+        self,
+        physical: PhysicalSchema,
+        shards: int,
+        buffer_capacity: Optional[int] = None,
+        io_latency: Optional[float] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.physical = physical
+        self.shards = shards
+        self.shard_map = ShardMap(shards)
+        for name in physical.store.extent_names():
+            self.shard_map.place_replicated(name)
+        self.workers: List[ShardWorker] = [
+            ShardWorker(index, physical, buffer_capacity, io_latency)
+            for index in range(shards)
+        ]
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, shards), thread_name_prefix="shard"
+        )
+        self._session_lock = threading.Lock()
+
+    def open_sessions(self, engine, width: int) -> List[ShardSession]:
+        """One per-request session on each of the first ``width``
+        shards (safe to call from concurrent coordinators)."""
+        with self._session_lock:
+            return [
+                worker.open_session(engine) for worker in self.workers[:width]
+            ]
+
+    def submit(self, fn, *args):
+        return self._pool.submit(fn, *args)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def snapshot(self) -> dict:
+        """Per-shard buffer statistics plus the placement map."""
+        return {
+            "shards": self.shards,
+            "shard_map": self.shard_map.to_dict(),
+            "buffers": [
+                {
+                    "shard": worker.index,
+                    "logical_reads": worker.buffer.stats.logical_reads,
+                    "physical_reads": worker.buffer.stats.physical_reads,
+                    "resident_pages": worker.buffer.resident_count(),
+                }
+                for worker in self.workers
+            ],
+        }
+
+
+def run_fixpoint_distributed(
+    engine,
+    fix: Fix,
+    delta_env: Dict[str, List[StoredRecord]],
+    cluster: ShardCluster,
+    shards: int,
+) -> str:
+    """Evaluate ``fix`` as distributed scatter-gather rounds; returns
+    the coordinator temp entity name (same contract as the serial and
+    parallel paths)."""
+    width = max(1, min(shards, cluster.shards))
+    if width <= 1:
+        from repro.engine.fixpoint import run_fixpoint_serial
+
+        return run_fixpoint_serial(engine, fix, delta_env)
+
+    temp_info = engine.physical.register_temp(fix.name)
+    temp_name = temp_info.name
+    engine.note_temp(temp_name)
+    base_parts, recursive_parts = partition_parts(fix)
+
+    seen: Set[tuple] = set()  # coordinator-side; coordinator thread only
+    abort = threading.Event()
+    sessions = cluster.open_sessions(engine, width)
+    metrics = engine.metrics
+    metrics.shards_used = max(metrics.shards_used, width)
+    profiler = getattr(engine, "profiler", None)
+    insert = engine.store.insert
+    peek = engine.store.peek
+
+    def shard_task(
+        session: ShardSession,
+        round_index: int,
+        tasks: List[Tuple[PlanNode, Optional[object]]],
+        payloads: Dict[object, List[bytes]],
+    ) -> dict:
+        """Everything one shard does in one round: receive + stage its
+        delta frames, evaluate its parts, frame its results."""
+        reads_before = session.io.stats.logical_reads
+        produced: List[Dict[str, object]] = []
+        staged_cache: Dict[object, List[StoredRecord]] = {}
+        for part, payload_key in tasks:
+            if abort.is_set():
+                break
+            session.engine.check_cancelled()
+            if payload_key is None:  # base part: no delta leg
+                env = delta_env
+            else:
+                staged = staged_cache.get(payload_key)
+                if staged is None:
+                    staged = session.stage_delta(
+                        fix.name, exchange.decode_tuples(payloads[payload_key])
+                    )
+                    staged_cache[payload_key] = staged
+                env = dict(delta_env)
+                env[fix.name] = staged
+            produced.extend(session.evaluate(part, env))
+        frames = exchange.encode_tuples(
+            "result", fix.name, round_index, session.shard, produced
+        )
+        return {
+            "frames": frames,
+            "tuples": len(produced),
+            "reads": session.io.stats.logical_reads - reads_before,
+        }
+
+    def run_round(
+        round_index: int,
+        assignments: Dict[int, List[Tuple[PlanNode, Optional[object]]]],
+        payloads: Dict[object, List[bytes]],
+        scatter_by_shard: Dict[int, exchange.ExchangeStats],
+    ) -> Tuple[List[StoredRecord], exchange.ExchangeStats]:
+        futures = {
+            shard: cluster.submit(
+                shard_task, sessions[shard], round_index, tasks, payloads
+            )
+            for shard, tasks in assignments.items()
+            if tasks
+        }
+        outcomes: List[Tuple[int, dict]] = []
+        error: Optional[BaseException] = None
+        for shard in sorted(futures):
+            try:
+                outcomes.append((shard, futures[shard].result()))
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                abort.set()
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        # Gather leg: dedup in shard-index order (deterministic), then
+        # materialize the fresh tuples at the coordinator.
+        volume = exchange.ExchangeStats()
+        for stats in scatter_by_shard.values():
+            volume.merge(stats)
+        fresh: List[StoredRecord] = []
+        for shard, outcome in outcomes:
+            volume.count(outcome["frames"], outcome["tuples"])
+            arrived = 0
+            for values in exchange.decode_tuples(outcome["frames"]):
+                arrived += 1
+                key = key_of_normalized(values)
+                if key in seen:
+                    continue
+                seen.add(key)
+                fresh.append(peek(insert(temp_name, values)))
+            scatter = scatter_by_shard.get(shard)
+            exchange.write_shard_telemetry(
+                {
+                    "fix": fix.name,
+                    "round": round_index,
+                    "shard": shard,
+                    "scatter_tuples": scatter.tuples if scatter else 0,
+                    "scatter_bytes": scatter.bytes if scatter else 0,
+                    "gather_tuples": arrived,
+                    "gather_bytes": sum(len(f) for f in outcome["frames"]),
+                    "logical_reads": outcome["reads"],
+                }
+            )
+        metrics.exchange_rounds += 1
+        metrics.exchange_tuples += volume.tuples
+        metrics.exchange_bytes += volume.bytes
+        return fresh, volume
+
+    try:
+        # Base round: non-recursive parts fan out round-robin; only the
+        # gather leg carries tuples.
+        round_start = time.perf_counter()
+        assignments: Dict[int, List[Tuple[PlanNode, Optional[object]]]] = {
+            shard: [] for shard in range(width)
+        }
+        for index, part in enumerate(base_parts):
+            assignments[index % width].append((part, None))
+        delta, volume = run_round(0, assignments, {}, {})
+        if profiler is not None:
+            profiler.fix_iteration(
+                fix,
+                0,
+                len(delta),
+                time.perf_counter() - round_start,
+                shards=width,
+                exchange_tuples=volume.tuples,
+                exchange_bytes=volume.bytes,
+            )
+
+        rebinding = _rebinding_fields(fix, delta)
+        if rebinding:
+            cluster.shard_map.place_partitioned(fix.name, rebinding)
+        iterations = 0
+        while delta:
+            iterations += 1
+            if iterations > engine.max_fix_iterations:
+                raise FixpointLimitError(fix.name, engine.max_fix_iterations)
+            engine.check_cancelled()
+            metrics.fix_iterations += 1
+            round_start = time.perf_counter()
+
+            assignments = {shard: [] for shard in range(width)}
+            payloads: Dict[object, List[bytes]] = {}
+            scatter_by_shard: Dict[int, exchange.ExchangeStats] = {}
+            slices: Optional[List[List[StoredRecord]]] = None
+            for part_index, part in enumerate(recursive_parts):
+                if partitionable(part, fix.name) and len(delta) > 1:
+                    if slices is None:
+                        slices = partition_delta(delta, width, rebinding)
+                        for shard, piece in enumerate(slices):
+                            if not piece:
+                                continue
+                            frames = exchange.encode_tuples(
+                                "delta",
+                                fix.name,
+                                iterations,
+                                shard,
+                                [record.values for record in piece],
+                            )
+                            payloads[("slice", shard)] = frames
+                            stats = scatter_by_shard.setdefault(
+                                shard, exchange.ExchangeStats()
+                            )
+                            stats.count(frames, len(piece))
+                    for shard, piece in enumerate(slices):
+                        if piece:
+                            assignments[shard].append((part, ("slice", shard)))
+                else:
+                    # Unpartitionable part: the whole delta travels to
+                    # one shard, rotating per round for balance.
+                    target = (iterations + part_index) % width
+                    if "full" not in payloads:
+                        payloads["full"] = exchange.encode_tuples(
+                            "delta",
+                            fix.name,
+                            iterations,
+                            target,
+                            [record.values for record in delta],
+                        )
+                    if not any(
+                        key == "full" for _part, key in assignments[target]
+                    ):
+                        stats = scatter_by_shard.setdefault(
+                            target, exchange.ExchangeStats()
+                        )
+                        stats.count(payloads["full"], len(delta))
+                    assignments[target].append((part, "full"))
+
+            delta, volume = run_round(
+                iterations, assignments, payloads, scatter_by_shard
+            )
+            if profiler is not None:
+                profiler.fix_iteration(
+                    fix,
+                    iterations,
+                    len(delta),
+                    time.perf_counter() - round_start,
+                    shards=width,
+                    exchange_tuples=volume.tuples,
+                    exchange_bytes=volume.bytes,
+                )
+    finally:
+        abort.set()
+        for session in sessions:
+            session.close()
+            engine.absorb_shard(session.shard, session.engine, session.io.stats)
+    return temp_name

@@ -1,0 +1,192 @@
+"""Delta exchange: tuples as line-JSON frames between coordinator and
+shards.
+
+Both legs of a scatter-gather round travel as the service's existing
+line-JSON message framing (:mod:`repro.service.protocol`): the
+coordinator *scatters* each shard its delta partition as ``delta``
+frames, shards *gather* their produced tuples back as ``result``
+frames.  Every frame is a real ``protocol.encode``/``decode``
+round-trip — the bytes the counters report are exactly the bytes that
+would cross a socket, and oversized payloads are chunked to respect
+``protocol.MAX_LINE_BYTES`` just as a socket writer would have to.
+
+Value codec: normalized fixpoint tuples contain only atoms, oids and
+tuples (``normalize_binding`` collapses records to oids before
+insertion), so the wire form needs one marker — ``{"__oid__": n}`` —
+to keep object identifiers distinguishable from plain integers; arrays
+map back to tuples.  Anything else is rejected loudly rather than
+silently stringified.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import ProtocolError
+from repro.physical.storage import Oid
+from repro.service import protocol
+
+__all__ = [
+    "encode_value",
+    "decode_value",
+    "encode_tuples",
+    "decode_tuples",
+    "ExchangeStats",
+    "shard_telemetry_path",
+    "write_shard_telemetry",
+]
+
+#: Tuples per frame before size-based splitting kicks in.  Small enough
+#: that a typical frame stays far below ``MAX_LINE_BYTES``, large
+#: enough that framing overhead is negligible.
+FRAME_TUPLES = 2048
+
+
+def encode_value(value):
+    """Wire form of one normalized tuple value."""
+    if isinstance(value, Oid):
+        return {"__oid__": int(value)}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return [encode_value(item) for item in value]
+    raise ProtocolError(
+        f"value of type {type(value).__name__!r} cannot cross the "
+        f"shard exchange (normalized tuples hold atoms, oids and tuples)"
+    )
+
+
+def decode_value(value):
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, dict):
+        try:
+            return Oid(value["__oid__"])
+        except KeyError:
+            raise ProtocolError(
+                f"malformed oid marker in exchange frame: {value!r}"
+            ) from None
+    if isinstance(value, list):
+        return tuple(decode_value(item) for item in value)
+    return value
+
+
+def _encode_tuple(values: Dict[str, object]) -> dict:
+    return {key: encode_value(value) for key, value in values.items()}
+
+
+def _decode_tuple(payload: dict) -> Dict[str, object]:
+    return {key: decode_value(value) for key, value in payload.items()}
+
+
+def encode_tuples(
+    op: str,
+    fix_name: str,
+    round_index: int,
+    shard: int,
+    tuples: Sequence[Dict[str, object]],
+) -> List[bytes]:
+    """Frame a tuple batch as one or more line-JSON messages.
+
+    A frame that would exceed ``protocol.MAX_LINE_BYTES`` is split in
+    half recursively; a single tuple too large for a frame raises (it
+    could never cross the real wire either).
+    """
+    def frame(chunk: Sequence[Dict[str, object]], seq: int) -> List[bytes]:
+        line = protocol.encode(
+            {
+                "op": op,
+                "fix": fix_name,
+                "round": round_index,
+                "shard": shard,
+                "seq": seq,
+                "tuples": [_encode_tuple(values) for values in chunk],
+            }
+        )
+        if len(line) <= protocol.MAX_LINE_BYTES:
+            return [line]
+        if len(chunk) <= 1:
+            raise ProtocolError(
+                f"one exchange tuple exceeds the {protocol.MAX_LINE_BYTES}"
+                f"-byte frame limit"
+            )
+        middle = len(chunk) // 2
+        return frame(chunk[:middle], seq) + frame(chunk[middle:], seq + 1)
+
+    frames: List[bytes] = []
+    if not tuples:
+        return [protocol.encode(
+            {
+                "op": op,
+                "fix": fix_name,
+                "round": round_index,
+                "shard": shard,
+                "seq": 0,
+                "tuples": [],
+            }
+        )]
+    for start in range(0, len(tuples), FRAME_TUPLES):
+        frames.extend(frame(tuples[start : start + FRAME_TUPLES], len(frames)))
+    return frames
+
+
+def decode_tuples(frames: Iterable[bytes]) -> List[Dict[str, object]]:
+    """Decode the tuple payloads of a frame sequence (order-preserving)."""
+    tuples: List[Dict[str, object]] = []
+    for line in frames:
+        message = protocol.decode(line)
+        payload = message.get("tuples")
+        if not isinstance(payload, list):
+            raise ProtocolError(
+                f"exchange frame without a tuples array: {message.get('op')!r}"
+            )
+        tuples.extend(_decode_tuple(entry) for entry in payload)
+    return tuples
+
+
+@dataclass
+class ExchangeStats:
+    """Volume counters for one exchange leg or round (both directions
+    are counted: a tuple scattered and its result gathered are two
+    exchanged tuples, exactly as they would be two sends)."""
+
+    tuples: int = 0
+    bytes: int = 0
+    frames: int = 0
+
+    def count(self, frames: Sequence[bytes], tuple_count: int) -> None:
+        self.frames += len(frames)
+        self.bytes += sum(len(frame) for frame in frames)
+        self.tuples += tuple_count
+
+    def merge(self, other: "ExchangeStats") -> None:
+        self.tuples += other.tuples
+        self.bytes += other.bytes
+        self.frames += other.frames
+
+
+# -- per-shard telemetry ------------------------------------------------------
+
+_telemetry_lock = threading.Lock()
+
+
+def shard_telemetry_path() -> str:
+    """Target JSONL file for per-round per-shard telemetry records;
+    empty string disables (the default)."""
+    return os.environ.get("REPRO_SHARD_TELEMETRY", "")
+
+
+def write_shard_telemetry(record: dict) -> None:
+    """Append one JSONL telemetry record (no-op unless
+    ``REPRO_SHARD_TELEMETRY`` names a file).  CI uploads the file as a
+    build artifact so sharded-round behaviour is inspectable per run."""
+    path = shard_telemetry_path()
+    if not path:
+        return
+    line = json.dumps(record, sort_keys=True, default=str)
+    with _telemetry_lock:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")

@@ -2,10 +2,15 @@
 
 :class:`ExecutionContext` bundles everything that varies per run of a
 plan — the cancellation token, the optional profiler and the
-``parallelism`` knob — so callers (CLI, service, tests) thread one
-object instead of a growing keyword list.  ``Engine.execute`` still
-accepts the individual keywords for convenience; an explicit context
-wins over them.
+``parallelism`` / ``batch_size`` / ``shards`` knobs — so callers (CLI,
+service, tests) thread one object instead of a growing keyword list.
+``Engine.execute`` still accepts the individual keywords for
+convenience; an explicit context wins over them.
+
+All integer knobs are validated in one place
+(:func:`validate_knob`, called from ``__post_init__``), so every
+entry point — the context, the engine constructor, the service's
+protocol fields — rejects a bad value with the same message.
 """
 
 from __future__ import annotations
@@ -16,7 +21,19 @@ from typing import Optional
 from repro.engine.cancel import CancellationToken
 from repro.obs.profile import PlanProfiler
 
-__all__ = ["ExecutionContext"]
+__all__ = ["ExecutionContext", "validate_knob"]
+
+
+def validate_knob(name: str, value: Optional[int], minimum: int = 1) -> None:
+    """Validate one integer execution knob; ``None`` is always allowed
+    (it means "use the configured default").  Raises :class:`ValueError`
+    with the shared ``"<name> must be >= <minimum>"`` message."""
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{name} must be an integer >= {minimum}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}")
 
 
 @dataclass
@@ -35,9 +52,12 @@ class ExecutionContext:
     #: engine's configured size, 1 pins the exact tuple-at-a-time
     #: compatibility semantics.
     batch_size: Optional[int] = None
+    #: Shard workers a fixpoint may scatter delta partitions across;
+    #: 1 = single-store evaluation, >1 = the distributed scatter-gather
+    #: rounds of :mod:`repro.dist` (requires a cluster on the engine).
+    shards: int = 1
 
     def __post_init__(self) -> None:
-        if self.parallelism < 1:
-            raise ValueError("parallelism must be >= 1")
-        if self.batch_size is not None and self.batch_size < 1:
-            raise ValueError("batch_size must be >= 1")
+        validate_knob("parallelism", self.parallelism)
+        validate_knob("batch_size", self.batch_size)
+        validate_knob("shards", self.shards)

@@ -32,7 +32,7 @@ from typing import Dict, Iterator, List, Optional, Set
 from repro.errors import ExecutionError
 from repro.engine.batch import Batch, default_batch_size
 from repro.engine.cancel import CancellationToken
-from repro.engine.context import ExecutionContext
+from repro.engine.context import ExecutionContext, validate_knob
 from repro.engine.eval_expr import (
     Binding,
     ExpressionEvaluator,
@@ -42,6 +42,7 @@ from repro.engine.eval_expr import (
 from repro.engine.fixpoint import run_fixpoint
 from repro.engine.metrics import RuntimeMetrics
 from repro.obs.profile import PlanProfiler, assign_node_ids
+from repro.physical.buffer import BufferStats
 from repro.physical.schema import PhysicalSchema
 from repro.physical.storage import Oid, StoredRecord
 from repro.plans.nodes import (
@@ -98,6 +99,8 @@ class Engine:
         keep_temps: bool = False,
         parallelism: int = 1,
         batch_size: Optional[int] = None,
+        shards: int = 1,
+        cluster=None,
     ) -> None:
         self.physical = physical
         self.store = physical.store
@@ -106,18 +109,25 @@ class Engine:
         #: looping unbounded on pathological cyclic data.
         self.max_fix_iterations = max_fix_iterations
         self.keep_temps = keep_temps
-        if parallelism < 1:
-            raise ValueError("parallelism must be >= 1")
+        validate_knob("parallelism", parallelism)
         #: Worker threads a fixpoint may use; >1 routes Fix evaluation
         #: through :mod:`repro.engine.parallel`.
         self.parallelism = parallelism
         if batch_size is None:
             batch_size = default_batch_size()
-        if batch_size < 1:
-            raise ValueError("batch_size must be >= 1")
+        validate_knob("batch_size", batch_size)
         #: Bindings per :class:`Batch` exchanged between operators;
         #: 1 = exact tuple-at-a-time compatibility semantics.
         self.batch_size = batch_size
+        validate_knob("shards", shards)
+        #: Shard fan-out for distributed fixpoints; >1 (with a
+        #: ``cluster``) routes Fix evaluation through
+        #: :mod:`repro.dist.coordinator`.
+        self.shards = shards
+        #: A :class:`repro.dist.ShardCluster` (or None).  ``shards > 1``
+        #: without a cluster silently falls back to single-store
+        #: evaluation — the knob asks, the cluster enables.
+        self.cluster = cluster
         self.cancel_token: Optional["CancellationToken"] = None
         self.metrics = RuntimeMetrics()
         #: Optional per-node runtime profiler (EXPLAIN ANALYZE); when
@@ -133,6 +143,10 @@ class Engine:
         #: evaluated once and share their materialized temporary (a
         #: self-join of a recursion must not recompute the closure).
         self._fix_cache: Dict[object, str] = {}
+        #: I/O charged by shard sessions during this execution (their
+        #: buffers are private, so the coordinator-store delta misses
+        #: them); folded into ``metrics.buffer`` at the end of execute.
+        self._shard_buffer = BufferStats()
 
     # -- public API -------------------------------------------------------------
 
@@ -170,6 +184,7 @@ class Engine:
             self.parallelism = context.parallelism
             if context.batch_size is not None:
                 self.batch_size = context.batch_size
+            self.shards = context.shards
         if validate:
             validate_plan(plan, self.physical)
         self.cancel_token = cancel
@@ -185,6 +200,7 @@ class Engine:
         )
         self._temps_created = []
         self._fix_cache = {}
+        self._shard_buffer = BufferStats()
         from repro.plans.patterns import consumed_variables
 
         self._consumed_vars = consumed_variables(plan)
@@ -198,7 +214,13 @@ class Engine:
                 for temp_name in self._temps_created:
                     if self.physical.has_entity(temp_name):
                         self.physical.drop_temp(temp_name)
-        self.metrics.buffer = self.store.buffer.stats.delta_since(buffer_before)
+        local = self.store.buffer.stats.delta_since(buffer_before)
+        shard = self._shard_buffer
+        self.metrics.buffer = BufferStats(
+            local.logical_reads + shard.logical_reads,
+            local.physical_reads + shard.physical_reads,
+            local.evictions + shard.evictions,
+        )
         return ExecutionResult(rows, self.metrics)
 
     # -- engine services used by the fixpoint modules -------------------------------
@@ -217,12 +239,15 @@ class Engine:
         clone.keep_temps = self.keep_temps
         clone.parallelism = 1  # workers never nest pools
         clone.batch_size = self.batch_size
+        clone.shards = 1
+        clone.cluster = None
         clone.cancel_token = self.cancel_token
         clone.metrics = RuntimeMetrics()
         clone._node_ids = self._node_ids
         clone._temps_created = self._temps_created
         clone._consumed_vars = self._consumed_vars
         clone._fix_cache = {}
+        clone._shard_buffer = BufferStats()
         clone.profiler = (
             self.profiler.worker_view(clone.metrics)
             if self.profiler is not None
@@ -230,6 +255,41 @@ class Engine:
         )
         clone._evaluator = ExpressionEvaluator(
             self.store, clone.metrics, clone._resolve_method, charged=True
+        )
+        return clone
+
+    def shard_view(self, physical: PhysicalSchema) -> "Engine":
+        """A shard-session view of this engine for distributed fixpoint
+        evaluation: like :meth:`worker_clone`, but bound to a *shard's*
+        replica schema/store (``physical``), so every scan, fetch and
+        index probe it makes reads through the shard's own buffer pool.
+        Temps it registers (delta staging extents) land in the session's
+        private ledger — the session, not the coordinator's execute,
+        cleans them up.  Counters flush back via :meth:`absorb_shard`.
+        """
+        clone = Engine.__new__(Engine)
+        clone.physical = physical
+        clone.store = physical.store
+        clone.max_fix_iterations = self.max_fix_iterations
+        clone.keep_temps = self.keep_temps
+        clone.parallelism = 1  # shard-local evaluation is serial
+        clone.batch_size = self.batch_size
+        clone.shards = 1
+        clone.cluster = None
+        clone.cancel_token = self.cancel_token
+        clone.metrics = RuntimeMetrics()
+        clone._node_ids = self._node_ids
+        clone._temps_created = []  # session-private staging ledger
+        clone._consumed_vars = self._consumed_vars
+        clone._fix_cache = {}
+        clone._shard_buffer = BufferStats()
+        clone.profiler = (
+            self.profiler.worker_view(clone.metrics, clone.store.buffer.stats)
+            if self.profiler is not None
+            else None
+        )
+        clone._evaluator = ExpressionEvaluator(
+            clone.store, clone.metrics, clone._resolve_method, charged=True
         )
         return clone
 
@@ -242,6 +302,26 @@ class Engine:
         if self.profiler is not None and worker.profiler is not None:
             self.profiler.merge_from(worker.profiler)
             worker.profiler = None
+
+    def absorb_shard(
+        self, shard_index: int, session_engine: "Engine", io: "BufferStats"
+    ) -> None:
+        """Flush one shard session's counters into this engine,
+        attributing the work to ``shard_index``: the session's tuples
+        and its private buffer reads land in the per-shard breakdowns,
+        and the reads are folded into this execution's I/O totals
+        (the coordinator-store delta cannot see them)."""
+        tuples = session_engine.metrics.total_tuples
+        self.absorb_worker(session_engine)
+        self.metrics.tuples_by_shard[shard_index] = (
+            self.metrics.tuples_by_shard.get(shard_index, 0) + tuples
+        )
+        self.metrics.reads_by_shard[shard_index] = (
+            self.metrics.reads_by_shard.get(shard_index, 0) + io.logical_reads
+        )
+        self._shard_buffer.logical_reads += io.logical_reads
+        self._shard_buffer.physical_reads += io.physical_reads
+        self._shard_buffer.evictions += io.evictions
 
     def note_temp(self, name: str) -> None:
         """Record a temporary created during this execution so it can

@@ -101,10 +101,22 @@ def run_fixpoint(engine, fix: Fix, delta_env: Dict[str, List[StoredRecord]]) -> 
     plan (passed in to avoid a circular import); ``delta_env`` is the
     enclosing delta environment (supporting nested fixpoints).
 
-    Dispatches to the hash-partitioned parallel evaluator when the
-    engine's ``parallelism`` knob exceeds 1 and the body is safe to
-    evaluate concurrently.
+    Dispatches to the distributed scatter-gather evaluator when the
+    engine carries ``shards > 1`` *and* a shard cluster, else to the
+    hash-partitioned parallel evaluator when the engine's
+    ``parallelism`` knob exceeds 1 — in both cases only if the body is
+    safe to evaluate concurrently (same :func:`parallel_safe` contract:
+    slices of the delta are disjoint and rounds are barriers).
     """
+    cluster = getattr(engine, "cluster", None)
+    if getattr(engine, "shards", 1) > 1 and cluster is not None:
+        from repro.dist.coordinator import run_fixpoint_distributed
+        from repro.engine.parallel import parallel_safe
+
+        if parallel_safe(fix):
+            return run_fixpoint_distributed(
+                engine, fix, delta_env, cluster, engine.shards
+            )
     if getattr(engine, "parallelism", 1) > 1:
         from repro.engine.parallel import parallel_safe, run_fixpoint_parallel
 

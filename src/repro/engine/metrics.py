@@ -48,6 +48,20 @@ class RuntimeMetrics:
     #: node ids of :func:`repro.obs.profile.assign_node_ids`.
     tuples_by_node: Dict[str, int] = field(default_factory=dict)
     buffer: BufferStats = field(default_factory=BufferStats)
+    #: Distributed-fixpoint counters (all zero unless a plan ran with
+    #: ``shards > 1``).  ``exchange_bytes`` counts the JSON frames of
+    #: both legs — scattered delta partitions and gathered results —
+    #: exactly as they would cross the wire.
+    exchange_rounds: int = 0
+    exchange_tuples: int = 0
+    exchange_bytes: int = 0
+    #: Widest shard fan-out any Fix in the plan actually used.
+    shards_used: int = 0
+    #: Per-shard attribution, keyed by shard index: tuples produced by
+    #: operators evaluated on that shard, and the shard-local logical
+    #: page reads its session charged.
+    tuples_by_shard: Dict[int, int] = field(default_factory=dict)
+    reads_by_shard: Dict[int, int] = field(default_factory=dict)
 
     def count_tuple(self, operator: str, node_id: Optional[str] = None) -> None:
         """Count one output tuple for an operator kind (and, when the
@@ -91,8 +105,12 @@ class RuntimeMetrics:
 
     def to_dict(self) -> dict:
         """JSON-serializable form, used by telemetry persistence
-        (:mod:`repro.obs.history`) and the ``stats`` protocol op."""
-        return {
+        (:mod:`repro.obs.history`) and the ``stats`` protocol op.
+
+        The distributed counters appear only when a fixpoint actually
+        ran sharded, keeping single-store payload shapes unchanged.
+        """
+        payload = {
             "predicate_evals": self.predicate_evals,
             "expr_evals": self.expr_evals,
             "method_eval_weight": round(self.method_eval_weight, 4),
@@ -104,6 +122,20 @@ class RuntimeMetrics:
             "total_tuples": self.total_tuples,
             "tuples_by_node": dict(self.tuples_by_node),
         }
+        if self.shards_used:
+            payload["shards_used"] = self.shards_used
+            payload["exchange_rounds"] = self.exchange_rounds
+            payload["exchange_tuples"] = self.exchange_tuples
+            payload["exchange_bytes"] = self.exchange_bytes
+            payload["tuples_by_shard"] = {
+                str(shard): count
+                for shard, count in sorted(self.tuples_by_shard.items())
+            }
+            payload["reads_by_shard"] = {
+                str(shard): count
+                for shard, count in sorted(self.reads_by_shard.items())
+            }
+        return payload
 
     def merge(self, other: "RuntimeMetrics") -> None:
         """Accumulate another run's counters into this one."""
@@ -121,4 +153,16 @@ class RuntimeMetrics:
         for node_id, count in other.tuples_by_node.items():
             self.tuples_by_node[node_id] = (
                 self.tuples_by_node.get(node_id, 0) + count
+            )
+        self.exchange_rounds += other.exchange_rounds
+        self.exchange_tuples += other.exchange_tuples
+        self.exchange_bytes += other.exchange_bytes
+        self.shards_used = max(self.shards_used, other.shards_used)
+        for shard, count in other.tuples_by_shard.items():
+            self.tuples_by_shard[shard] = (
+                self.tuples_by_shard.get(shard, 0) + count
+            )
+        for shard, count in other.reads_by_shard.items():
+            self.reads_by_shard[shard] = (
+                self.reads_by_shard.get(shard, 0) + count
             )

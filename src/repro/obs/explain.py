@@ -99,13 +99,22 @@ class ExplainNode:
         return f"({est} | {actual})"
 
     def extra_lines(self) -> List[str]:
-        """Per-iteration actuals listed under a Fix node."""
+        """Per-iteration actuals listed under a Fix node.
+
+        Distributed rounds additionally show their shard fan-out and
+        per-round exchange volume (tuples and frame bytes, both legs).
+        """
         lines = []
         for entry in self.fix_iterations:
             what = "base" if entry["iteration"] == 0 else f"iter {entry['iteration']}"
-            lines.append(
-                f"[{what}: +{entry['new_tuples']} tuples in {entry['ms']:.3f}ms]"
-            )
+            line = f"[{what}: +{entry['new_tuples']} tuples in {entry['ms']:.3f}ms"
+            if entry.get("shards") is not None:
+                line += (
+                    f" | shards={entry['shards']}"
+                    f" exchanged={entry.get('exchange_tuples', 0)} tuples"
+                    f"/{entry.get('exchange_bytes', 0)}B"
+                )
+            lines.append(line + "]")
         return lines
 
 

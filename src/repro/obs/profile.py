@@ -61,18 +61,35 @@ def assign_node_ids(plan) -> Dict[int, str]:
 
 @dataclass
 class FixIterationProfile:
-    """One semi-naive round of a ``Fix`` node."""
+    """One semi-naive round of a ``Fix`` node.
+
+    When the round ran as a distributed scatter-gather exchange
+    (:mod:`repro.dist`), the optional fields record the shard fan-out
+    and the round's exchange volume (tuples and JSON-frame bytes, both
+    legs); they stay ``None`` — and absent from :meth:`to_dict` — for
+    single-store rounds.
+    """
 
     iteration: int  #: 0 is the base round; 1.. are delta rounds.
     new_tuples: int
     seconds: float
+    shards: Optional[int] = None
+    exchange_tuples: Optional[int] = None
+    exchange_bytes: Optional[int] = None
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "iteration": self.iteration,
             "new_tuples": self.new_tuples,
             "ms": round(self.seconds * 1000, 3),
         }
+        if self.shards is not None:
+            payload["shards"] = self.shards
+        if self.exchange_tuples is not None:
+            payload["exchange_tuples"] = self.exchange_tuples
+        if self.exchange_bytes is not None:
+            payload["exchange_bytes"] = self.exchange_bytes
+        return payload
 
 
 @dataclass
@@ -148,20 +165,23 @@ class PlanProfiler:
         node_id = self._ids.get(id(node))
         return self.profiles.get(node_id) if node_id is not None else None
 
-    def worker_view(self, metrics) -> "PlanProfiler":
-        """A thread-confined profiler for one parallel-fixpoint worker.
+    def worker_view(self, metrics, buffer=None) -> "PlanProfiler":
+        """A thread-confined profiler for one parallel-fixpoint worker
+        or one distributed-fixpoint shard session.
 
         Shares the node-id map and children topology (read-only) but
         owns fresh :class:`NodeProfile` records, and reads its counter
-        deltas from the worker's own ``metrics``; the buffer counters
-        stay shared, so per-node *page-read* attribution is
-        approximate under concurrency (a worker may observe a peer's
-        miss) while tuples, wall time, index reads and predicate evals
-        stay exact.  Flushed back with :meth:`merge_from`.
+        deltas from the worker's own ``metrics``.  By default the
+        buffer counters stay shared, so per-node *page-read*
+        attribution is approximate under concurrency (a worker may
+        observe a peer's miss) while tuples, wall time, index reads and
+        predicate evals stay exact; a shard session passes its private
+        ``buffer`` stats so its page reads are attributed exactly.
+        Flushed back with :meth:`merge_from`.
         """
         clone = PlanProfiler()
         clone._ids = self._ids
-        clone._buffer = self._buffer
+        clone._buffer = buffer if buffer is not None else self._buffer
         clone._metrics = metrics
         clone.children = self.children
         clone.profiles = {
@@ -261,13 +281,28 @@ class PlanProfiler:
             yield item
 
     def fix_iteration(
-        self, node, iteration: int, new_tuples: int, seconds: float
+        self,
+        node,
+        iteration: int,
+        new_tuples: int,
+        seconds: float,
+        shards: Optional[int] = None,
+        exchange_tuples: Optional[int] = None,
+        exchange_bytes: Optional[int] = None,
     ) -> None:
-        """Record one semi-naive round of a ``Fix`` node."""
+        """Record one semi-naive round of a ``Fix`` node; distributed
+        rounds also pass their shard width and exchange volume."""
         profile = self.profile_for(node)
         if profile is not None:
             profile.fix_iterations.append(
-                FixIterationProfile(iteration, new_tuples, seconds)
+                FixIterationProfile(
+                    iteration,
+                    new_tuples,
+                    seconds,
+                    shards=shards,
+                    exchange_tuples=exchange_tuples,
+                    exchange_bytes=exchange_bytes,
+                )
             )
 
     # -- reporting -----------------------------------------------------------

@@ -19,7 +19,7 @@ from typing import Optional
 
 from repro.physical.pages import PageId
 
-__all__ = ["BufferStats", "BufferPool"]
+__all__ = ["BufferStats", "BufferPool", "BufferView"]
 
 
 @dataclass
@@ -106,6 +106,54 @@ class BufferPool:
     def clear(self) -> None:
         """Drop all resident pages (counters are preserved)."""
         self._resident.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = BufferStats()
+
+    def view(self) -> "BufferView":
+        """A private counting view over this pool (see
+        :class:`BufferView`)."""
+        return BufferView(self)
+
+
+class BufferView:
+    """A counting view over a shared :class:`BufferPool`.
+
+    Residency — which pages are cached, the LRU order and the simulated
+    miss latency — stays with the parent pool, so concurrent users of
+    the same shard genuinely share its cache.  The *counters* accrue
+    privately: each view has its own :class:`BufferStats`, which is what
+    lets the service attribute a shard's page reads to the one request
+    that caused them even when shard workers serve several coordinators
+    at once.  Hit/miss classification is taken from the parent's
+    verdict, so a view's physical reads reflect the true shared
+    residency at the time of the touch.
+    """
+
+    def __init__(self, parent: BufferPool) -> None:
+        self.parent = parent
+        self.stats = BufferStats()
+
+    @property
+    def capacity(self) -> int:
+        return self.parent.capacity
+
+    @property
+    def io_latency(self) -> float:
+        return self.parent.io_latency
+
+    def touch(self, page_id: PageId) -> bool:
+        hit = self.parent.touch(page_id)
+        self.stats.logical_reads += 1
+        if not hit:
+            self.stats.physical_reads += 1
+        return hit
+
+    def contains(self, page_id: PageId) -> bool:
+        return self.parent.contains(page_id)
+
+    def resident_count(self) -> int:
+        return self.parent.resident_count()
 
     def reset_stats(self) -> None:
         self.stats = BufferStats()

@@ -193,6 +193,32 @@ class PhysicalSchema:
     def path_indices(self) -> Iterator[PathIndex]:
         return iter(self._path_indices.values())
 
+    # -- shard / session views -------------------------------------------------------
+
+    def shard_view(self, store: ObjectStore) -> "PhysicalSchema":
+        """A schema view over a replica ``store`` (see
+        :meth:`ObjectStore.replica_view`), for shard workers and
+        per-request shard sessions.
+
+        The view shares the catalog and all built indices (index
+        payloads are oids, valid in every replica since records are
+        shared), but owns shallow copies of the entity namespaces so
+        temporaries registered through the view — delta staging extents
+        — stay private to it and never race with the source schema.
+        """
+        view = PhysicalSchema.__new__(PhysicalSchema)
+        view.store = store
+        view.catalog = self.catalog
+        view._entities = dict(self._entities)
+        view._implements = {
+            name: list(entities) for name, entities in self._implements.items()
+        }
+        view._selection_indices = dict(self._selection_indices)
+        view._path_indices = dict(self._path_indices)
+        view._statistics = None
+        view._temp_counter = self._temp_counter
+        return view
+
     # -- statistics ------------------------------------------------------------------
 
     @property

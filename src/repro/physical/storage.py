@@ -229,6 +229,39 @@ class ObjectStore:
                         raise OidError(slot)
                     record.page_id = page.page_id
 
+    # -- shard / session replicas --------------------------------------------
+
+    def replica_view(
+        self,
+        buffer_pool: BufferPool,
+        oid_offset: int = 0,
+    ) -> "ObjectStore":
+        """A replica of this store for a shard worker or a per-request
+        session.
+
+        The replica *shares* every :class:`StoredRecord`, every
+        :class:`Extent` and the page placement with this store
+        (zero-copy — the base data is immutable at runtime), but owns
+        shallow copies of the extent/record namespaces so that extents
+        created through the replica (delta staging temps) stay private,
+        and reads pages through ``buffer_pool`` so its I/O is charged to
+        the replica's owner.
+
+        ``oid_offset`` shifts the replica's oid allocator into a
+        disjoint range.  Replica-private records (staged delta tuples)
+        then can never collide with oids minted by the source store, so
+        a replica-local oid that leaks into another store fails loudly
+        as an :class:`OidError` instead of silently resolving to an
+        unrelated record.
+        """
+        view = ObjectStore.__new__(ObjectStore)
+        view.buffer = buffer_pool
+        view.default_records_per_page = self.default_records_per_page
+        view._extents = dict(self._extents)
+        view._records = dict(self._records)
+        view._next_oid = self._next_oid + oid_offset
+        return view
+
     # -- whole-store summaries -----------------------------------------------
 
     def record_count(self) -> int:

@@ -92,6 +92,7 @@ class ServiceClient:
         timeout: Optional[float] = None,
         parallelism: Optional[int] = None,
         batch_size: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> dict:
         payload: dict = {"op": "query", "text": text}
         if params is not None:
@@ -102,6 +103,8 @@ class ServiceClient:
             payload["parallelism"] = parallelism
         if batch_size is not None:
             payload["batch_size"] = batch_size
+        if shards is not None:
+            payload["shards"] = shards
         return self.request(payload)
 
     def prepare(self, text: str) -> str:
@@ -115,6 +118,7 @@ class ServiceClient:
         timeout: Optional[float] = None,
         parallelism: Optional[int] = None,
         batch_size: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> dict:
         payload: dict = {"op": "execute", "statement": statement}
         if params is not None:
@@ -125,6 +129,8 @@ class ServiceClient:
             payload["parallelism"] = parallelism
         if batch_size is not None:
             payload["batch_size"] = batch_size
+        if shards is not None:
+            payload["shards"] = shards
         return self.request(payload)
 
     def stats(self) -> dict:

@@ -45,9 +45,19 @@ class QueryRecord:
     #: telemetry attribute latency regressions to the right pipeline
     #: configuration (0 = unknown, for records predating the field).
     batch_size: int = 0
+    #: Shard width the request ran with (1 = single-process).  The
+    #: per-shard counters below belong to *this* request alone — they
+    #: are read from the request's own engine, whose shard sessions are
+    #: private, so two concurrent sharded queries never bleed work into
+    #: each other's records.
+    shards: int = 1
+    exchange_tuples: int = 0
+    exchange_bytes: int = 0
+    #: Logical reads per shard index, for this request only.
+    reads_by_shard: Dict[int, int] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "query": self.canonical,
             "cache": self.cache_status,
             "estimated_cost": round(self.estimated_cost, 2),
@@ -57,7 +67,16 @@ class QueryRecord:
             "rows": self.rows,
             "request_id": self.request_id,
             "batch_size": self.batch_size,
+            "shards": self.shards,
         }
+        if self.shards > 1:
+            payload["exchange_tuples"] = self.exchange_tuples
+            payload["exchange_bytes"] = self.exchange_bytes
+            payload["reads_by_shard"] = {
+                str(shard): reads
+                for shard, reads in sorted(self.reads_by_shard.items())
+            }
+        return payload
 
 
 #: Upper bounds (seconds) of the execute-latency histogram.  Unlike the
@@ -270,6 +289,9 @@ class ServiceMetrics:
                     round(sum(ratios) / len(ratios), 4) if ratios else None
                 ),
                 "fix_iterations": self.runtime.fix_iterations,
+                "exchange_rounds": self.runtime.exchange_rounds,
+                "exchange_tuples": self.runtime.exchange_tuples,
+                "exchange_bytes": self.runtime.exchange_bytes,
                 "page_reads": self.runtime.buffer.physical_reads,
                 "predicate_evals": self.runtime.predicate_evals,
                 "latency_histogram": self.latency_histogram.snapshot(),
@@ -303,6 +325,25 @@ class ServiceMetrics:
             counter("page_reads_total", "Physical page reads.", self.runtime.buffer.physical_reads)
             counter("predicate_evals_total", "Predicate evaluations.", self.runtime.predicate_evals)
             counter("fix_iterations_total", "Semi-naive fixpoint iterations.", self.runtime.fix_iterations)
+            counter("exchange_rounds_total", "Distributed fixpoint scatter-gather rounds.", self.runtime.exchange_rounds)
+            counter("exchange_tuples_total", "Tuples moved through the delta exchange (both legs).", self.runtime.exchange_tuples)
+            counter("exchange_bytes_total", "Bytes moved through the delta exchange (both legs).", self.runtime.exchange_bytes)
+
+            if self.runtime.tuples_by_shard or self.runtime.reads_by_shard:
+                lines.append("# HELP repro_shard_tuples_total Tuples produced per shard across distributed fixpoints.")
+                lines.append("# TYPE repro_shard_tuples_total counter")
+                for shard, value in sorted(self.runtime.tuples_by_shard.items()):
+                    lines.append(
+                        f'repro_shard_tuples_total{{shard="{shard}"}} '
+                        f"{_number(value)}"
+                    )
+                lines.append("# HELP repro_shard_reads_total Logical page reads per shard across distributed fixpoints.")
+                lines.append("# TYPE repro_shard_reads_total counter")
+                for shard, value in sorted(self.runtime.reads_by_shard.items()):
+                    lines.append(
+                        f'repro_shard_reads_total{{shard="{shard}"}} '
+                        f"{_number(value)}"
+                    )
 
             lines.append("# HELP repro_cache_lookups_total Plan cache lookups by outcome.")
             lines.append("# TYPE repro_cache_lookups_total counter")

@@ -79,6 +79,12 @@ class ServiceConfig:
     #: (the per-request ``batch_size`` field wins); ``None`` defers to
     #: the engine default (``REPRO_BATCH_SIZE`` or 256).
     batch_size: Optional[int] = None
+    #: Default shard fan-out for requests that do not override it (the
+    #: per-request ``shards`` field wins); at 1 no shard cluster is
+    #: built and execution has exact single-process semantics.  Like
+    #: parallelism, a shards-N request reserves N admission slots — a
+    #: distributed query occupies N workers' worth of machine.
+    shards: int = 1
     metrics_window: int = 256
     max_rows: Optional[int] = None
     #: A query slower than this (seconds) enters the slow-query log;
@@ -178,6 +184,11 @@ class QueryService:
         self._sessions_lock = threading.Lock()
         #: Serializes every touch of the shared store/schema/statistics.
         self._store_lock = threading.RLock()
+        #: Shard clusters by width, built lazily on the first request
+        #: that asks for that fan-out (replicas are zero-copy, so a
+        #: cluster is cheap; per-request state lives in shard sessions,
+        #: so one cluster serves concurrent queries).
+        self._clusters: Dict[int, object] = {}
         #: Request ids: a random per-service prefix plus a counter is
         #: as unique as a uuid per request but far cheaper to mint.
         self._request_prefix = uuid.uuid4().hex[:8]
@@ -227,15 +238,20 @@ class QueryService:
         timeout: Optional[float] = None,
         parallelism: Optional[int] = None,
         batch_size: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> dict:
         """Serve one query text end to end; raises ReproError subclasses
         on failure (the protocol layer maps them to error codes).
         ``parallelism`` overrides the service default for this request
         (the grant is capped by the admission controller's slot count);
-        ``batch_size`` overrides the engine batch size."""
+        ``batch_size`` overrides the engine batch size; ``shards``
+        overrides the shard fan-out (capped by the same slot count —
+        admission weighs a request by max(parallelism, shards))."""
         self.metrics.record_request()
         try:
-            return self._run_query(text, params, timeout, parallelism, batch_size)
+            return self._run_query(
+                text, params, timeout, parallelism, batch_size, shards
+            )
         except ReproError as error:
             self._count_failure(error)
             raise
@@ -264,13 +280,14 @@ class QueryService:
         params = CostParameters()
         params.parallelism = max(1, self.config.parallelism)
         params.batch_size = self.config.batch_size or default_batch_size()
+        params.shards = max(1, self.config.shards)
         return params
 
     def _current_model(self) -> Optional[DetailedCostModel]:
         """The recalibrated cost model, or ``None`` for the defaults
         (callees build a default model lazily when they need one)."""
         if self._cost_params is None:
-            if self.config.parallelism <= 1:
+            if self.config.parallelism <= 1 and self.config.shards <= 1:
                 return None
             return DetailedCostModel(self.physical, self._default_params())
         return DetailedCostModel(self.physical, self._cost_params)
@@ -279,6 +296,23 @@ class QueryService:
         """A fresh optimizer honouring the hot-swapped parameters."""
         return cost_controlled_optimizer(self.physical, self._current_model())
 
+    def _cluster_for(self, width: int):
+        """The shared shard cluster for ``width`` shards, built lazily
+        on first use.  Callers hold ``_store_lock`` (cluster
+        construction snapshots the store's extent tables)."""
+        if width <= 1:
+            return None
+        cluster = self._clusters.get(width)
+        if cluster is None:
+            # Imported here, not at module top: repro.dist uses the
+            # service protocol's framing, so a top-level import would
+            # be circular.
+            from repro.dist import ShardCluster
+
+            cluster = ShardCluster(self.physical, width)
+            self._clusters[width] = cluster
+        return cluster
+
     def _run_query(
         self,
         text: str,
@@ -286,6 +320,7 @@ class QueryService:
         timeout: Optional[float],
         parallelism: Optional[int] = None,
         batch_size: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> dict:
         substituted = substitute_params(text, params)
         feedback = self.feedback
@@ -340,20 +375,29 @@ class QueryService:
         requested = (
             parallelism if parallelism is not None else self.config.parallelism
         )
-        # A parallelism-N request reserves N slots (capped by the slot
-        # pool) and the engine runs with exactly the granted width.
-        with self.admission.slot(weight=requested) as granted:
+        requested_shards = (
+            shards if shards is not None else self.config.shards
+        )
+        # A parallelism-N (or shards-N) request reserves N slots —
+        # whichever dimension is wider — capped by the slot pool, and
+        # the engine runs with exactly the granted widths.
+        weight = max(requested, requested_shards)
+        with self.admission.slot(weight=weight) as granted:
+            granted_parallelism = min(requested, granted)
+            granted_shards = min(requested_shards, granted)
             execute_started = time.perf_counter()
             with self._store_lock:
                 engine = Engine(
                     self.physical,
                     max_fix_iterations=self.config.max_fix_iterations,
-                    parallelism=granted,
+                    parallelism=granted_parallelism,
                     batch_size=(
                         batch_size
                         if batch_size is not None
                         else self.config.batch_size
                     ),
+                    shards=granted_shards,
+                    cluster=self._cluster_for(granted_shards),
                 )
                 execution = engine.execute(plan, cancel=token, profiler=profiler)
             execute_elapsed = time.perf_counter() - execute_started
@@ -369,6 +413,10 @@ class QueryService:
             rows=len(execution.rows),
             request_id=self._next_request_id(),
             batch_size=engine.batch_size,
+            shards=granted_shards,
+            exchange_tuples=execution.metrics.exchange_tuples,
+            exchange_bytes=execution.metrics.exchange_bytes,
+            reads_by_shard=dict(execution.metrics.reads_by_shard),
         )
         self.metrics.record_execution(record, execution.metrics)
         self._check_slow(record)
@@ -392,8 +440,9 @@ class QueryService:
             "optimize_ms": round(optimize_elapsed * 1000, 3),
             "execute_ms": round(execute_elapsed * 1000, 3),
             "fix_iterations": execution.metrics.fix_iterations,
-            "parallelism": granted,
+            "parallelism": granted_parallelism,
             "batch_size": engine.batch_size,
+            "shards": granted_shards,
         }
 
     def _check_slow(self, record: QueryRecord) -> None:
@@ -469,12 +518,15 @@ class QueryService:
         timeout: Optional[float] = None,
         parallelism: Optional[int] = None,
         batch_size: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> dict:
         session = self._session(session_id)
         template = session.statements.get(statement_id)
         if template is None:
             raise ProtocolError(f"unknown statement {statement_id!r}")
-        return self.run_query(template, params, timeout, parallelism, batch_size)
+        return self.run_query(
+            template, params, timeout, parallelism, batch_size, shards
+        )
 
     # -- maintenance / observability ---------------------------------------
 
@@ -781,6 +833,7 @@ class QueryService:
             _timeout_field(request),
             _parallelism_field(request),
             _batch_size_field(request),
+            _shards_field(request),
         )
 
     def _op_prepare(self, request: dict) -> dict:
@@ -800,6 +853,7 @@ class QueryService:
             _timeout_field(request),
             _parallelism_field(request),
             _batch_size_field(request),
+            _shards_field(request),
         )
 
     def _op_stats(self, request: dict) -> dict:
@@ -878,6 +932,16 @@ def _batch_size_field(request: dict) -> Optional[int]:
             or batch_size < 1:
         raise ProtocolError("batch_size must be a positive integer")
     return batch_size
+
+
+def _shards_field(request: dict) -> Optional[int]:
+    shards = request.get("shards")
+    if shards is None:
+        return None
+    if isinstance(shards, bool) or not isinstance(shards, int) \
+            or shards < 1:
+        raise ProtocolError("shards must be a positive integer")
+    return shards
 
 
 def _timeout_field(request: dict) -> Optional[float]:

@@ -1,0 +1,227 @@
+"""Shared differential-testing harness.
+
+Query generators (randomized flat, recursive and bill-of-materials
+queries), the standard fixture databases, and the differential check
+itself: optimize once, execute on fresh engines across a configuration
+grid, and require every run to produce the identical answer set
+(matching :class:`ReferenceEvaluator` ground truth) *and* identical
+per-node tuple counts — a lost or duplicated tuple anywhere in the
+pipeline fails the run even when dedup would hide it from the answer
+set.
+
+``test_differential_parallel.py`` sweeps the batch-size × parallelism
+grid; ``test_differential_shards.py`` adds the shards dimension,
+running the same queries through the distributed scatter-gather
+fixpoint.  ``REPRO_DIFF_EXAMPLES`` scales the example count and
+``derandomize=True`` keeps CI seeds fixed so a red run is
+reproducible.
+"""
+
+import os
+
+from hypothesis import HealthCheck
+from hypothesis import strategies as st
+
+from repro.core import cost_controlled_optimizer
+from repro.engine import Engine, ReferenceEvaluator
+from repro.errors import OptimizationError
+from repro.querygraph.builder import (
+    and_,
+    arc,
+    const,
+    eq,
+    ge,
+    le,
+    ne,
+    out,
+    path,
+    query,
+    rule,
+    spj,
+    var,
+)
+from repro.workloads import MusicConfig, generate_music_database
+from repro.workloads.parts import (
+    PartsConfig,
+    components_of_query,
+    generate_parts_database,
+    heavy_components_query,
+)
+from repro.workloads.queries import influencer_rules
+
+MAX_EXAMPLES = int(os.environ.get("REPRO_DIFF_EXAMPLES", "25"))
+
+DIFF_SETTINGS = dict(
+    max_examples=MAX_EXAMPLES,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+
+# -- fixture databases --------------------------------------------------------
+
+
+def build_music_db():
+    db = generate_music_database(
+        MusicConfig(lineages=3, generations=5, works_per_composer=2, seed=99)
+    )
+    db.build_paper_indexes()
+    return db
+
+
+def build_parts_db():
+    return generate_parts_database(
+        PartsConfig(assemblies=4, depth=3, fanout=3, sharing=0.2, seed=7)
+    )
+
+
+# -- query generators (music schema) -----------------------------------------
+
+COMPOSER_PREDICATES = [
+    lambda v: eq(path(v, "name"), const("Bach")),
+    lambda v: ge(path(v, "birthyear"), const(1650)),
+    lambda v: le(path(v, "birthyear"), const(1750)),
+    lambda v: ne(path(v, "name"), const("composer_0001")),
+    lambda v: eq(path(v, "works", "title"), const("work_00001")),
+    lambda v: ge(path(v, "age"), const(250)),
+]
+
+COMPOSER_OUTPUTS = [
+    lambda v: ("name", path(v, "name")),
+    lambda v: ("year", path(v, "birthyear")),
+    lambda v: ("master", path(v, "master")),
+    lambda v: ("mname", path(v, "master", "name")),
+]
+
+INFLUENCER_PREDICATES = [
+    lambda v: ge(path(v, "gen"), const(2)),
+    lambda v: le(path(v, "gen"), const(4)),
+    lambda v: eq(path(v, "master", "name"), const("Bach")),
+    lambda v: eq(
+        path(v, "master", "works", "instruments", "name"),
+        const("harpsichord"),
+    ),
+]
+
+INFLUENCER_OUTPUTS = [
+    lambda v: ("gen", path(v, "gen")),
+    lambda v: ("who", path(v, "disciple", "name")),
+    lambda v: ("master", path(v, "master")),
+]
+
+JOIN_PREDICATES = [
+    lambda a, b: eq(path(b, "master"), var(a)),
+    lambda a, b: eq(path(a, "master"), path(b, "master")),
+    lambda a, b: eq(path(a, "birthyear"), path(b, "birthyear")),
+]
+
+
+@st.composite
+def flat_queries(draw):
+    """One or two Composer arcs with random filters and outputs."""
+    arc_count = draw(st.integers(min_value=1, max_value=2))
+    variables = [f"v{i}" for i in range(arc_count)]
+    arcs = [arc("Composer", **{v: "."}) for v in variables]
+    conjuncts = []
+    for v in variables:
+        for predicate in draw(
+            st.lists(st.sampled_from(COMPOSER_PREDICATES), max_size=2)
+        ):
+            conjuncts.append(predicate(v))
+    if arc_count == 2:
+        join = draw(st.sampled_from(JOIN_PREDICATES))
+        conjuncts.append(join(variables[0], variables[1]))
+    fields = {}
+    for v in variables:
+        name, expr = draw(st.sampled_from(COMPOSER_OUTPUTS))(v)
+        fields[f"{name}_{v}"] = expr
+    return query(
+        rule("Answer", spj(arcs, where=and_(*conjuncts), select=out(**fields)))
+    )
+
+
+@st.composite
+def recursive_queries(draw):
+    """A query over the Influencer view with random filters."""
+    conjuncts = [
+        predicate("i")
+        for predicate in draw(
+            st.lists(st.sampled_from(INFLUENCER_PREDICATES), max_size=2)
+        )
+    ]
+    name, expr = draw(st.sampled_from(INFLUENCER_OUTPUTS))("i")
+    p1, p2 = influencer_rules()
+    answer = rule(
+        "Answer",
+        spj(
+            [arc("Influencer", i=".")],
+            where=and_(*conjuncts),
+            select=out(**{name: expr}),
+        ),
+    )
+    return query(p1, p2, answer)
+
+
+@st.composite
+def parts_queries(draw):
+    """A recursive closure query over the bill-of-materials schema,
+    randomizing the start assembly and the query shape."""
+    assembly = draw(st.integers(min_value=0, max_value=3))
+    name = f"assembly_root_{assembly}"
+    if draw(st.booleans()):
+        return components_of_query(name)
+    return heavy_components_query(name, min_level=draw(st.integers(1, 3)))
+
+
+# -- differential check -------------------------------------------------------
+
+
+def run_differential(db, graph, grid, cluster=None):
+    """Optimize once, execute on a fresh engine per configuration, and
+    assert every run matches the reference evaluator's answer set and
+    the grid's first configuration's per-node tuple counts.
+
+    ``grid`` is an iterable of ``(batch_size, parallelism, shards)``
+    triples; configurations with ``shards > 1`` run through
+    ``cluster`` (a :class:`repro.dist.ShardCluster` at least that
+    wide).
+    """
+    try:
+        plan = cost_controlled_optimizer(db.physical).optimize(graph).plan
+    except OptimizationError:
+        # Disconnected join graphs (Cartesian products) are
+        # legitimately rejected by the optimizer.
+        return
+    want = ReferenceEvaluator(db.physical).answer_set(graph)
+    grid = list(grid)
+    counts = {}
+    by_node = {}
+    for batch_size, level, shards in grid:
+        engine = Engine(
+            db.physical,
+            parallelism=level,
+            batch_size=batch_size,
+            shards=shards,
+            cluster=cluster if shards > 1 else None,
+        )
+        result = engine.execute(plan)
+        config = (batch_size, level, shards)
+        assert result.answer_set() == want, (
+            f"batch_size={batch_size} parallelism={level} "
+            f"shards={shards} diverged from the reference evaluator"
+        )
+        counts[config] = result.metrics.total_tuples
+        by_node[config] = dict(result.metrics.tuples_by_node)
+    assert len(set(counts.values())) == 1, (
+        f"tuple counts diverged across the configuration grid: {counts}"
+    )
+    reference_nodes = by_node[tuple(grid[0])]
+    for config, nodes in by_node.items():
+        assert nodes == reference_nodes, (
+            f"per-node tuple counts at batch_size={config[0]} "
+            f"parallelism={config[1]} shards={config[2]} diverged from "
+            f"the {tuple(grid[0])} reference: {nodes} != {reference_nodes}"
+        )

@@ -10,230 +10,61 @@ emissions without reordering fetches — the identical *per-node tuple
 counts*, so a lost or duplicated tuple anywhere in the pipeline fails
 the run even when dedup would hide it from the answer set.
 
-``REPRO_DIFF_EXAMPLES`` scales the example count (CI runs 100 per
-strategy; three strategies makes >=200 randomized queries per CI run).
-``derandomize=True`` keeps CI seeds fixed so a red run is reproducible.
+The generators, fixtures and the check itself live in
+``tests/diff_harness.py`` (shared with the shards sweep in
+``test_differential_shards.py``).  ``REPRO_DIFF_EXAMPLES`` scales the
+example count (CI runs 100 per strategy; three strategies makes >=200
+randomized queries per CI run).  ``derandomize=True`` keeps CI seeds
+fixed so a red run is reproducible.
 """
 
-import os
-
 import pytest
-from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings
 
-from repro.core import cost_controlled_optimizer
-from repro.engine import Engine, ReferenceEvaluator
-from repro.errors import OptimizationError
-from repro.querygraph.builder import (
-    and_,
-    arc,
-    const,
-    eq,
-    ge,
-    le,
-    ne,
-    out,
-    path,
-    query,
-    rule,
-    spj,
-    var,
+from tests.diff_harness import (
+    DIFF_SETTINGS,
+    build_music_db,
+    build_parts_db,
+    flat_queries,
+    parts_queries,
+    recursive_queries,
+    run_differential,
 )
-from repro.workloads import MusicConfig, generate_music_database
-from repro.workloads.parts import (
-    PartsConfig,
-    components_of_query,
-    generate_parts_database,
-    heavy_components_query,
-)
-from repro.workloads.queries import influencer_rules
-
-MAX_EXAMPLES = int(os.environ.get("REPRO_DIFF_EXAMPLES", "25"))
 
 BATCH_SIZES = (1, 64, 1024)
 PARALLELISM_LEVELS = (1, 4)
 
-DIFF_SETTINGS = dict(
-    max_examples=MAX_EXAMPLES,
-    deadline=None,
-    derandomize=True,
-    suppress_health_check=[
-        HealthCheck.too_slow,
-        HealthCheck.function_scoped_fixture,
-    ],
-)
-
-# -- query generators (music schema) -----------------------------------------
-
-COMPOSER_PREDICATES = [
-    lambda v: eq(path(v, "name"), const("Bach")),
-    lambda v: ge(path(v, "birthyear"), const(1650)),
-    lambda v: le(path(v, "birthyear"), const(1750)),
-    lambda v: ne(path(v, "name"), const("composer_0001")),
-    lambda v: eq(path(v, "works", "title"), const("work_00001")),
-    lambda v: ge(path(v, "age"), const(250)),
+#: (batch_size, parallelism, shards) — the single-process grid.
+GRID = [
+    (batch_size, level, 1)
+    for batch_size in BATCH_SIZES
+    for level in PARALLELISM_LEVELS
 ]
-
-COMPOSER_OUTPUTS = [
-    lambda v: ("name", path(v, "name")),
-    lambda v: ("year", path(v, "birthyear")),
-    lambda v: ("master", path(v, "master")),
-    lambda v: ("mname", path(v, "master", "name")),
-]
-
-INFLUENCER_PREDICATES = [
-    lambda v: ge(path(v, "gen"), const(2)),
-    lambda v: le(path(v, "gen"), const(4)),
-    lambda v: eq(path(v, "master", "name"), const("Bach")),
-    lambda v: eq(
-        path(v, "master", "works", "instruments", "name"),
-        const("harpsichord"),
-    ),
-]
-
-INFLUENCER_OUTPUTS = [
-    lambda v: ("gen", path(v, "gen")),
-    lambda v: ("who", path(v, "disciple", "name")),
-    lambda v: ("master", path(v, "master")),
-]
-
-JOIN_PREDICATES = [
-    lambda a, b: eq(path(b, "master"), var(a)),
-    lambda a, b: eq(path(a, "master"), path(b, "master")),
-    lambda a, b: eq(path(a, "birthyear"), path(b, "birthyear")),
-]
-
-
-@st.composite
-def flat_queries(draw):
-    """One or two Composer arcs with random filters and outputs."""
-    arc_count = draw(st.integers(min_value=1, max_value=2))
-    variables = [f"v{i}" for i in range(arc_count)]
-    arcs = [arc("Composer", **{v: "."}) for v in variables]
-    conjuncts = []
-    for v in variables:
-        for predicate in draw(
-            st.lists(st.sampled_from(COMPOSER_PREDICATES), max_size=2)
-        ):
-            conjuncts.append(predicate(v))
-    if arc_count == 2:
-        join = draw(st.sampled_from(JOIN_PREDICATES))
-        conjuncts.append(join(variables[0], variables[1]))
-    fields = {}
-    for v in variables:
-        name, expr = draw(st.sampled_from(COMPOSER_OUTPUTS))(v)
-        fields[f"{name}_{v}"] = expr
-    return query(
-        rule("Answer", spj(arcs, where=and_(*conjuncts), select=out(**fields)))
-    )
-
-
-@st.composite
-def recursive_queries(draw):
-    """A query over the Influencer view with random filters."""
-    conjuncts = [
-        predicate("i")
-        for predicate in draw(
-            st.lists(st.sampled_from(INFLUENCER_PREDICATES), max_size=2)
-        )
-    ]
-    name, expr = draw(st.sampled_from(INFLUENCER_OUTPUTS))("i")
-    p1, p2 = influencer_rules()
-    answer = rule(
-        "Answer",
-        spj(
-            [arc("Influencer", i=".")],
-            where=and_(*conjuncts),
-            select=out(**{name: expr}),
-        ),
-    )
-    return query(p1, p2, answer)
-
-
-@st.composite
-def parts_queries(draw):
-    """A recursive closure query over the bill-of-materials schema,
-    randomizing the start assembly and the query shape."""
-    assembly = draw(st.integers(min_value=0, max_value=3))
-    name = f"assembly_root_{assembly}"
-    if draw(st.booleans()):
-        return components_of_query(name)
-    return heavy_components_query(name, min_level=draw(st.integers(1, 3)))
-
-
-# -- differential check -------------------------------------------------------
-
-
-def run_differential(db, graph):
-    try:
-        plan = cost_controlled_optimizer(db.physical).optimize(graph).plan
-    except OptimizationError:
-        # Disconnected join graphs (Cartesian products) are
-        # legitimately rejected by the optimizer.
-        return
-    want = ReferenceEvaluator(db.physical).answer_set(graph)
-    counts = {}
-    by_node = {}
-    for batch_size in BATCH_SIZES:
-        for level in PARALLELISM_LEVELS:
-            engine = Engine(
-                db.physical, parallelism=level, batch_size=batch_size
-            )
-            result = engine.execute(plan)
-            config = (batch_size, level)
-            assert result.answer_set() == want, (
-                f"batch_size={batch_size} parallelism={level} diverged "
-                f"from the reference evaluator"
-            )
-            counts[config] = result.metrics.total_tuples
-            by_node[config] = dict(result.metrics.tuples_by_node)
-    assert len(set(counts.values())) == 1, (
-        f"tuple counts diverged across the batch×parallelism grid: {counts}"
-    )
-    reference_nodes = by_node[(BATCH_SIZES[0], PARALLELISM_LEVELS[0])]
-    for config, nodes in by_node.items():
-        assert nodes == reference_nodes, (
-            f"per-node tuple counts at batch_size={config[0]} "
-            f"parallelism={config[1]} diverged from the "
-            f"(batch_size=1, serial) reference: {nodes} != {reference_nodes}"
-        )
-
-
-# -- fixtures -----------------------------------------------------------------
 
 
 @pytest.fixture(scope="module")
 def music_db():
-    db = generate_music_database(
-        MusicConfig(lineages=3, generations=5, works_per_composer=2, seed=99)
-    )
-    db.build_paper_indexes()
-    return db
+    return build_music_db()
 
 
 @pytest.fixture(scope="module")
 def parts_db():
-    return generate_parts_database(
-        PartsConfig(assemblies=4, depth=3, fanout=3, sharing=0.2, seed=7)
-    )
-
-
-# -- the harness --------------------------------------------------------------
+    return build_parts_db()
 
 
 @settings(**DIFF_SETTINGS)
 @given(graph=flat_queries())
 def test_differential_flat_queries(music_db, graph):
-    run_differential(music_db, graph)
+    run_differential(music_db, graph, GRID)
 
 
 @settings(**DIFF_SETTINGS)
 @given(graph=recursive_queries())
 def test_differential_recursive_queries(music_db, graph):
-    run_differential(music_db, graph)
+    run_differential(music_db, graph, GRID)
 
 
 @settings(**DIFF_SETTINGS)
 @given(graph=parts_queries())
 def test_differential_parts_queries(parts_db, graph):
-    run_differential(parts_db, graph)
+    run_differential(parts_db, graph, GRID)

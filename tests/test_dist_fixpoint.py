@@ -1,0 +1,290 @@
+"""Unit tests for the distribution subsystem: the exchange codec, the
+shard map, the scatter-gather fixpoint's semantics, failure/cleanup
+behaviour, observability (EXPLAIN ANALYZE, runtime metrics, per-shard
+telemetry) and the cluster snapshot."""
+
+import json
+import threading
+
+import pytest
+
+from repro.core import cost_controlled_optimizer
+from repro.dist import (
+    ShardCluster,
+    ShardMap,
+    decode_tuples,
+    encode_tuples,
+    hash_shard,
+    range_shard,
+)
+from repro.dist import exchange
+from repro.dist.shard import ShardSession
+from repro.engine import Engine
+from repro.errors import FixpointLimitError, ProtocolError
+from repro.obs import PlanProfiler, build_explain, render_explain
+from repro.service import protocol
+from repro.physical.storage import Oid
+from repro.workloads import MusicConfig, generate_music_database
+from repro.workloads.queries import fig3_query
+
+
+@pytest.fixture(scope="module")
+def music_db():
+    db = generate_music_database(
+        MusicConfig(lineages=3, generations=5, works_per_composer=2, seed=13)
+    )
+    db.build_paper_indexes()
+    return db
+
+
+@pytest.fixture(scope="module")
+def fig3_plan(music_db):
+    graph = fig3_query()
+    return cost_controlled_optimizer(music_db.physical).optimize(graph).plan
+
+
+# -- exchange codec -----------------------------------------------------------
+
+
+def test_exchange_round_trips_oids_atoms_and_tuples():
+    tuples = [
+        {"a": Oid(7), "b": "Bach", "c": 3, "d": None, "e": True},
+        {"a": Oid(9), "nested": (Oid(1), (2, "x"), None)},
+    ]
+    frames = encode_tuples("delta", "Influencer", 2, 1, tuples)
+    assert all(isinstance(frame, bytes) for frame in frames)
+    decoded = decode_tuples(frames)
+    assert decoded == tuples
+    # Oids stay Oids, not ints — identity must survive the wire.
+    assert isinstance(decoded[0]["a"], Oid)
+    assert isinstance(decoded[1]["nested"][0], Oid)
+
+
+def test_exchange_empty_batch_is_one_empty_frame():
+    frames = encode_tuples("result", "f", 0, 0, [])
+    assert len(frames) == 1
+    assert decode_tuples(frames) == []
+
+
+def test_exchange_splits_oversized_payloads(monkeypatch):
+    monkeypatch.setattr(protocol, "MAX_LINE_BYTES", 512)
+    tuples = [{"k": i, "pad": "x" * 64} for i in range(40)]
+    frames = encode_tuples("delta", "f", 1, 0, tuples)
+    assert len(frames) > 1
+    assert all(len(frame) <= 512 for frame in frames)
+    assert decode_tuples(frames) == tuples
+
+
+def test_exchange_rejects_a_tuple_too_large_for_any_frame(monkeypatch):
+    monkeypatch.setattr(protocol, "MAX_LINE_BYTES", 64)
+    with pytest.raises(ProtocolError, match="frame limit"):
+        encode_tuples("delta", "f", 1, 0, [{"pad": "y" * 256}])
+
+
+def test_exchange_rejects_unencodable_values():
+    with pytest.raises(ProtocolError, match="cannot cross the shard exchange"):
+        encode_tuples("delta", "f", 0, 0, [{"bad": object()}])
+
+
+def test_exchange_rejects_malformed_oid_marker():
+    line = protocol.encode(
+        {"op": "delta", "tuples": [{"a": {"not_an_oid": 1}}]}
+    )
+    with pytest.raises(ProtocolError, match="malformed oid marker"):
+        decode_tuples([line])
+
+
+def test_exchange_stats_count_both_legs():
+    stats = exchange.ExchangeStats()
+    frames = encode_tuples("delta", "f", 0, 0, [{"a": 1}, {"a": 2}])
+    stats.count(frames, 2)
+    other = exchange.ExchangeStats()
+    other.count(frames, 2)
+    stats.merge(other)
+    assert stats.tuples == 4
+    assert stats.frames == 2 * len(frames)
+    assert stats.bytes == 2 * sum(len(frame) for frame in frames)
+
+
+# -- shard map ----------------------------------------------------------------
+
+
+def test_shard_map_defaults_to_replicated():
+    shard_map = ShardMap(4)
+    shard_map.place_replicated("Composer")
+    assert not shard_map.is_partitioned("Composer")
+    assert shard_map.shard_of("Composer", {"any": 1}) is None
+    assert not shard_map.is_partitioned("NeverPlaced")
+
+
+def test_shard_map_hash_routing_is_stable_and_in_range():
+    shard_map = ShardMap(4)
+    shard_map.place_partitioned("Influencer", ["master", "gen"])
+    assert shard_map.is_partitioned("Influencer")
+    assert shard_map.partition_key("Influencer") == ("master", "gen")
+    values = {"master": Oid(3), "gen": 2, "extra": "ignored"}
+    first = shard_map.shard_of("Influencer", values)
+    assert first is not None and 0 <= first < 4
+    assert shard_map.shard_of("Influencer", values) == first
+    placements = shard_map.to_dict()["placements"]
+    assert placements["Influencer"]["kind"] == "partitioned"
+    assert placements["Influencer"]["scheme"] == "hash"
+
+
+def test_hash_shard_falls_back_to_repr_for_unhashable_keys():
+    assert 0 <= hash_shard(([1], {"a": 2}), 4) < 4
+
+
+def test_range_shard_routes_by_boundaries():
+    boundaries = [10, 20, 30]
+    assert range_shard(5, boundaries) == 0
+    assert range_shard(10, boundaries) == 1
+    assert range_shard(25, boundaries) == 2
+    assert range_shard(99, boundaries) == 3
+
+
+def test_shard_map_range_placement_validates_shape():
+    shard_map = ShardMap(3)
+    with pytest.raises(ValueError):
+        shard_map.place_partitioned(
+            "X", ["a", "b"], range_boundaries=[1, 2]
+        )
+    with pytest.raises(ValueError):
+        shard_map.place_partitioned("X", ["a"], range_boundaries=[1])
+    shard_map.place_partitioned("X", ["a"], range_boundaries=[10, 20])
+    assert shard_map.shard_of("X", {"a": 15}) == 1
+
+
+# -- distributed fixpoint semantics ------------------------------------------
+
+
+def test_distributed_fixpoint_matches_serial(music_db, fig3_plan):
+    serial = Engine(music_db.physical).execute(fig3_plan)
+    with ShardCluster(music_db.physical, 4) as cluster:
+        for width in (2, 4):
+            dist = Engine(
+                music_db.physical, shards=width, cluster=cluster
+            ).execute(fig3_plan)
+            assert dist.answer_set() == serial.answer_set()
+            assert dist.metrics.total_tuples == serial.metrics.total_tuples
+            assert dict(dist.metrics.tuples_by_node) == dict(
+                serial.metrics.tuples_by_node
+            )
+            assert dist.metrics.shards_used == width
+            assert dist.metrics.exchange_rounds > 0
+            assert dist.metrics.exchange_tuples > 0
+            assert dist.metrics.exchange_bytes > 0
+            # Per-shard attribution: shard work sums to a positive
+            # total and never names a shard outside the width.
+            assert dist.metrics.tuples_by_shard
+            assert set(dist.metrics.tuples_by_shard) <= set(range(width))
+            assert sum(dist.metrics.reads_by_shard.values()) > 0
+
+
+def test_shards_without_cluster_falls_back_to_serial(music_db, fig3_plan):
+    serial = Engine(music_db.physical).execute(fig3_plan)
+    knobbed = Engine(music_db.physical, shards=4).execute(fig3_plan)
+    assert knobbed.answer_set() == serial.answer_set()
+    assert knobbed.metrics.shards_used == 0
+    assert knobbed.metrics.exchange_rounds == 0
+
+
+def test_cluster_snapshot_reports_placement_and_buffers(music_db, fig3_plan):
+    with ShardCluster(music_db.physical, 2) as cluster:
+        Engine(music_db.physical, shards=2, cluster=cluster).execute(fig3_plan)
+        snapshot = cluster.snapshot()
+    assert snapshot["shards"] == 2
+    assert len(snapshot["buffers"]) == 2
+    assert all(b["logical_reads"] >= 0 for b in snapshot["buffers"])
+    # The fixpoint recorded its per-round hash partitioning.
+    kinds = {
+        entry["kind"]
+        for entry in snapshot["shard_map"]["placements"].values()
+    }
+    assert "partitioned" in kinds
+    assert "replicated" in kinds
+
+
+# -- failure and cleanup ------------------------------------------------------
+
+
+def _extent_names(physical):
+    return set(physical.store.extent_names())
+
+
+def test_fixpoint_limit_aborts_and_cleans_up(music_db, fig3_plan):
+    before = _extent_names(music_db.physical)
+    with ShardCluster(music_db.physical, 2) as cluster:
+        engine = Engine(
+            music_db.physical, shards=2, cluster=cluster, max_fix_iterations=1
+        )
+        with pytest.raises(FixpointLimitError):
+            engine.execute(fig3_plan)
+        # Coordinator temp dropped, and every shard session's staging
+        # extent dropped with it.
+        assert _extent_names(music_db.physical) == before
+        for worker in cluster.workers:
+            assert not any(
+                name.startswith("shard") for name in worker.schema.store.extent_names()
+                if name not in before
+            )
+
+
+def test_shard_error_propagates_to_coordinator(music_db, fig3_plan, monkeypatch):
+    real_evaluate = ShardSession.evaluate
+    calls = {"n": 0}
+
+    def failing_evaluate(self, part, env):
+        calls["n"] += 1
+        if calls["n"] > 2:
+            raise RuntimeError("shard exploded")
+        return real_evaluate(self, part, env)
+
+    monkeypatch.setattr(ShardSession, "evaluate", failing_evaluate)
+    before = _extent_names(music_db.physical)
+    with ShardCluster(music_db.physical, 2) as cluster:
+        engine = Engine(music_db.physical, shards=2, cluster=cluster)
+        with pytest.raises(RuntimeError, match="shard exploded"):
+            engine.execute(fig3_plan)
+    assert _extent_names(music_db.physical) == before
+
+
+# -- observability ------------------------------------------------------------
+
+
+def test_explain_analyze_shows_exchange_per_round(music_db, fig3_plan):
+    with ShardCluster(music_db.physical, 2) as cluster:
+        engine = Engine(music_db.physical, shards=2, cluster=cluster)
+        profiler = PlanProfiler()
+        engine.execute(fig3_plan, profiler=profiler)
+        model = cost_controlled_optimizer(music_db.physical).cost_model
+        tree = build_explain(fig3_plan, model, profiler)
+    rendered = render_explain(tree)
+    assert "shards=2" in rendered
+    assert "exchanged=" in rendered
+
+
+def test_shard_telemetry_jsonl(music_db, fig3_plan, tmp_path, monkeypatch):
+    target = tmp_path / "shards.jsonl"
+    monkeypatch.setenv("REPRO_SHARD_TELEMETRY", str(target))
+    with ShardCluster(music_db.physical, 2) as cluster:
+        Engine(music_db.physical, shards=2, cluster=cluster).execute(fig3_plan)
+    records = [
+        json.loads(line) for line in target.read_text().splitlines()
+    ]
+    assert records
+    expected_keys = {
+        "fix",
+        "round",
+        "shard",
+        "scatter_tuples",
+        "scatter_bytes",
+        "gather_tuples",
+        "gather_bytes",
+        "logical_reads",
+    }
+    for record in records:
+        assert expected_keys <= set(record)
+        assert record["shard"] in (0, 1)
+    assert {record["shard"] for record in records} == {0, 1}
+    assert max(record["round"] for record in records) >= 1

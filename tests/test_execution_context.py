@@ -1,0 +1,93 @@
+"""Centralized execution-knob validation (satellite of the sharding
+PR): every integer knob — ``parallelism``, ``batch_size``, ``shards``
+— is validated by one shared path (:func:`validate_knob`, called from
+``ExecutionContext.__post_init__`` and the ``Engine`` constructor), so
+every entry point rejects the same bad values with the same message.
+"""
+
+import pytest
+
+from repro.engine import Engine
+from repro.engine.context import ExecutionContext, validate_knob
+from repro.workloads import MusicConfig, generate_music_database
+
+KNOBS = ("parallelism", "batch_size", "shards")
+
+
+@pytest.fixture(scope="module")
+def physical():
+    return generate_music_database(
+        MusicConfig(lineages=1, generations=2, works_per_composer=1, seed=3)
+    ).physical
+
+
+# -- the shared validator -----------------------------------------------------
+
+
+def test_validate_knob_accepts_none_and_positive_ints():
+    for value in (None, 1, 2, 4096):
+        validate_knob("anything", value)  # must not raise
+
+
+@pytest.mark.parametrize("bad", [0, -1, -100])
+def test_validate_knob_rejects_below_minimum(bad):
+    with pytest.raises(ValueError, match="knob must be >= 1"):
+        validate_knob("knob", bad)
+
+
+@pytest.mark.parametrize("bad", [1.5, "2", True, False, [4]])
+def test_validate_knob_rejects_non_integers(bad):
+    with pytest.raises(ValueError, match="knob must be an integer >= 1"):
+        validate_knob("knob", bad)
+
+
+def test_validate_knob_honours_custom_minimum():
+    validate_knob("window", 8, minimum=8)
+    with pytest.raises(ValueError, match="window must be >= 8"):
+        validate_knob("window", 7, minimum=8)
+
+
+# -- one test per knob through ExecutionContext -------------------------------
+
+
+def test_context_validates_parallelism():
+    assert ExecutionContext(parallelism=4).parallelism == 4
+    with pytest.raises(ValueError, match="parallelism must be >= 1"):
+        ExecutionContext(parallelism=0)
+    with pytest.raises(ValueError, match="parallelism must be an integer"):
+        ExecutionContext(parallelism=2.5)
+
+
+def test_context_validates_batch_size():
+    assert ExecutionContext(batch_size=None).batch_size is None
+    assert ExecutionContext(batch_size=256).batch_size == 256
+    with pytest.raises(ValueError, match="batch_size must be >= 1"):
+        ExecutionContext(batch_size=0)
+    with pytest.raises(ValueError, match="batch_size must be an integer"):
+        ExecutionContext(batch_size=True)
+
+
+def test_context_validates_shards():
+    assert ExecutionContext(shards=4).shards == 4
+    with pytest.raises(ValueError, match="shards must be >= 1"):
+        ExecutionContext(shards=-2)
+    with pytest.raises(ValueError, match="shards must be an integer"):
+        ExecutionContext(shards="4")
+
+
+# -- the engine constructor goes through the same path ------------------------
+
+
+@pytest.mark.parametrize("knob", KNOBS)
+def test_engine_constructor_rejects_bad_knobs(physical, knob):
+    with pytest.raises(ValueError, match=f"{knob} must be >= 1"):
+        Engine(physical, **{knob: 0})
+    with pytest.raises(ValueError, match=f"{knob} must be an integer >= 1"):
+        Engine(physical, **{knob: 3.5})
+
+
+def test_engine_constructor_accepts_good_knobs(physical):
+    engine = Engine(physical, parallelism=2, batch_size=64, shards=2)
+    assert engine.parallelism == 2
+    assert engine.batch_size == 64
+    assert engine.shards == 2
