@@ -22,6 +22,11 @@ enforces this on randomized queries; the bench re-checks it on its own
 workload).  The machine-readable twin
 ``results/BENCH_distributed_fixpoint.json`` carries ``speedup@4``,
 which the regression gate holds to the >=1.5x claim.
+
+The bench also re-runs width 4 with the full observability stack on —
+stitched tracer, plan profiler, request id — and reports the obs-on /
+obs-off throughput ratio (``obs_throughput_ratio``); the gate holds it
+to >=0.95, the <5% overhead claim for distributed tracing.
 """
 
 import time
@@ -29,6 +34,7 @@ import time
 from repro.core import cost_controlled_optimizer
 from repro.dist import ShardCluster
 from repro.engine import Engine
+from repro.obs import PlanProfiler, Tracer
 from repro.workloads import MusicConfig, generate_music_database
 from repro.workloads.queries import fig3_query
 
@@ -47,6 +53,10 @@ IO_LATENCY = 0.0004
 BUFFER_PAGES = 16
 
 REQUIRED_SPEEDUP_AT_4 = 1.5
+
+#: Observability on (tracer + profiler + request id) may cost at most
+#: 5% of the obs-off throughput at width 4.
+REQUIRED_OBS_RATIO = 0.95
 
 
 def build_database():
@@ -68,14 +78,19 @@ def build_database():
     return db
 
 
-def run_once(db, plan, shards, cluster):
+def run_once(db, plan, shards, cluster, observed=False):
     engine = Engine(
         db.physical,
         shards=shards,
         cluster=cluster if shards > 1 else None,
     )
+    profiler = None
+    if observed:
+        engine.request_id = "bench-obs"
+        engine.tracer = Tracer(trace_id="bench-obs")
+        profiler = PlanProfiler()
     started = time.perf_counter()
-    result = engine.execute(plan)
+    result = engine.execute(plan, profiler=profiler)
     elapsed = time.perf_counter() - started
     return elapsed, result
 
@@ -116,7 +131,20 @@ def test_distributed_fixpoint_speedup(report, table):
         assert row["total_tuples"] == serial["total_tuples"]
         assert row["fix_iterations"] == serial["fix_iterations"]
 
+    # Width 4 again with observability on: full stitched trace, plan
+    # profiler, request id.  Same answers, bounded overhead.
+    obs_best = None
+    with ShardCluster(db.physical, max(WIDTHS)) as cluster:
+        for _ in range(REPEATS):
+            elapsed, result = run_once(
+                db, plan, max(WIDTHS), cluster, observed=True
+            )
+            if obs_best is None or elapsed < obs_best[0]:
+                obs_best = (elapsed, result)
+    assert obs_best[1].answer_set() == answers[1]
+
     by_width = {row["shards"]: row for row in measurements}
+    obs_ratio = by_width[max(WIDTHS)]["elapsed_s"] / obs_best[0]
     speedups = {
         width: by_width[1]["elapsed_s"] / by_width[width]["elapsed_s"]
         for width in WIDTHS
@@ -147,6 +175,10 @@ def test_distributed_fixpoint_speedup(report, table):
             for row in measurements
         ],
     )
+    text += (
+        f"\nobservability on @4: {obs_best[0]:.4f}s "
+        f"(throughput ratio {obs_ratio:.3f}, floor {REQUIRED_OBS_RATIO})\n"
+    )
     report(
         "distributed_fixpoint",
         text,
@@ -158,10 +190,17 @@ def test_distributed_fixpoint_speedup(report, table):
             "speedup@2": round(speedups[2], 3),
             "speedup@4": round(speedups[4], 3),
             "required_speedup@4": REQUIRED_SPEEDUP_AT_4,
+            "obs_elapsed_s@4": round(obs_best[0], 4),
+            "obs_throughput_ratio": round(obs_ratio, 3),
+            "required_obs_ratio": REQUIRED_OBS_RATIO,
         },
     )
 
     assert speedups[4] >= REQUIRED_SPEEDUP_AT_4, (
         f"shards-4 speedup {speedups[4]:.2f}x fell below the "
         f"{REQUIRED_SPEEDUP_AT_4}x claim"
+    )
+    assert obs_ratio >= REQUIRED_OBS_RATIO, (
+        f"observability-on throughput ratio {obs_ratio:.3f} fell below "
+        f"the {REQUIRED_OBS_RATIO} floor (>5% tracing overhead)"
     )

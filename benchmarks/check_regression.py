@@ -188,6 +188,12 @@ def check_distributed_fixpoint(gate, fresh, baseline):
         fresh.get("speedup@4", 0.0),
         floor,
     )
+    gate.absolute(
+        "distributed_fixpoint",
+        "obs on/off throughput",
+        fresh.get("obs_throughput_ratio", 0.0),
+        fresh.get("required_obs_ratio", 0.95),
+    )
     for metric in ("speedup@2", "speedup@4"):
         gate.check(
             "distributed_fixpoint",

@@ -19,7 +19,10 @@ Subcommands:
 * ``feedback``           — inspect the feedback loop on a running
   server, trigger a cost-model recalibration (``--recalibrate
   --apply``), or pin/revert plans after a flagged regression
-  (see ``docs/observability.md``).
+  (see ``docs/observability.md``);
+* ``top``                — live per-round fixpoint progress of the
+  queries a running server is executing (delta sizes per shard, skew,
+  exchange throughput, barrier waits).
 
 The database is synthetic and parameterized from the command line
 (``--db music`` or ``--db parts``); queries are written in the OQL-like
@@ -148,6 +151,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the explain tree as JSON ('-' for stdout)",
     )
+    explain_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="cost and (with --analyze) execute the plan at this shard "
+        "fan-out; sharded Fix nodes then carry distributed est-vs-act "
+        "rows (network/disk/skew)",
+    )
     add_common(explain_parser)
 
     trace_parser = sub.add_parser(
@@ -172,6 +183,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-execute",
         action="store_true",
         help="trace optimization only, skip plan execution",
+    )
+    trace_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="execute the plan distributed across N shards; the Chrome "
+        "trace then carries one lane per shard plus a coordinator lane",
     )
     add_common(trace_parser)
 
@@ -348,6 +366,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="release a pinned plan",
     )
     add_client(feedback_parser)
+
+    top_parser = sub.add_parser(
+        "top",
+        help="live per-round fixpoint progress of queries on a running "
+        "server (like top, but for recursive queries)",
+    )
+    top_parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between refreshes",
+    )
+    top_parser.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop after this many refreshes (0 = until interrupted)",
+    )
+    top_parser.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit (same as --iterations 1)",
+    )
+    add_client(top_parser)
     return parser
 
 
@@ -378,7 +420,15 @@ def _optimizer(args, physical):
         return deductive_optimizer(physical)
     if args.policy == "never":
         return naive_optimizer(physical)
-    return cost_controlled_optimizer(physical)
+    model = None
+    shards = max(1, getattr(args, "shards", 1))
+    if shards > 1:
+        from repro.cost import CostParameters
+
+        params = CostParameters()
+        params.shards = shards
+        model = DetailedCostModel(physical, params)
+    return cost_controlled_optimizer(physical, model)
 
 
 def _read_query(args) -> str:
@@ -480,11 +530,23 @@ def cmd_explain(args, out) -> int:
     optimizer = _optimizer(args, db.physical)
     result = optimizer.optimize(graph)
     model = optimizer.cost_model
+    shards = max(1, getattr(args, "shards", 1))
     profiler = None
     execution = None
     if args.analyze:
         profiler = PlanProfiler()
-        execution = Engine(db.physical).execute(result.plan, profiler=profiler)
+        cluster = None
+        if shards > 1:
+            from repro.dist import ShardCluster
+
+            cluster = ShardCluster(db.physical, shards)
+        try:
+            execution = Engine(
+                db.physical, shards=shards, cluster=cluster
+            ).execute(result.plan, profiler=profiler)
+        finally:
+            if cluster is not None:
+                cluster.close()
     tree = build_explain(result.plan, model, profiler)
     title = "=== plan (EXPLAIN ANALYZE) ===" if args.analyze else "=== plan ==="
     print(title, file=out)
@@ -508,6 +570,16 @@ def cmd_explain(args, out) -> int:
             f"measured cost {metrics.measured_cost():.1f}",
             file=out,
         )
+        if metrics.shards_used:
+            print(
+                f"distributed: {metrics.shards_used} shards, "
+                f"{metrics.exchange_rounds} rounds, "
+                f"{metrics.exchange_tuples} tuples / "
+                f"{metrics.exchange_frames} frames exchanged, "
+                f"observed skew {metrics.observed_skew():.2f}, "
+                f"barrier wait {metrics.barrier_wait_seconds * 1000:.1f}ms",
+                file=out,
+            )
     report = model.report(result.plan)
     print(file=out)
     print("=== cost breakdown (detailed model) ===", file=out)
@@ -540,16 +612,26 @@ def cmd_trace(args, out) -> int:
     db = _build_database(args)
     graph = compile_text(_read_query(args), db.catalog)
     optimizer = _optimizer(args, db.physical)
-    tracer = Tracer()
+    shards = max(1, getattr(args, "shards", 1))
+    tracer = Tracer(trace_id="cli" if shards > 1 else None)
     with tracer.span("optimize"):
         result = optimizer.optimize(graph, tracer=tracer)
     profiler = None
     if not args.no_execute:
         profiler = PlanProfiler()
-        with tracer.span("execute"):
-            execution = Engine(db.physical).execute(
-                result.plan, profiler=profiler
-            )
+        cluster = None
+        if shards > 1:
+            from repro.dist import ShardCluster
+
+            cluster = ShardCluster(db.physical, shards)
+        engine = Engine(db.physical, shards=shards, cluster=cluster)
+        engine.tracer = tracer
+        try:
+            with tracer.span("execute"):
+                execution = engine.execute(result.plan, profiler=profiler)
+        finally:
+            if cluster is not None:
+                cluster.close()
         print(f"{len(execution.rows)} rows", file=out)
     if args.format == "chrome":
         payload = tracer.to_chrome_trace()
@@ -562,9 +644,11 @@ def cmd_trace(args, out) -> int:
         handle.write("\n")
     spans = len(tracer.spans)
     events = sum(len(span.events) for span in tracer.spans)
+    lanes = 1 + len(tracer.children)
     print(
         f"trace written to {args.output} "
-        f"({spans} spans, {events} events, format={args.format})",
+        f"({spans} spans, {events} events, {lanes} lane(s), "
+        f"format={args.format})",
         file=out,
     )
     return 0
@@ -774,6 +858,73 @@ def cmd_feedback(args, out) -> int:
     return 0
 
 
+def cmd_top(args, out) -> int:
+    """``repro top``: stream live fixpoint progress from a server."""
+    import json
+    import time
+
+    from repro.service import ServiceClient
+
+    iterations = 1 if args.once else max(0, args.iterations)
+    rendered = 0
+    with ServiceClient(args.host, args.port) as client:
+        while True:
+            payload = client.progress()
+            rendered += 1
+            if args.json:
+                print(json.dumps(payload, indent=2, default=str), file=out)
+            else:
+                _render_top(payload, out)
+            if iterations and rendered >= iterations:
+                break
+            time.sleep(max(0.05, args.interval))
+    return 0
+
+
+def _render_top(payload: dict, out) -> None:
+    """One refresh of the ``repro top`` display."""
+    admission = payload.get("admission", {})
+    print(
+        f"uptime {payload.get('uptime_seconds', 0):.0f}s  "
+        f"slots {admission.get('slots_in_use', '?')}"
+        f"/{admission.get('max_concurrent', '?')} in use  "
+        f"admitted {admission.get('admitted', '?')}",
+        file=out,
+    )
+    active = payload.get("active", [])
+    if not active:
+        print("  (no queries in flight)", file=out)
+    for query in active + payload.get("recent", []):
+        live = query in active
+        state = "RUNNING" if live else "done"
+        print(
+            f"  [{query['request']}] {state:<7} shards={query['shards']} "
+            f"rounds={query['rounds']} delta_total={query['total_delta']} "
+            f"elapsed={query['elapsed_s']:.2f}s  {query['query'][:60]}",
+            file=out,
+        )
+        last = query.get("last_round")
+        if last is None:
+            continue
+        line = (
+            f"    round {last['round']} [{last['fix']}]: "
+            f"+{last['delta']} tuples in {last['ms']:.1f}ms"
+        )
+        if last.get("delta_by_shard"):
+            per_shard = ", ".join(
+                f"s{shard}:{count}"
+                for shard, count in last["delta_by_shard"].items()
+            )
+            line += f" ({per_shard})"
+        if last.get("skew") is not None:
+            line += f" skew={last['skew']:.2f}"
+        if last.get("exchange_tuples_per_s") is not None:
+            line += f" exchange={last['exchange_tuples_per_s']:,.0f} tup/s"
+        if last.get("barrier_wait_ms") is not None:
+            line += f" barrier={last['barrier_wait_ms']:.1f}ms"
+        print(line, file=out)
+
+
 def cmd_demo(args, out) -> int:
     import tempfile
 
@@ -804,6 +955,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return cmd_history(args, out)
         if args.command == "feedback":
             return cmd_feedback(args, out)
+        if args.command == "top":
+            return cmd_top(args, out)
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

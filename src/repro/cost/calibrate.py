@@ -45,6 +45,11 @@ EVENT_NAMES = (
     "method_weight",
     "tuples",
     "batches",
+    #: Distributed-exchange features (zero on single-store runs): the
+    #: wire tuples and frames of both scatter-gather legs, the runtime
+    #: twins of the distributed model's network terms.
+    "exchange_tuples",
+    "exchange_frames",
 )
 
 
@@ -96,6 +101,19 @@ class CalibratedWeights:
             batch_overhead=max(
                 self.weights.get("batches", base.batch_overhead), 1e-9
             ),
+            shards=base.shards,
+            shard_skew=base.shard_skew,
+            # Network weights: a workload that never ran sharded leaves
+            # the exchange columns zero — keep the base charges rather
+            # than zeroing the distributed model's network terms.
+            network_per_tuple=(
+                self.weights.get("exchange_tuples", 0.0)
+                or base.network_per_tuple
+            ),
+            network_per_round=(
+                self.weights.get("exchange_frames", 0.0)
+                or base.network_per_round
+            ),
         )
 
 
@@ -108,6 +126,8 @@ def events_of(metrics: RuntimeMetrics) -> Dict[str, float]:
         "method_weight": float(metrics.method_eval_weight),
         "tuples": float(metrics.total_tuples),
         "batches": float(metrics.batches),
+        "exchange_tuples": float(metrics.exchange_tuples),
+        "exchange_frames": float(metrics.exchange_frames),
     }
 
 
@@ -151,11 +171,22 @@ def fit_weights(probes: Sequence[ProbeResult]) -> CalibratedWeights:
     Uses projected alternating least squares (clip-to-zero iterations on
     top of ``numpy.linalg.lstsq``), which is ample for five well-scaled
     features."""
-    if len(probes) < len(EVENT_NAMES):
+    if probes:
+        matrix = numpy.array([probe.vector() for probe in probes], dtype=float)
+        # The fit only has to be determined over the features the
+        # workload actually exercised (non-zero columns) — a purely
+        # single-store probe set never pays for the distributed
+        # features it cannot see.
+        exercised = int((numpy.abs(matrix) > 0).any(axis=0).sum())
+    else:
+        matrix = numpy.zeros((0, len(EVENT_NAMES)))
+        exercised = len(EVENT_NAMES)
+    needed = max(1, exercised)
+    if len(probes) < needed:
         raise ValueError(
-            f"need at least {len(EVENT_NAMES)} probes, got {len(probes)}"
+            f"need at least {needed} probes for the {needed} exercised "
+            f"features, got {len(probes)}"
         )
-    matrix = numpy.array([probe.vector() for probe in probes], dtype=float)
     target = numpy.array([probe.target_cost for probe in probes], dtype=float)
     solution, *_rest = numpy.linalg.lstsq(matrix, target, rcond=None)
     solution = numpy.clip(solution, 0.0, None)

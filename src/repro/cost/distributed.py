@@ -41,6 +41,7 @@ __all__ = [
     "repartition_join_cost",
     "choose_join_strategy",
     "choose_round_strategy",
+    "round_strategy_breakdown",
 ]
 
 SHARD_LOCAL = "shard_local"
@@ -166,3 +167,39 @@ def choose_round_strategy(
     if shipped_io + shipped_cpu < local_io + local_cpu:
         return REPARTITION, shipped_io, shipped_cpu
     return SHARD_LOCAL, local_io, local_cpu
+
+
+def round_strategy_breakdown(
+    round_io: float,
+    round_cpu: float,
+    delta: float,
+    shards: int,
+    params: CostParameters,
+) -> dict:
+    """:func:`choose_round_strategy` plus the mongodb-d4 style term
+    decomposition of the chosen strategy — the pieces EXPLAIN ANALYZE
+    lines up against measured actuals:
+
+    * ``scan_io`` — the skew-free per-worker disk share;
+    * ``network`` — the exchange cost the round pays (0 shard-local);
+    * ``skew`` — the imbalance multiplier the round is charged.
+    """
+    shards = max(1, shards)
+    workers = min(float(shards), max(1.0, delta))
+    strategy, io, cpu = choose_round_strategy(
+        round_io, round_cpu, delta, shards, params
+    )
+    if strategy == REPARTITION:
+        network = exchange_cost(delta, shards, params)
+        skew = 1.0
+    else:
+        network = 0.0
+        skew = max(1.0, params.shard_skew)
+    return {
+        "strategy": strategy,
+        "io": io,
+        "cpu": cpu,
+        "scan_io": round_io / workers,
+        "network": network,
+        "skew": skew,
+    }

@@ -113,6 +113,11 @@ class DetailedCostModel:
         #: When set (by :meth:`annotated_report`), ``_cost`` records a
         #: :class:`CapturedEstimate` per node identity as it recurses.
         self._capture: Optional[Dict[int, CapturedEstimate]] = None
+        #: Distributed-term decomposition per ``Fix`` node identity
+        #: (``id(node)``), refreshed by every :meth:`report`: the
+        #: network/disk/skew estimates EXPLAIN ANALYZE lines up against
+        #: measured actuals.  Empty unless ``params.shards > 1``.
+        self.fix_breakdowns: Dict[int, dict] = {}
 
     # -- public API ---------------------------------------------------------------
 
@@ -135,6 +140,7 @@ class DetailedCostModel:
         from repro.plans.patterns import consumed_variables
 
         self._consumed_vars = consumed_variables(plan)
+        self.fix_breakdowns = {}
         rows: List[Tuple[str, float]] = []
         io, cpu = self._cost(plan, dict(delta_env or {}), rows)
         return CostReport(io + cpu, io, cpu, rows)
@@ -627,7 +633,10 @@ class DetailedCostModel:
         distributed term is gated behind ``shards > 1``, so at one
         shard this is bit-for-bit the serial (or parallel) formula.
         """
-        from repro.cost.distributed import choose_round_strategy, exchange_cost
+        from repro.cost.distributed import (
+            exchange_cost,
+            round_strategy_breakdown,
+        )
         from repro.engine.fixpoint import partition_parts
 
         base_parts, recursive_parts = partition_parts(node)
@@ -647,6 +656,7 @@ class DetailedCostModel:
             base_io += part_io
             base_cpu += part_cpu
         deltas = fix_est.deltas or []
+        breakdown: Optional[dict] = None
         if distributed:
             base_workers = min(shards, len(base_parts))
             io += base_io / base_workers
@@ -654,7 +664,17 @@ class DetailedCostModel:
             # Gather leg of the base round: the whole first frontier
             # crosses the exchange back to the coordinator.
             first_delta = deltas[0] if deltas else fix_est.tuples
-            io += exchange_cost(first_delta, shards, self.params)
+            base_gather = exchange_cost(first_delta, shards, self.params)
+            io += base_gather
+            breakdown = {
+                "shards": shards,
+                "rounds": 1,
+                "exchange_tuples": first_delta,
+                "exchange_frames": float(shards),
+                "network": base_gather,
+                "disk_base": base_io / base_workers,
+                "skew": max(1.0, self.params.shard_skew),
+            }
         else:
             base_workers = min(parallelism, len(base_parts))
             io += base_io / base_workers
@@ -671,15 +691,22 @@ class DetailedCostModel:
                 round_io += part_io
                 round_cpu += part_cpu
             if distributed:
-                _strategy, dist_io, dist_cpu = choose_round_strategy(
+                dist = round_strategy_breakdown(
                     round_io, round_cpu, delta, shards, self.params
                 )
-                io += dist_io
-                cpu += dist_cpu
+                io += dist["io"]
+                cpu += dist["cpu"]
                 # Gather leg: the round's fresh tuples travel back.
-                io += exchange_cost(produced, shards, self.params)
+                gather = exchange_cost(produced, shards, self.params)
+                io += gather
                 # Coordinator-side dedup/merge of the gathered tuples.
                 cpu += delta * self.params.parallel_overhead
+                # Both legs of the round's exchange, for est-vs-act.
+                breakdown["rounds"] += 1
+                breakdown["exchange_tuples"] += delta + produced
+                breakdown["exchange_frames"] += 2.0 * shards
+                breakdown["network"] += dist["network"] + gather
+                breakdown["disk_base"] += dist["scan_io"]
                 return
             workers = min(parallelism, max(1.0, delta))
             io += round_io / workers
@@ -704,4 +731,7 @@ class DetailedCostModel:
         cpu += self._batch_cost(fix_est.tuples)
         if distributed or parallelism > 1:
             cpu += fix_est.tuples * self.params.parallel_overhead
+        if breakdown is not None:
+            breakdown["disk"] = breakdown["disk_base"] * breakdown["skew"]
+            self.fix_breakdowns[id(node)] = breakdown
         return io, cpu

@@ -33,6 +33,7 @@ extents — failure semantics are documented in
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -48,11 +49,27 @@ from repro.engine.parallel import (
     partitionable,
 )
 from repro.errors import FixpointLimitError
+from repro.obs.trace import NULL_TRACER
 from repro.physical.schema import PhysicalSchema
 from repro.physical.storage import StoredRecord
 from repro.plans.nodes import Fix, PlanNode
 
 __all__ = ["ShardCluster", "run_fixpoint_distributed"]
+
+logger = logging.getLogger("repro.dist")
+
+
+def _annotate(exc: BaseException, context: str) -> None:
+    """Prefix an exception's message with request/shard context so
+    abort-on-first-error reports name their origin.  Best-effort: an
+    exception whose args resist rewriting propagates unchanged."""
+    try:
+        if exc.args and isinstance(exc.args[0], str):
+            exc.args = (f"[{context}] {exc.args[0]}",) + exc.args[1:]
+        else:
+            exc.args = (f"[{context}]",) + exc.args
+    except Exception:  # pragma: no cover - exotic exception types
+        pass
 
 
 class ShardCluster:
@@ -153,6 +170,20 @@ def run_fixpoint_distributed(
     metrics = engine.metrics
     metrics.shards_used = max(metrics.shards_used, width)
     profiler = getattr(engine, "profiler", None)
+    progress = getattr(engine, "progress", None)
+    rid = getattr(engine, "request_id", "") or "local"
+    tracer = getattr(engine, "tracer", NULL_TRACER)
+    if tracer.enabled and tracer.trace_id is None:
+        tracer.trace_id = rid
+    trace_id = getattr(tracer, "trace_id", "") or ""
+    # One thread-confined tracer per shard lane; rounds are barriers,
+    # so at most one pool thread records into a lane at a time.
+    if tracer.enabled:
+        shard_tracers = [
+            tracer.child(f"shard{session.shard}") for session in sessions
+        ]
+    else:
+        shard_tracers = [NULL_TRACER for _ in sessions]
     insert = engine.store.insert
     peek = engine.store.peek
 
@@ -164,40 +195,85 @@ def run_fixpoint_distributed(
     ) -> dict:
         """Everything one shard does in one round: receive + stage its
         delta frames, evaluate its parts, frame its results."""
-        reads_before = session.io.stats.logical_reads
-        produced: List[Dict[str, object]] = []
-        staged_cache: Dict[object, List[StoredRecord]] = {}
-        for part, payload_key in tasks:
-            if abort.is_set():
-                break
-            session.engine.check_cancelled()
-            if payload_key is None:  # base part: no delta leg
-                env = delta_env
-            else:
-                staged = staged_cache.get(payload_key)
-                if staged is None:
-                    staged = session.stage_delta(
-                        fix.name, exchange.decode_tuples(payloads[payload_key])
+        shard = session.shard
+        stracer = shard_tracers[sessions.index(session)]
+        thread = threading.current_thread()
+        saved_name = thread.name
+        thread.name = f"shard{shard}-{rid}"
+        busy_start = time.perf_counter()
+        try:
+            with stracer.span(
+                "round", round=round_index, shard=shard, request=rid
+            ) as round_span:
+                reads_before = session.io.stats.logical_reads
+                produced: List[Dict[str, object]] = []
+                staged_cache: Dict[object, List[StoredRecord]] = {}
+                for part, payload_key in tasks:
+                    if abort.is_set():
+                        break
+                    session.engine.check_cancelled()
+                    if payload_key is None:  # base part: no delta leg
+                        env = delta_env
+                    else:
+                        staged = staged_cache.get(payload_key)
+                        if staged is None:
+                            with stracer.span(
+                                "exchange_recv",
+                                round=round_index,
+                                frames=len(payloads[payload_key]),
+                            ):
+                                received = exchange.decode_tuples(
+                                    payloads[payload_key]
+                                )
+                            with stracer.span(
+                                "stage", round=round_index, tuples=len(received)
+                            ):
+                                staged = session.stage_delta(fix.name, received)
+                            staged_cache[payload_key] = staged
+                        env = dict(delta_env)
+                        env[fix.name] = staged
+                    with stracer.span(
+                        "evaluate", round=round_index, part=type(part).__name__
+                    ):
+                        produced.extend(session.evaluate(part, env))
+                with stracer.span(
+                    "exchange_send", round=round_index, tuples=len(produced)
+                ):
+                    frames = exchange.encode_tuples(
+                        "result",
+                        fix.name,
+                        round_index,
+                        shard,
+                        produced,
+                        trace_id=trace_id,
                     )
-                    staged_cache[payload_key] = staged
-                env = dict(delta_env)
-                env[fix.name] = staged
-            produced.extend(session.evaluate(part, env))
-        frames = exchange.encode_tuples(
-            "result", fix.name, round_index, session.shard, produced
-        )
-        return {
-            "frames": frames,
-            "tuples": len(produced),
-            "reads": session.io.stats.logical_reads - reads_before,
-        }
+                reads = session.io.stats.logical_reads - reads_before
+                round_span.set(tuples=len(produced), reads=reads)
+                return {
+                    "frames": frames,
+                    "tuples": len(produced),
+                    "reads": reads,
+                    "busy": time.perf_counter() - busy_start,
+                }
+        except BaseException as exc:  # noqa: BLE001 - annotated + re-raised
+            _annotate(exc, f"request {rid} shard {shard} round {round_index}")
+            logger.error(
+                "request %s shard %s round %s failed: %s",
+                rid,
+                shard,
+                round_index,
+                exc,
+            )
+            raise
+        finally:
+            thread.name = saved_name
 
     def run_round(
         round_index: int,
         assignments: Dict[int, List[Tuple[PlanNode, Optional[object]]]],
         payloads: Dict[object, List[bytes]],
         scatter_by_shard: Dict[int, exchange.ExchangeStats],
-    ) -> Tuple[List[StoredRecord], exchange.ExchangeStats]:
+    ) -> Tuple[List[StoredRecord], dict]:
         futures = {
             shard: cluster.submit(
                 shard_task, sessions[shard], round_index, tasks, payloads
@@ -207,13 +283,17 @@ def run_fixpoint_distributed(
         }
         outcomes: List[Tuple[int, dict]] = []
         error: Optional[BaseException] = None
-        for shard in sorted(futures):
-            try:
-                outcomes.append((shard, futures[shard].result()))
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                abort.set()
-                if error is None:
-                    error = exc
+        wait_begin = time.perf_counter()
+        with tracer.span("barrier_wait", round=round_index, request=rid):
+            for shard in sorted(futures):
+                try:
+                    outcomes.append((shard, futures[shard].result()))
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    abort.set()
+                    if error is None:
+                        error = exc
+        barrier_wait = time.perf_counter() - wait_begin
+        metrics.barrier_wait_seconds += barrier_wait
         if error is not None:
             raise error
         # Gather leg: dedup in shard-index order (deterministic), then
@@ -222,130 +302,190 @@ def run_fixpoint_distributed(
         for stats in scatter_by_shard.values():
             volume.merge(stats)
         fresh: List[StoredRecord] = []
-        for shard, outcome in outcomes:
-            volume.count(outcome["frames"], outcome["tuples"])
-            arrived = 0
-            for values in exchange.decode_tuples(outcome["frames"]):
-                arrived += 1
-                key = key_of_normalized(values)
-                if key in seen:
-                    continue
-                seen.add(key)
-                fresh.append(peek(insert(temp_name, values)))
-            scatter = scatter_by_shard.get(shard)
-            exchange.write_shard_telemetry(
-                {
-                    "fix": fix.name,
-                    "round": round_index,
-                    "shard": shard,
-                    "scatter_tuples": scatter.tuples if scatter else 0,
-                    "scatter_bytes": scatter.bytes if scatter else 0,
-                    "gather_tuples": arrived,
-                    "gather_bytes": sum(len(f) for f in outcome["frames"]),
-                    "logical_reads": outcome["reads"],
-                }
-            )
+        loads: Dict[int, float] = {}
+        produced_by_shard: Dict[int, int] = {}
+        with tracer.span("gather", round=round_index, request=rid):
+            for shard, outcome in outcomes:
+                volume.count(outcome["frames"], outcome["tuples"])
+                metrics.shard_busy_seconds += outcome["busy"]
+                loads[shard] = float(outcome["reads"] + outcome["tuples"])
+                produced_by_shard[shard] = outcome["tuples"]
+                arrived = 0
+                for values in exchange.decode_tuples(outcome["frames"]):
+                    arrived += 1
+                    key = key_of_normalized(values)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    fresh.append(peek(insert(temp_name, values)))
+                scatter = scatter_by_shard.get(shard)
+                exchange.write_shard_telemetry(
+                    {
+                        "request": rid,
+                        "fix": fix.name,
+                        "round": round_index,
+                        "shard": shard,
+                        "scatter_tuples": scatter.tuples if scatter else 0,
+                        "scatter_bytes": scatter.bytes if scatter else 0,
+                        "gather_tuples": arrived,
+                        "gather_bytes": sum(len(f) for f in outcome["frames"]),
+                        "logical_reads": outcome["reads"],
+                        "busy_seconds": round(outcome["busy"], 6),
+                    }
+                )
+        round_max = max(loads.values(), default=0.0)
+        round_mean = (sum(loads.values()) / len(loads)) if loads else 0.0
+        skew = (round_max / round_mean) if round_mean > 0 else 1.0
+        metrics.shard_load_max += round_max
+        metrics.shard_load_mean += round_mean
         metrics.exchange_rounds += 1
         metrics.exchange_tuples += volume.tuples
         metrics.exchange_bytes += volume.bytes
-        return fresh, volume
-
-    try:
-        # Base round: non-recursive parts fan out round-robin; only the
-        # gather leg carries tuples.
-        round_start = time.perf_counter()
-        assignments: Dict[int, List[Tuple[PlanNode, Optional[object]]]] = {
-            shard: [] for shard in range(width)
+        metrics.exchange_frames += volume.frames
+        return fresh, {
+            "volume": volume,
+            "barrier_wait": barrier_wait,
+            "skew": max(1.0, skew),
+            "loads": loads,
+            "produced_by_shard": produced_by_shard,
         }
-        for index, part in enumerate(base_parts):
-            assignments[index % width].append((part, None))
-        delta, volume = run_round(0, assignments, {}, {})
+
+    def note_round(round_index, fresh, info, seconds):
+        volume = info["volume"]
         if profiler is not None:
             profiler.fix_iteration(
                 fix,
-                0,
-                len(delta),
-                time.perf_counter() - round_start,
+                round_index,
+                len(fresh),
+                seconds,
                 shards=width,
                 exchange_tuples=volume.tuples,
                 exchange_bytes=volume.bytes,
+                exchange_frames=volume.frames,
+                skew=info["skew"],
+                barrier_wait_s=info["barrier_wait"],
+                per_shard=info["produced_by_shard"],
+            )
+        if progress is not None:
+            progress.round_update(
+                fix=fix.name,
+                round_index=round_index,
+                delta=len(fresh),
+                delta_by_shard=info["produced_by_shard"],
+                skew=info["skew"],
+                exchange_tuples=volume.tuples,
+                exchange_bytes=volume.bytes,
+                barrier_wait_s=info["barrier_wait"],
+                seconds=seconds,
             )
 
-        rebinding = _rebinding_fields(fix, delta)
-        if rebinding:
-            cluster.shard_map.place_partitioned(fix.name, rebinding)
-        iterations = 0
-        while delta:
-            iterations += 1
-            if iterations > engine.max_fix_iterations:
-                raise FixpointLimitError(fix.name, engine.max_fix_iterations)
-            engine.check_cancelled()
-            metrics.fix_iterations += 1
+    with tracer.span(
+        "fix", fix=fix.name, shards=width, request=rid
+    ) as fix_span:
+        try:
+            # Base round: non-recursive parts fan out round-robin; only
+            # the gather leg carries tuples.
             round_start = time.perf_counter()
+            assignments: Dict[int, List[Tuple[PlanNode, Optional[object]]]] = {
+                shard: [] for shard in range(width)
+            }
+            for index, part in enumerate(base_parts):
+                assignments[index % width].append((part, None))
+            delta, info = run_round(0, assignments, {}, {})
+            note_round(0, delta, info, time.perf_counter() - round_start)
 
-            assignments = {shard: [] for shard in range(width)}
-            payloads: Dict[object, List[bytes]] = {}
-            scatter_by_shard: Dict[int, exchange.ExchangeStats] = {}
-            slices: Optional[List[List[StoredRecord]]] = None
-            for part_index, part in enumerate(recursive_parts):
-                if partitionable(part, fix.name) and len(delta) > 1:
-                    if slices is None:
-                        slices = partition_delta(delta, width, rebinding)
-                        for shard, piece in enumerate(slices):
-                            if not piece:
-                                continue
-                            frames = exchange.encode_tuples(
-                                "delta",
-                                fix.name,
-                                iterations,
-                                shard,
-                                [record.values for record in piece],
-                            )
-                            payloads[("slice", shard)] = frames
-                            stats = scatter_by_shard.setdefault(
-                                shard, exchange.ExchangeStats()
-                            )
-                            stats.count(frames, len(piece))
-                    for shard, piece in enumerate(slices):
-                        if piece:
-                            assignments[shard].append((part, ("slice", shard)))
-                else:
-                    # Unpartitionable part: the whole delta travels to
-                    # one shard, rotating per round for balance.
-                    target = (iterations + part_index) % width
-                    if "full" not in payloads:
-                        payloads["full"] = exchange.encode_tuples(
-                            "delta",
-                            fix.name,
-                            iterations,
-                            target,
-                            [record.values for record in delta],
-                        )
-                    if not any(
-                        key == "full" for _part, key in assignments[target]
-                    ):
-                        stats = scatter_by_shard.setdefault(
-                            target, exchange.ExchangeStats()
-                        )
-                        stats.count(payloads["full"], len(delta))
-                    assignments[target].append((part, "full"))
+            rebinding = _rebinding_fields(fix, delta)
+            if rebinding:
+                cluster.shard_map.place_partitioned(fix.name, rebinding)
+            iterations = 0
+            while delta:
+                iterations += 1
+                if iterations > engine.max_fix_iterations:
+                    raise FixpointLimitError(
+                        fix.name, engine.max_fix_iterations
+                    )
+                engine.check_cancelled()
+                metrics.fix_iterations += 1
+                round_start = time.perf_counter()
 
-            delta, volume = run_round(
-                iterations, assignments, payloads, scatter_by_shard
-            )
-            if profiler is not None:
-                profiler.fix_iteration(
-                    fix,
-                    iterations,
-                    len(delta),
-                    time.perf_counter() - round_start,
-                    shards=width,
-                    exchange_tuples=volume.tuples,
-                    exchange_bytes=volume.bytes,
+                assignments = {shard: [] for shard in range(width)}
+                payloads: Dict[object, List[bytes]] = {}
+                scatter_by_shard: Dict[int, exchange.ExchangeStats] = {}
+                slices: Optional[List[List[StoredRecord]]] = None
+                with tracer.span(
+                    "partition", round=iterations, delta=len(delta), request=rid
+                ):
+                    for part_index, part in enumerate(recursive_parts):
+                        if partitionable(part, fix.name) and len(delta) > 1:
+                            if slices is None:
+                                slices = partition_delta(
+                                    delta, width, rebinding
+                                )
+                                for shard, piece in enumerate(slices):
+                                    if not piece:
+                                        continue
+                                    frames = exchange.encode_tuples(
+                                        "delta",
+                                        fix.name,
+                                        iterations,
+                                        shard,
+                                        [record.values for record in piece],
+                                        trace_id=trace_id,
+                                    )
+                                    payloads[("slice", shard)] = frames
+                                    stats = scatter_by_shard.setdefault(
+                                        shard, exchange.ExchangeStats()
+                                    )
+                                    stats.count(frames, len(piece))
+                            for shard, piece in enumerate(slices):
+                                if piece:
+                                    assignments[shard].append(
+                                        (part, ("slice", shard))
+                                    )
+                        else:
+                            # Unpartitionable part: the whole delta
+                            # travels to one shard, rotating per round
+                            # for balance.  Payloads are keyed (and
+                            # their volume counted) per target so the
+                            # frame headers name the shard that really
+                            # receives them.
+                            target = (iterations + part_index) % width
+                            payload_key = ("full", target)
+                            if payload_key not in payloads:
+                                payloads[payload_key] = exchange.encode_tuples(
+                                    "delta",
+                                    fix.name,
+                                    iterations,
+                                    target,
+                                    [record.values for record in delta],
+                                    trace_id=trace_id,
+                                )
+                                stats = scatter_by_shard.setdefault(
+                                    target, exchange.ExchangeStats()
+                                )
+                                stats.count(payloads[payload_key], len(delta))
+                            assignments[target].append((part, payload_key))
+
+                delta, info = run_round(
+                    iterations, assignments, payloads, scatter_by_shard
                 )
-    finally:
-        abort.set()
-        for session in sessions:
-            session.close()
-            engine.absorb_shard(session.shard, session.engine, session.io.stats)
+                note_round(
+                    iterations, delta, info, time.perf_counter() - round_start
+                )
+            fix_span.set(rounds=metrics.exchange_rounds)
+        finally:
+            abort.set()
+            with tracer.span("cleanup", request=rid):
+                for session in sessions:
+                    dropped = session.close()
+                    if tracer.enabled:
+                        tracer.event(
+                            "staging_cleanup",
+                            shard=session.shard,
+                            staging_dropped=dropped,
+                            request=rid,
+                        )
+                    engine.absorb_shard(
+                        session.shard, session.engine, session.io.stats
+                    )
     return temp_name

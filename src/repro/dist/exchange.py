@@ -88,48 +88,52 @@ def encode_tuples(
     round_index: int,
     shard: int,
     tuples: Sequence[Dict[str, object]],
+    trace_id: str = "",
 ) -> List[bytes]:
     """Frame a tuple batch as one or more line-JSON messages.
 
     A frame that would exceed ``protocol.MAX_LINE_BYTES`` is split in
     half recursively; a single tuple too large for a frame raises (it
-    could never cross the real wire either).
+    could never cross the real wire either).  Sequence numbers are
+    assigned when a frame is *finally* encoded — a chunk that splits
+    never occupies a seq, so numbering stays dense and each emitted
+    frame is counted exactly once however many splits produced it.
+    When ``trace_id`` is set it rides in every frame header, tying the
+    wire bytes back to the request's stitched trace.
     """
-    def frame(chunk: Sequence[Dict[str, object]], seq: int) -> List[bytes]:
-        line = protocol.encode(
-            {
-                "op": op,
-                "fix": fix_name,
-                "round": round_index,
-                "shard": shard,
-                "seq": seq,
-                "tuples": [_encode_tuple(values) for values in chunk],
-            }
-        )
+    frames: List[bytes] = []
+
+    def header(seq: int, chunk: Sequence[Dict[str, object]]) -> dict:
+        message = {
+            "op": op,
+            "fix": fix_name,
+            "round": round_index,
+            "shard": shard,
+            "seq": seq,
+            "tuples": [_encode_tuple(values) for values in chunk],
+        }
+        if trace_id:
+            message["trace"] = trace_id
+        return message
+
+    def emit(chunk: Sequence[Dict[str, object]]) -> None:
+        line = protocol.encode(header(len(frames), chunk))
         if len(line) <= protocol.MAX_LINE_BYTES:
-            return [line]
+            frames.append(line)
+            return
         if len(chunk) <= 1:
             raise ProtocolError(
                 f"one exchange tuple exceeds the {protocol.MAX_LINE_BYTES}"
                 f"-byte frame limit"
             )
         middle = len(chunk) // 2
-        return frame(chunk[:middle], seq) + frame(chunk[middle:], seq + 1)
+        emit(chunk[:middle])
+        emit(chunk[middle:])
 
-    frames: List[bytes] = []
     if not tuples:
-        return [protocol.encode(
-            {
-                "op": op,
-                "fix": fix_name,
-                "round": round_index,
-                "shard": shard,
-                "seq": 0,
-                "tuples": [],
-            }
-        )]
+        return [protocol.encode(header(0, []))]
     for start in range(0, len(tuples), FRAME_TUPLES):
-        frames.extend(frame(tuples[start : start + FRAME_TUPLES], len(frames)))
+        emit(tuples[start : start + FRAME_TUPLES])
     return frames
 
 

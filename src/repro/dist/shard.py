@@ -113,10 +113,14 @@ class ShardSession:
             produced.extend(normalize_binding(binding) for binding in batch.rows)
         return produced
 
-    def close(self) -> None:
+    def close(self) -> int:
         """Drop the session's staging extents (session-private; the
-        coordinator's temp cleanup never sees them)."""
+        coordinator's temp cleanup never sees them).  Returns how many
+        extents were dropped so cleanup is traceable per shard."""
+        dropped = 0
         for name in self._staging.values():
             if self.schema.has_entity(name):
                 self.schema.drop_temp(name)
+                dropped += 1
         self._staging.clear()
+        return dropped

@@ -42,6 +42,7 @@ from repro.engine.eval_expr import (
 from repro.engine.fixpoint import run_fixpoint
 from repro.engine.metrics import RuntimeMetrics
 from repro.obs.profile import PlanProfiler, assign_node_ids
+from repro.obs.trace import NULL_TRACER
 from repro.physical.buffer import BufferStats
 from repro.physical.schema import PhysicalSchema
 from repro.physical.storage import Oid, StoredRecord
@@ -147,6 +148,18 @@ class Engine:
         #: buffers are private, so the coordinator-store delta misses
         #: them); folded into ``metrics.buffer`` at the end of execute.
         self._shard_buffer = BufferStats()
+        #: Optional execution tracer (:class:`repro.obs.trace.Tracer`).
+        #: The distributed fixpoint records its coordinator spans here
+        #: and stitches one child lane per shard; NULL_TRACER = off.
+        self.tracer = NULL_TRACER
+        #: Request id of the owning service request (or "" outside the
+        #: service); threaded into shard thread names, dist/ log lines
+        #: and trace span attributes.
+        self.request_id = ""
+        #: Optional live-progress handle
+        #: (:class:`repro.obs.progress.QueryProgress`): fixpoints call
+        #: ``round_update`` per semi-naive round when set.
+        self.progress = None
 
     # -- public API -------------------------------------------------------------
 
@@ -214,6 +227,8 @@ class Engine:
                 for temp_name in self._temps_created:
                     if self.physical.has_entity(temp_name):
                         self.physical.drop_temp(temp_name)
+                        if self.tracer.enabled:
+                            self.tracer.event("temp_cleanup", temp=temp_name)
         local = self.store.buffer.stats.delta_since(buffer_before)
         shard = self._shard_buffer
         self.metrics.buffer = BufferStats(
@@ -248,6 +263,9 @@ class Engine:
         clone._consumed_vars = self._consumed_vars
         clone._fix_cache = {}
         clone._shard_buffer = BufferStats()
+        clone.tracer = NULL_TRACER  # worker spans would race; lanes are
+        clone.request_id = self.request_id  # a shard-session concept
+        clone.progress = None
         clone.profiler = (
             self.profiler.worker_view(clone.metrics)
             if self.profiler is not None
@@ -283,6 +301,9 @@ class Engine:
         clone._consumed_vars = self._consumed_vars
         clone._fix_cache = {}
         clone._shard_buffer = BufferStats()
+        clone.tracer = NULL_TRACER  # shard lanes record via the
+        clone.request_id = self.request_id  # coordinator's child tracers
+        clone.progress = None
         clone.profiler = (
             self.profiler.worker_view(clone.metrics, clone.store.buffer.stats)
             if self.profiler is not None

@@ -158,6 +158,7 @@ def run_fixpoint_serial(
         return fresh
 
     profiler = getattr(engine, "profiler", None)
+    progress = getattr(engine, "progress", None)
 
     # Base round: evaluate every non-recursive part once.
     round_start = time.perf_counter()
@@ -167,6 +168,13 @@ def run_fixpoint_serial(
     if profiler is not None:
         profiler.fix_iteration(
             fix, 0, len(delta), time.perf_counter() - round_start
+        )
+    if progress is not None:
+        progress.round_update(
+            fix=fix.name,
+            round_index=0,
+            delta=len(delta),
+            seconds=time.perf_counter() - round_start,
         )
 
     # Semi-naive rounds: feed only the last round's new tuples back in.
@@ -191,6 +199,13 @@ def run_fixpoint_serial(
                 iterations,
                 len(next_delta),
                 time.perf_counter() - round_start,
+            )
+        if progress is not None:
+            progress.round_update(
+                fix=fix.name,
+                round_index=iterations,
+                delta=len(next_delta),
+                seconds=time.perf_counter() - round_start,
             )
         delta = next_delta
     return temp_name

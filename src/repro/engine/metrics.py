@@ -62,6 +62,26 @@ class RuntimeMetrics:
     #: page reads its session charged.
     tuples_by_shard: Dict[int, int] = field(default_factory=dict)
     reads_by_shard: Dict[int, int] = field(default_factory=dict)
+    #: Wire frames of both exchange legs (the unit the distributed
+    #: cost model charges ``network_per_round`` against).
+    exchange_frames: int = 0
+    #: Coordinator seconds spent blocked on shard futures, and the sum
+    #: of shard-side busy seconds those waits covered.
+    barrier_wait_seconds: float = 0.0
+    shard_busy_seconds: float = 0.0
+    #: Per-round shard load (logical reads + tuples produced): the sum
+    #: over rounds of the round's max-shard load and of its mean shard
+    #: load.  ``observed_skew`` is their ratio — a round-weighted
+    #: average of the per-round max/mean skew.
+    shard_load_max: float = 0.0
+    shard_load_mean: float = 0.0
+
+    def observed_skew(self) -> float:
+        """Measured max/mean shard load across sharded rounds (>= 1.0;
+        1.0 when the plan never ran sharded or load was balanced)."""
+        if self.shard_load_mean <= 0:
+            return 1.0
+        return max(1.0, self.shard_load_max / self.shard_load_mean)
 
     def count_tuple(self, operator: str, node_id: Optional[str] = None) -> None:
         """Count one output tuple for an operator kind (and, when the
@@ -101,7 +121,13 @@ class RuntimeMetrics:
         """
         io = self.buffer.physical_reads + self.index_page_reads
         cpu = self.predicate_evals + self.method_eval_weight
-        return io * page_read_cost + cpu * eval_cost
+        cost = io * page_read_cost + cpu * eval_cost
+        if self.shards_used > 1:
+            # Unit network weights mirror CostParameters' defaults
+            # (network_per_tuple/network_per_round); literals here
+            # because cost/ already imports the engine package.
+            cost += self.exchange_tuples * 0.005 + self.exchange_frames * 0.05
+        return cost
 
     def to_dict(self) -> dict:
         """JSON-serializable form, used by telemetry persistence
@@ -127,6 +153,12 @@ class RuntimeMetrics:
             payload["exchange_rounds"] = self.exchange_rounds
             payload["exchange_tuples"] = self.exchange_tuples
             payload["exchange_bytes"] = self.exchange_bytes
+            payload["exchange_frames"] = self.exchange_frames
+            payload["barrier_wait_seconds"] = round(
+                self.barrier_wait_seconds, 6
+            )
+            payload["shard_busy_seconds"] = round(self.shard_busy_seconds, 6)
+            payload["observed_skew"] = round(self.observed_skew(), 4)
             payload["tuples_by_shard"] = {
                 str(shard): count
                 for shard, count in sorted(self.tuples_by_shard.items())
@@ -157,6 +189,11 @@ class RuntimeMetrics:
         self.exchange_rounds += other.exchange_rounds
         self.exchange_tuples += other.exchange_tuples
         self.exchange_bytes += other.exchange_bytes
+        self.exchange_frames += other.exchange_frames
+        self.barrier_wait_seconds += other.barrier_wait_seconds
+        self.shard_busy_seconds += other.shard_busy_seconds
+        self.shard_load_max += other.shard_load_max
+        self.shard_load_mean += other.shard_load_mean
         self.shards_used = max(self.shards_used, other.shards_used)
         for shard, count in other.tuples_by_shard.items():
             self.tuples_by_shard[shard] = (

@@ -43,6 +43,7 @@ from repro.obs.history import (
     plan_fingerprint,
 )
 from repro.obs.profile import FixIterationProfile, NodeProfile, PlanProfiler
+from repro.obs.progress import ProgressTracker, QueryProgress
 from repro.obs.trace import NULL_TRACER, Span, SpanEvent, Tracer
 
 __all__ = [
@@ -62,6 +63,8 @@ __all__ = [
     "OperatorActual",
     "OperatorEstimate",
     "plan_fingerprint",
+    "ProgressTracker",
+    "QueryProgress",
     "FeedbackConfig",
     "FeedbackManager",
     "PlanChange",

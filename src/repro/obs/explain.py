@@ -33,6 +33,11 @@ __all__ = ["ExplainNode", "ExplainTree", "build_explain", "render_explain"]
 #: actual cost is in the same currency as the model's estimate.
 PAGE_READ_COST = 1.0
 EVAL_COST = 0.1
+#: Network unit weights mirroring RuntimeMetrics.measured_cost (the
+#: CostParameters defaults), so the measured wire volumes price into
+#: the same currency as the distributed model's network estimate.
+NETWORK_TUPLE_COST = 0.005
+NETWORK_FRAME_COST = 0.05
 
 
 @dataclass
@@ -53,6 +58,11 @@ class ExplainNode:
     index_page_reads: Optional[float] = None
     predicate_evals: Optional[int] = None
     fix_iterations: List[dict] = field(default_factory=list)
+    #: Distributed est-vs-act terms for a sharded Fix node:
+    #: ``{"est": {...}, "act": {...}}`` with the network/disk/skew
+    #: decomposition of :mod:`repro.cost.distributed` on the est side
+    #: and the measured exchange volumes on the act side.
+    distributed: Optional[Dict[str, Dict[str, float]]] = None
     children: List["ExplainNode"] = field(default_factory=list)
 
     @property
@@ -81,6 +91,11 @@ class ExplainNode:
             )
         if self.fix_iterations:
             payload["fix_iterations"] = list(self.fix_iterations)
+        if self.distributed is not None:
+            payload["distributed"] = {
+                side: {key: _round(value) for key, value in terms.items()}
+                for side, terms in self.distributed.items()
+            }
         payload["children"] = [child.to_dict() for child in self.children]
         return payload
 
@@ -115,6 +130,18 @@ class ExplainNode:
                     f"/{entry.get('exchange_bytes', 0)}B"
                 )
             lines.append(line + "]")
+        if self.distributed is not None:
+            est = self.distributed.get("est", {})
+            act = self.distributed.get("act", {})
+            lines.append(
+                "[distributed:"
+                f" network est={_fmt(est.get('network'))}"
+                f" act={_fmt(act.get('network'))}"
+                f" | disk est={_fmt(est.get('disk'))}"
+                f" act={_fmt(act.get('disk'))}"
+                f" | skew est={_fmt(est.get('skew'))}"
+                f" act={_fmt(act.get('skew'))}]"
+            )
         return lines
 
 
@@ -230,6 +257,14 @@ def build_explain(
                 explain.fix_iterations = [
                     it.to_dict() for it in profile.fix_iterations
                 ]
+        breakdown = getattr(cost_model, "fix_breakdowns", {}).get(id(node))
+        if breakdown is not None:
+            explain.distributed = {"est": dict(breakdown)}
+            actual = _distributed_actuals(explain.fix_iterations)
+            if actual is not None:
+                if explain.page_reads is not None:
+                    actual["disk"] = float(explain.page_reads) * PAGE_READ_COST
+                explain.distributed["act"] = actual
         explain.children = [build(child) for child in node.children]
         return explain
 
@@ -246,6 +281,32 @@ def render_explain(tree: ExplainTree) -> str:
         return f"  {explain.annotation()}", explain.extra_lines()
 
     return render_tree(tree.plan, annotate=annotate)
+
+
+def _distributed_actuals(iterations: List[dict]) -> Optional[Dict[str, float]]:
+    """Aggregate a Fix node's sharded per-round actuals into the same
+    network/disk/skew terms the distributed cost model estimates."""
+    sharded = [entry for entry in iterations if entry.get("shards") is not None]
+    if not sharded:
+        return None
+    tuples = float(sum(entry.get("exchange_tuples", 0) for entry in sharded))
+    frames = float(sum(entry.get("exchange_frames", 0) for entry in sharded))
+    skews = [entry["skew"] for entry in sharded if entry.get("skew") is not None]
+    actual: Dict[str, float] = {
+        "shards": float(max(entry["shards"] for entry in sharded)),
+        "rounds": float(len(sharded)),
+        "exchange_tuples": tuples,
+        "exchange_frames": frames,
+        "exchange_bytes": float(
+            sum(entry.get("exchange_bytes", 0) for entry in sharded)
+        ),
+        "network": tuples * NETWORK_TUPLE_COST + frames * NETWORK_FRAME_COST,
+        "skew": (sum(skews) / len(skews)) if skews else 1.0,
+        "barrier_wait_ms": float(
+            sum(entry.get("barrier_wait_ms", 0.0) for entry in sharded)
+        ),
+    }
+    return actual
 
 
 def _round(value: Optional[float]) -> Optional[float]:

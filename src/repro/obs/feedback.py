@@ -46,6 +46,7 @@ __all__ = [
     "FeedbackManager",
     "PlanChange",
     "build_observation",
+    "distributed_plan_estimate",
     "operator_estimates",
     "plan_diff",
     "plan_pushes_into_recursion",
@@ -170,6 +171,39 @@ def operator_estimates(plan, cost_model) -> Dict[str, OperatorEstimate]:
     return estimates
 
 
+def distributed_plan_estimate(cost_model) -> Optional[Dict[str, float]]:
+    """Aggregate the cost model's per-Fix distributed term breakdowns
+    (:attr:`~repro.cost.model.DetailedCostModel.fix_breakdowns`, filled
+    by the last ``report``/``annotated_report``) into one plan-level
+    estimate; ``None`` when the plan was costed at ``shards == 1``."""
+    breakdowns = getattr(cost_model, "fix_breakdowns", None)
+    if not breakdowns:
+        return None
+    total: Dict[str, float] = {
+        "shards": 0.0,
+        "rounds": 0.0,
+        "exchange_tuples": 0.0,
+        "exchange_frames": 0.0,
+        "network": 0.0,
+        "disk_base": 0.0,
+        "disk": 0.0,
+        "skew": 1.0,
+    }
+    for breakdown in breakdowns.values():
+        total["shards"] = max(total["shards"], float(breakdown["shards"]))
+        total["skew"] = max(total["skew"], float(breakdown["skew"]))
+        for key in (
+            "rounds",
+            "exchange_tuples",
+            "exchange_frames",
+            "network",
+            "disk_base",
+            "disk",
+        ):
+            total[key] += float(breakdown.get(key, 0.0))
+    return total
+
+
 def build_observation(
     request_id: str,
     estimated_cost: float,
@@ -206,6 +240,20 @@ def build_observation(
     else:
         for node_id, count in runtime.tuples_by_node.items():
             operators[node_id] = OperatorActual(rows=count)
+    distributed = None
+    if getattr(runtime, "shards_used", 0) > 1:
+        distributed = {
+            "shards": float(runtime.shards_used),
+            "rounds": float(runtime.exchange_rounds),
+            "exchange_tuples": float(runtime.exchange_tuples),
+            "exchange_bytes": float(runtime.exchange_bytes),
+            "exchange_frames": float(runtime.exchange_frames),
+            "max_shard_reads": float(
+                max(runtime.reads_by_shard.values(), default=0)
+            ),
+            "observed_skew": runtime.observed_skew(),
+            "barrier_wait_s": runtime.barrier_wait_seconds,
+        }
     return Observation(
         at=time.time(),
         request_id=request_id,
@@ -216,6 +264,7 @@ def build_observation(
         events=events_of(runtime),
         operators=operators,
         profiled=profiler is not None,
+        distributed=distributed,
     )
 
 
@@ -258,11 +307,15 @@ class FeedbackManager:
         """Fingerprint a (new or re-registered) plan and freeze its
         per-node estimates; returns the fingerprint."""
         fingerprint = plan_fingerprint(plan)
+        estimates = operator_estimates(plan, cost_model)
         self.store.register_plan(
             canonical,
             fingerprint,
             plan_cost,
-            operator_estimates(plan, cost_model),
+            estimates,
+            # annotated_report above refreshed the model's per-Fix
+            # distributed breakdowns for exactly this plan.
+            distributed=distributed_plan_estimate(cost_model),
         )
         return fingerprint
 
@@ -389,8 +442,15 @@ class FeedbackManager:
         from repro.cost.calibrate import EVENT_NAMES, fit_from_samples
 
         samples = self.store.calibration_samples()
-        # The fit is underdetermined below one sample per event weight.
-        needed = max(self.config.recalibrate_min_samples, len(EVENT_NAMES))
+        # The fit is underdetermined below one sample per *exercised*
+        # event weight (features the workload never produced — e.g. the
+        # exchange columns on a single-store deployment — cost nothing).
+        exercised = sum(
+            1
+            for name in EVENT_NAMES
+            if any(sample.get(name, 0.0) for sample in samples)
+        )
+        needed = max(self.config.recalibrate_min_samples, exercised)
         if len(samples) < needed:
             raise ServiceError(
                 f"recalibration needs at least {needed} observed "
@@ -398,6 +458,7 @@ class FeedbackManager:
             )
         weights = fit_from_samples(samples)
         params = weights.to_parameters(base)
+        params, distributed_report = self._refit_distributed(params)
         with self._lock:
             self.recalibrations += 1
         report = {
@@ -412,11 +473,51 @@ class FeedbackManager:
                 "eval_per_tuple": params.eval_per_tuple,
                 "tuple_cpu": params.tuple_cpu,
                 "index_page": params.index_page,
+                "network_per_tuple": params.network_per_tuple,
+                "network_per_round": params.network_per_round,
+                "shard_skew": params.shard_skew,
             },
         }
+        if distributed_report is not None:
+            report["distributed"] = distributed_report
         self.last_calibration = report
         self.store.record_event("recalibration", **report)
         return weights, params, report
+
+    def _refit_distributed(self, params: CostParameters):
+        """Refit ``shard_skew`` against the sharded observations: pick
+        the candidate (1.0, each observed skew, their mean, the current
+        value) that minimizes the store's distributed-term q-error.
+        The argmin over a set containing the incumbent guarantees the
+        misestimate never gets worse; on a skewed workload it strictly
+        improves.  No sharded observations -> ``params`` unchanged."""
+        from dataclasses import replace
+
+        before = self.store.distributed_misestimate(params)
+        if before is None:
+            return params, None
+        skews = self.store.observed_skews()
+        candidates = {1.0, max(1.0, params.shard_skew)}
+        candidates.update(skews)
+        if skews:
+            candidates.add(sum(skews) / len(skews))
+        best_skew = max(1.0, params.shard_skew)
+        best_score = before
+        for candidate in sorted(candidates):
+            trial = replace(params, shard_skew=candidate)
+            score = self.store.distributed_misestimate(trial)
+            if score is not None and score < best_score:
+                best_skew, best_score = candidate, score
+        params = replace(params, shard_skew=best_skew)
+        return params, {
+            "sharded_samples": len(skews),
+            "observed_skew": (
+                round(sum(skews) / len(skews), 4) if skews else 1.0
+            ),
+            "shard_skew": round(best_skew, 4),
+            "misestimate_before": round(before, 4),
+            "misestimate_after": round(best_score, 4),
+        }
 
     # -- reporting -----------------------------------------------------------
 

@@ -151,9 +151,14 @@ class Observation:
     #: Per-node actuals keyed by pre-order node id.
     operators: Dict[str, OperatorActual] = field(default_factory=dict)
     profiled: bool = False
+    #: Distributed actuals (None for single-store runs): exchanged
+    #: tuples/bytes/frames, rounds, shard width, the max per-shard
+    #: logical reads, observed max/mean load skew and barrier wait —
+    #: the measured counterparts of the distributed cost terms.
+    distributed: Optional[Dict[str, float]] = None
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "at": round(self.at, 3),
             "request_id": self.request_id,
             "estimated_cost": round(self.estimated_cost, 4),
@@ -167,6 +172,11 @@ class Observation:
             },
             "profiled": self.profiled,
         }
+        if self.distributed is not None:
+            payload["distributed"] = {
+                k: round(float(v), 6) for k, v in self.distributed.items()
+            }
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Observation":
@@ -185,6 +195,14 @@ class Observation:
                 for node_id, op in (payload.get("operators") or {}).items()
             },
             profiled=bool(payload.get("profiled")),
+            distributed=(
+                {
+                    k: float(v)
+                    for k, v in payload["distributed"].items()
+                }
+                if payload.get("distributed")
+                else None
+            ),
         )
 
 
@@ -198,6 +216,11 @@ class PlanHistory:
     estimates: Dict[str, OperatorEstimate] = field(default_factory=dict)
     observations: Deque[Observation] = field(default_factory=deque)
     total_runs: int = 0
+    #: The distributed cost model's term decomposition for the plan's
+    #: fixpoints (summed over Fix nodes): estimated exchange volume,
+    #: network cost, skew-free disk share and assumed skew.  ``None``
+    #: for plans costed at ``shards == 1``.
+    distributed_estimate: Optional[Dict[str, float]] = None
 
     # -- derived -------------------------------------------------------------
 
@@ -262,6 +285,50 @@ class PlanHistory:
             }
         return summary
 
+    def distributed_misestimate(self, params) -> Optional[float]:
+        """Mean q-error of the distributed cost terms — network, disk
+        and skew — under ``params``, over the sharded observations.
+
+        Each observation scores the mean of three symmetric ratios:
+
+        * **network** — the model's exchange charge for the *estimated*
+          wire volume vs. the same charge for the *measured* volume;
+        * **disk** — the skew-inflated per-shard disk share vs. the
+          measured max-shard logical reads (a barrier round is gated by
+          its most loaded shard);
+        * **skew** — ``params.shard_skew`` vs. the observed max/mean
+          shard load.
+
+        ``None`` when the plan has no distributed estimate or no
+        sharded observations; recalibration minimizes this directly.
+        """
+        est = self.distributed_estimate
+        if not est:
+            return None
+        ratios: List[float] = []
+        for obs in self.observations:
+            act = obs.distributed
+            if not act:
+                continue
+            est_network = (
+                est.get("exchange_tuples", 0.0) * params.network_per_tuple
+                + est.get("exchange_frames", 0.0) * params.network_per_round
+            )
+            act_network = (
+                act.get("exchange_tuples", 0.0) * params.network_per_tuple
+                + act.get("exchange_frames", 0.0) * params.network_per_round
+            )
+            est_disk = est.get("disk_base", 0.0) * max(1.0, params.shard_skew)
+            act_disk = act.get("max_shard_reads", 0.0)
+            observed = max(1.0, act.get("observed_skew", 1.0))
+            terms = [
+                q_error(est_network, act_network),
+                q_error(est_disk, act_disk),
+                q_error(max(1.0, params.shard_skew), observed),
+            ]
+            ratios.append(sum(terms) / len(terms))
+        return sum(ratios) / len(ratios) if ratios else None
+
     def mean_operator_misestimate(self) -> Optional[float]:
         """The headline number: the mean per-operator cost q-error
         across profiled runs (falling back to the rows q-error where a
@@ -297,6 +364,14 @@ class PlanHistory:
                 else None
             ),
             "operators": self.operator_misestimates(),
+            "distributed_estimate": (
+                {
+                    k: round(float(v), 4)
+                    for k, v in self.distributed_estimate.items()
+                }
+                if self.distributed_estimate
+                else None
+            ),
             "recent": [
                 obs.to_dict() for obs in list(self.observations)[-recent:]
             ],
@@ -347,23 +422,27 @@ class QueryTelemetryStore:
         fingerprint: str,
         plan_cost: float,
         estimates: Optional[Dict[str, OperatorEstimate]] = None,
+        distributed: Optional[Dict[str, float]] = None,
     ) -> PlanHistory:
         """Create (or refresh the estimates of) one plan history."""
         with self._lock:
             history = self._register_locked(
-                canonical, fingerprint, plan_cost, estimates or {}
+                canonical, fingerprint, plan_cost, estimates or {}, distributed
             )
-            self._persist(
-                {
-                    "kind": "plan",
-                    "fingerprint": fingerprint,
-                    "canonical": canonical,
-                    "plan_cost": round(plan_cost, 4),
-                    "estimates": [
-                        e.to_dict() for e in (estimates or {}).values()
-                    ],
+            record = {
+                "kind": "plan",
+                "fingerprint": fingerprint,
+                "canonical": canonical,
+                "plan_cost": round(plan_cost, 4),
+                "estimates": [
+                    e.to_dict() for e in (estimates or {}).values()
+                ],
+            }
+            if distributed:
+                record["distributed"] = {
+                    k: round(float(v), 6) for k, v in distributed.items()
                 }
-            )
+            self._persist(record)
             return history
 
     def _register_locked(
@@ -372,6 +451,7 @@ class QueryTelemetryStore:
         fingerprint: str,
         plan_cost: float,
         estimates: Dict[str, OperatorEstimate],
+        distributed: Optional[Dict[str, float]] = None,
     ) -> PlanHistory:
         history = self._plans.get(fingerprint)
         if history is None:
@@ -397,6 +477,8 @@ class QueryTelemetryStore:
             history.plan_cost = plan_cost
         if estimates:
             history.estimates = dict(estimates)
+        if distributed:
+            history.distributed_estimate = dict(distributed)
         return history
 
     def record(self, fingerprint: str, observation: Observation) -> None:
@@ -457,6 +539,30 @@ class QueryTelemetryStore:
                         {**obs.events, "target": obs.measured_cost}
                     )
             return samples
+
+    def distributed_misestimate(self, params) -> Optional[float]:
+        """Mean distributed-term q-error under ``params`` across every
+        plan that ran sharded (``None`` if none did) — the objective
+        the feedback loop's distributed recalibration minimizes."""
+        with self._lock:
+            ratios = [
+                value
+                for history in self._plans.values()
+                for value in [history.distributed_misestimate(params)]
+                if value is not None
+            ]
+            return sum(ratios) / len(ratios) if ratios else None
+
+    def observed_skews(self) -> List[float]:
+        """Every sharded observation's measured max/mean load skew —
+        the candidate set distributed recalibration searches over."""
+        with self._lock:
+            return [
+                max(1.0, obs.distributed.get("observed_skew", 1.0))
+                for history in self._plans.values()
+                for obs in history.observations
+                if obs.distributed
+            ]
 
     def misestimate_by_query(self) -> Dict[str, dict]:
         """Per-query-class misestimate summary (the Prometheus gauge
@@ -576,6 +682,14 @@ class QueryTelemetryStore:
                     payload.get("fingerprint", ""),
                     float(payload.get("plan_cost", 0.0)),
                     estimates,
+                    distributed=(
+                        {
+                            k: float(v)
+                            for k, v in payload["distributed"].items()
+                        }
+                        if payload.get("distributed")
+                        else None
+                    ),
                 )
             return True
         if kind == "obs":

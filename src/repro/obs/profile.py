@@ -76,6 +76,13 @@ class FixIterationProfile:
     shards: Optional[int] = None
     exchange_tuples: Optional[int] = None
     exchange_bytes: Optional[int] = None
+    exchange_frames: Optional[int] = None
+    #: Observed max/mean shard load for the round (>= 1.0).
+    skew: Optional[float] = None
+    #: Coordinator seconds blocked on the round's barrier.
+    barrier_wait_s: Optional[float] = None
+    #: Tuples produced per shard this round (shard index -> count).
+    per_shard: Optional[Dict[int, int]] = None
 
     def to_dict(self) -> dict:
         payload = {
@@ -89,6 +96,17 @@ class FixIterationProfile:
             payload["exchange_tuples"] = self.exchange_tuples
         if self.exchange_bytes is not None:
             payload["exchange_bytes"] = self.exchange_bytes
+        if self.exchange_frames is not None:
+            payload["exchange_frames"] = self.exchange_frames
+        if self.skew is not None:
+            payload["skew"] = round(self.skew, 4)
+        if self.barrier_wait_s is not None:
+            payload["barrier_wait_ms"] = round(self.barrier_wait_s * 1000, 3)
+        if self.per_shard is not None:
+            payload["per_shard"] = {
+                str(shard): count
+                for shard, count in sorted(self.per_shard.items())
+            }
         return payload
 
 
@@ -289,9 +307,14 @@ class PlanProfiler:
         shards: Optional[int] = None,
         exchange_tuples: Optional[int] = None,
         exchange_bytes: Optional[int] = None,
+        exchange_frames: Optional[int] = None,
+        skew: Optional[float] = None,
+        barrier_wait_s: Optional[float] = None,
+        per_shard: Optional[Dict[int, int]] = None,
     ) -> None:
         """Record one semi-naive round of a ``Fix`` node; distributed
-        rounds also pass their shard width and exchange volume."""
+        rounds also pass their shard width, exchange volume, observed
+        skew, barrier wait and per-shard production."""
         profile = self.profile_for(node)
         if profile is not None:
             profile.fix_iterations.append(
@@ -302,6 +325,10 @@ class PlanProfiler:
                     shards=shards,
                     exchange_tuples=exchange_tuples,
                     exchange_bytes=exchange_bytes,
+                    exchange_frames=exchange_frames,
+                    skew=skew,
+                    barrier_wait_s=barrier_wait_s,
+                    per_shard=per_shard,
                 )
             )
 

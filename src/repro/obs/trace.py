@@ -110,14 +110,33 @@ class Span:
 
 
 class Tracer:
-    """Collects a tree of spans plus their events."""
+    """Collects a tree of spans plus their events.
+
+    A tracer can carry child tracers, one per *lane*: the distributed
+    fixpoint gives every shard its own thread-confined tracer and
+    adopts them into the coordinator's (:meth:`adopt`/:meth:`child`),
+    so one request's spans stitch into a single trace —
+    :meth:`to_chrome_trace` renders each lane as its own ``tid`` row
+    (a coordinator lane plus one per shard), all against one shared
+    time origin.  ``trace_id`` names the whole stitched trace; child
+    lanes inherit it.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        trace_id: Optional[str] = None,
+        lane: Optional[str] = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.lane = lane
         self.spans: List[Span] = []
         #: Events fired while no span was open.
         self.orphan_events: List[SpanEvent] = []
+        #: Lane name -> adopted child tracer (insertion-ordered; the
+        #: Chrome export assigns tids in this order).
+        self.children: Dict[str, "Tracer"] = {}
         self._stack: List[int] = []
 
     # -- recording ----------------------------------------------------------
@@ -137,6 +156,24 @@ class Tracer:
         else:
             self.orphan_events.append(event)
 
+    # -- lanes --------------------------------------------------------------
+
+    def child(self, lane: str) -> "Tracer":
+        """Create and adopt a child tracer for ``lane`` (e.g.
+        ``"shard0"``).  The child inherits the trace id and is safe to
+        record into from another thread — it has its own span stack —
+        as long as one thread owns it at a time."""
+        tracer = Tracer(trace_id=self.trace_id, lane=lane)
+        self.adopt(lane, tracer)
+        return tracer
+
+    def adopt(self, lane: str, tracer: "Tracer") -> None:
+        """Stitch an independently recorded tracer in as a lane."""
+        tracer.lane = lane
+        if tracer.trace_id is None:
+            tracer.trace_id = self.trace_id
+        self.children[lane] = tracer
+
     # -- queries ------------------------------------------------------------
 
     def find(self, name: str) -> List[Span]:
@@ -154,50 +191,93 @@ class Tracer:
 
     def to_dict(self) -> dict:
         """Plain JSON-serializable form (spans in creation order)."""
-        return {
+        payload: Dict[str, Any] = {
             "spans": [span.to_dict() for span in self.spans],
             "orphan_events": [e.to_dict() for e in self.orphan_events],
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        if self.lane is not None:
+            payload["lane"] = self.lane
+        if self.children:
+            payload["lanes"] = {
+                lane: child.to_dict()
+                for lane, child in self.children.items()
+            }
+        return payload
+
+    def _lanes(self) -> List[tuple]:
+        """``(tid, lane_name, tracer)`` rows: this tracer on tid 1
+        (the coordinator lane when children exist), children on 2..N
+        in adoption order."""
+        lanes = [(1, self.lane or ("coordinator" if self.children else "main"), self)]
+        for index, (lane, child) in enumerate(self.children.items()):
+            lanes.append((2 + index, lane, child))
+        return lanes
 
     def to_chrome_trace(self) -> dict:
         """The Chrome Trace Event Format (open in ``chrome://tracing``
         or https://ui.perfetto.dev): spans become complete ``X``
-        events, span events become instant ``i`` events."""
+        events, span events become instant ``i`` events.  Adopted lane
+        tracers are stitched in against one shared time origin, each
+        lane on its own ``tid`` with a ``thread_name`` metadata row."""
+        lanes = self._lanes()
         origin = min(
-            (span.start for span in self.spans if span.start), default=0.0
+            (
+                span.start
+                for _tid, _name, tracer in lanes
+                for span in tracer.spans
+                if span.start
+            ),
+            default=0.0,
         )
 
         def micros(seconds: float) -> float:
             return round((seconds - origin) * 1e6, 3)
 
         trace_events: List[dict] = []
-        for span in self.spans:
-            end = span.end if span.end is not None else span.start
-            trace_events.append(
-                {
-                    "name": span.name,
-                    "cat": "repro",
-                    "ph": "X",
-                    "ts": micros(span.start),
-                    "dur": round((end - span.start) * 1e6, 3),
-                    "pid": 1,
-                    "tid": 1,
-                    "args": _chrome_args(span.attributes),
-                }
-            )
-            for event in span.events:
+        if self.children or self.lane:
+            for tid, name, _tracer in lanes:
                 trace_events.append(
                     {
-                        "name": event.name,
-                        "cat": "repro",
-                        "ph": "i",
-                        "s": "t",
-                        "ts": micros(event.at),
+                        "name": "thread_name",
+                        "ph": "M",
                         "pid": 1,
-                        "tid": 1,
-                        "args": _chrome_args(event.attributes),
+                        "tid": tid,
+                        "args": {"name": name},
                     }
                 )
+        for tid, _name, tracer in lanes:
+            common = {}
+            if tracer.trace_id is not None:
+                common["trace_id"] = tracer.trace_id
+            for span in tracer.spans:
+                end = span.end if span.end is not None else span.start
+                trace_events.append(
+                    {
+                        "name": span.name,
+                        "cat": "repro",
+                        "ph": "X",
+                        "ts": micros(span.start),
+                        "dur": round((end - span.start) * 1e6, 3),
+                        "pid": 1,
+                        "tid": tid,
+                        "args": {**common, **_chrome_args(span.attributes)},
+                    }
+                )
+                for event in span.events:
+                    trace_events.append(
+                        {
+                            "name": event.name,
+                            "cat": "repro",
+                            "ph": "i",
+                            "s": "t",
+                            "ts": micros(event.at),
+                            "pid": 1,
+                            "tid": tid,
+                            "args": _chrome_args(event.attributes),
+                        }
+                    )
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
 

@@ -151,6 +151,11 @@ class ServiceClient:
             payload["limit"] = limit
         return self.request(payload)
 
+    def progress(self) -> dict:
+        """Live fixpoint progress of in-flight (and just-finished)
+        queries — the payload ``repro top`` renders."""
+        return self.request({"op": "progress"})["progress"]
+
     def recalibrate(self, apply: bool = False) -> dict:
         """Fit cost-model weights from accumulated telemetry; with
         ``apply``, hot-swap them into the serving path."""

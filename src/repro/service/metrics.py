@@ -188,6 +188,9 @@ class ServiceMetrics:
         #: the bucket counters across restarts; the percentile summary
         #: above only covers the recent window).
         self.latency_histogram = LatencyHistogram()
+        #: Cumulative fixpoint-round latency histogram, fed by the live
+        #: progress tracker (one observation per semi-naive round).
+        self.round_histogram = LatencyHistogram()
         #: Labelled gauges: name -> (help text, {labels-tuple: value}).
         #: The feedback loop publishes per-query-class misestimate
         #: ratios here.
@@ -249,6 +252,38 @@ class ServiceMetrics:
             samples[label_key] = value
             self.gauges[name] = (help_text or help_known, samples)
 
+    def observe_round(
+        self,
+        seconds: float,
+        barrier_fraction: Optional[float] = None,
+        skew: Optional[float] = None,
+        shards: int = 1,
+    ) -> None:
+        """Record one semi-naive fixpoint round: its latency into the
+        round histogram, and — for distributed rounds — the fraction of
+        the round the coordinator spent blocked on the barrier and the
+        observed max/mean shard skew as gauges."""
+        with self._lock:
+            self.round_histogram.observe(seconds)
+        # set_gauge takes the same (non-reentrant) lock — call it after
+        # releasing ours.
+        if barrier_fraction is not None:
+            self.set_gauge(
+                "fixpoint_barrier_wait_fraction",
+                max(0.0, min(1.0, barrier_fraction)),
+                "Fraction of the last distributed round the coordinator "
+                "spent blocked on the shard barrier.",
+                labels={"shards": str(shards)},
+            )
+        if skew is not None:
+            self.set_gauge(
+                "fixpoint_shard_skew",
+                max(1.0, skew),
+                "Observed max/mean shard load of the last distributed "
+                "round.",
+                labels={"shards": str(shards)},
+            )
+
     def record_slow(self, record: QueryRecord, reasons: List[str]) -> None:
         """Admit one query into the slow-query log."""
         with self._lock:
@@ -295,6 +330,7 @@ class ServiceMetrics:
                 "page_reads": self.runtime.buffer.physical_reads,
                 "predicate_evals": self.runtime.predicate_evals,
                 "latency_histogram": self.latency_histogram.snapshot(),
+                "round_latency_histogram": self.round_histogram.snapshot(),
                 "recent": [r.to_dict() for r in list(self.recent)[-10:]],
                 "slow": list(self.slow),
             }
@@ -392,6 +428,14 @@ class ServiceMetrics:
                 self.latency_histogram.exposition(
                     "repro_execute_latency_hist_seconds",
                     "Execute latency histogram (cumulative since start).",
+                )
+            )
+
+            lines.extend(
+                self.round_histogram.exposition(
+                    "repro_fixpoint_round_seconds",
+                    "Semi-naive fixpoint round latency histogram "
+                    "(cumulative since start).",
                 )
             )
 

@@ -45,6 +45,7 @@ from repro.obs.feedback import (
     build_observation,
 )
 from repro.obs.profile import PlanProfiler
+from repro.obs.progress import ProgressTracker
 from repro.obs.trace import Tracer
 from repro.physical.storage import Oid, StoredRecord
 from repro.service import protocol
@@ -193,7 +194,27 @@ class QueryService:
         #: as unique as a uuid per request but far cheaper to mint.
         self._request_prefix = uuid.uuid4().hex[:8]
         self._request_counter = itertools.count(1)
+        #: Live fixpoint introspection: every served query registers a
+        #: progress handle here; the ``progress`` op (and ``repro top``)
+        #: read its snapshot, and each round feeds the round-latency
+        #: histogram and skew/barrier gauges.
+        self.progress = ProgressTracker(on_round=self._observe_round)
         self.started_at = time.time()
+
+    def _observe_round(self, record: dict) -> None:
+        """Progress-tracker callback: fold one fixpoint round into the
+        service metrics (histogram + gauges)."""
+        seconds = float(record.get("ms", 0.0)) / 1000.0
+        barrier_ms = record.get("barrier_wait_ms")
+        barrier_fraction = None
+        if barrier_ms is not None and seconds > 0:
+            barrier_fraction = (float(barrier_ms) / 1000.0) / seconds
+        self.metrics.observe_round(
+            seconds,
+            barrier_fraction=barrier_fraction,
+            skew=record.get("skew"),
+            shards=int(record.get("shards", 1)),
+        )
 
     def _next_request_id(self) -> str:
         return f"{self._request_prefix}{next(self._request_counter):08x}"
@@ -296,6 +317,18 @@ class QueryService:
         """A fresh optimizer honouring the hot-swapped parameters."""
         return cost_controlled_optimizer(self.physical, self._current_model())
 
+    def _model_for(self, width: int) -> Optional[DetailedCostModel]:
+        """A cost model priced for ``width`` shards (per-request
+        EXPLAIN/trace fan-out), falling back to the serving default."""
+        if width <= 1:
+            return self._current_model()
+        from dataclasses import replace
+
+        params = replace(
+            self._cost_params or self._default_params(), shards=width
+        )
+        return DetailedCostModel(self.physical, params)
+
     def _cluster_for(self, width: int):
         """The shared shard cluster for ``width`` shards, built lazily
         on first use.  Callers hold ``_store_lock`` (cluster
@@ -382,6 +415,10 @@ class QueryService:
         # whichever dimension is wider — capped by the slot pool, and
         # the engine runs with exactly the granted widths.
         weight = max(requested, requested_shards)
+        # Minted before execution so the running query is addressable:
+        # shard-worker thread names, exchange frames, dist log lines and
+        # the live progress view all carry this id while the query runs.
+        request_id = self._next_request_id()
         with self.admission.slot(weight=weight) as granted:
             granted_parallelism = min(requested, granted)
             granted_shards = min(requested_shards, granted)
@@ -399,7 +436,17 @@ class QueryService:
                     shards=granted_shards,
                     cluster=self._cluster_for(granted_shards),
                 )
-                execution = engine.execute(plan, cancel=token, profiler=profiler)
+                engine.request_id = request_id
+                handle = self.progress.begin(
+                    request_id, query=key[0], shards=granted_shards
+                )
+                engine.progress = handle
+                try:
+                    execution = engine.execute(
+                        plan, cancel=token, profiler=profiler
+                    )
+                finally:
+                    self.progress.finish(handle)
             execute_elapsed = time.perf_counter() - execute_started
 
         measured = execution.metrics.measured_cost()
@@ -411,7 +458,7 @@ class QueryService:
             optimize_seconds=optimize_elapsed,
             execute_seconds=execute_elapsed,
             rows=len(execution.rows),
-            request_id=self._next_request_id(),
+            request_id=request_id,
             batch_size=engine.batch_size,
             shards=granted_shards,
             exchange_tuples=execution.metrics.exchange_tuples,
@@ -696,16 +743,23 @@ class QueryService:
         params: Optional[dict] = None,
         analyze: bool = False,
         timeout: Optional[float] = None,
+        shards: Optional[int] = None,
     ) -> dict:
         """``EXPLAIN [ANALYZE]``: optimize (always from scratch — the
         point is to audit the optimizer, not the cache) and, when
         ``analyze`` is set, execute under a profiler so every operator
-        carries actual rows/cost/time next to the estimates."""
+        carries actual rows/cost/time next to the estimates.  With
+        ``shards`` > 1 the plan is both costed *and* executed at that
+        fan-out, so sharded Fix nodes carry distributed est-vs-act
+        terms (network/disk/skew)."""
         substituted = substitute_params(text, params)
         request_id = self._next_request_id()
+        width = max(1, shards or 1)
         with self._store_lock:
             graph = compile_text(substituted, self.database.catalog)
-            optimizer = self._optimizer()
+            optimizer = cost_controlled_optimizer(
+                self.physical, self._model_for(width)
+            )
             result = optimizer.optimize(graph)
             profiler: Optional[PlanProfiler] = None
             rows = None
@@ -717,7 +771,10 @@ class QueryService:
                 engine = Engine(
                     self.physical,
                     max_fix_iterations=self.config.max_fix_iterations,
+                    shards=width,
+                    cluster=self._cluster_for(width),
                 )
+                engine.request_id = request_id
                 execution = engine.execute(
                     result.plan, cancel=token, profiler=profiler
                 )
@@ -725,6 +782,7 @@ class QueryService:
             tree = build_explain(result.plan, optimizer.cost_model, profiler)
         payload = {
             "request_id": request_id,
+            "shards": width,
             "analyzed": analyze,
             "estimated_cost": round(result.cost, 2),
             "plans_costed": result.plans_costed,
@@ -745,15 +803,22 @@ class QueryService:
         params: Optional[dict] = None,
         execute: bool = True,
         timeout: Optional[float] = None,
+        shards: Optional[int] = None,
     ) -> dict:
         """Full-pipeline trace: optimizer spans/events plus (when
-        ``execute`` is set) the per-operator runtime profile."""
+        ``execute`` is set) the per-operator runtime profile.  With
+        ``shards`` > 1 the query executes distributed and the tracer is
+        handed to the engine, so the exported Chrome trace carries one
+        lane per shard next to the coordinator lane."""
         substituted = substitute_params(text, params)
         request_id = self._next_request_id()
-        tracer = Tracer()
+        width = max(1, shards or 1)
+        tracer = Tracer(trace_id=request_id if width > 1 else None)
         with self._store_lock:
             graph = compile_text(substituted, self.database.catalog)
-            optimizer = self._optimizer()
+            optimizer = cost_controlled_optimizer(
+                self.physical, self._model_for(width)
+            )
             with tracer.span("optimize"):
                 result = optimizer.optimize(graph, tracer=tracer)
             profiler: Optional[PlanProfiler] = None
@@ -765,13 +830,18 @@ class QueryService:
                 engine = Engine(
                     self.physical,
                     max_fix_iterations=self.config.max_fix_iterations,
+                    shards=width,
+                    cluster=self._cluster_for(width),
                 )
+                engine.request_id = request_id
+                engine.tracer = tracer
                 with tracer.span("execute"):
                     engine.execute(
                         result.plan, cancel=token, profiler=profiler
                     )
         payload = {
             "request_id": request_id,
+            "shards": width,
             "estimated_cost": round(result.cost, 2),
             "trace": tracer.to_dict(),
             "chrome_trace": tracer.to_chrome_trace(),
@@ -871,6 +941,7 @@ class QueryService:
             request.get("params"),
             analyze=bool(request.get("analyze")),
             timeout=_timeout_field(request),
+            shards=_shards_field(request),
         )
 
     def _op_trace(self, request: dict) -> dict:
@@ -882,7 +953,16 @@ class QueryService:
             request.get("params"),
             execute=request.get("execute", True) is not False,
             timeout=_timeout_field(request),
+            shards=_shards_field(request),
         )
+
+    def _op_progress(self, request: dict) -> dict:
+        """Live introspection for ``repro top``: per-query fixpoint
+        rounds plus the admission slot picture."""
+        payload = self.progress.snapshot()
+        payload["admission"] = self.admission.snapshot()
+        payload["uptime_seconds"] = round(time.time() - self.started_at, 3)
+        return {"progress": payload}
 
     def _op_metrics(self, request: dict) -> dict:
         return {"metrics": self.metrics_text()}
