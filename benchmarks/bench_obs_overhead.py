@@ -1,0 +1,198 @@
+"""OBS-OVERHEAD — the cost-controlled observability claim, measured.
+
+Three claims of the always-on observability layer, each emitted into
+``results/BENCH_obs_overhead.json`` and gated by
+``check_regression.py``:
+
+* **overhead** — with the default 5% budget, serving throughput with
+  the governor on stays within 3% of the same service with
+  observability off (``ratio >= 0.97``).  The governor earns this by
+  degrading the hot classes to deterministic head sampling the moment
+  their modeled probe/span spend crosses the budget.
+
+* **anomaly capture** — while a cheap hot class saturates the budget,
+  queries of an *anomalous* class still yield complete tail-sampled
+  artifacts (anomaly flagged + full detail committed) at a >= 95%
+  rate: minor classes are never degraded, and the first anomaly pins
+  its class to full detail.
+
+* **replay** — a flight-recorder bundle captured during the anomaly
+  storm re-executes deterministically (`matched` plan + answer
+  fingerprints) on a store rebuilt from the bundle's recipe.
+"""
+
+import time
+from statistics import median
+
+from repro.obs.recorder import database_from_config, load_bundle, replay_bundle
+from repro.service import QueryService, ServiceConfig
+
+RECIPE = {"db": "music", "seed": 21, "lineages": 3, "generations": 6}
+
+SCAN = "select [name: x.name] from x in Composer where x.birthyear >= 1700;"
+
+FIG3 = """
+view Influencer as
+  select [master: x.master, disciple: x, gen: 1] from x in Composer
+  union
+  select [master: i.master, disciple: x, gen: i.gen + 1]
+  from i in Influencer, x in Composer where i.disciple = x.master;
+select [name: i.disciple.name, gen: i.gen] from i in Influencer where i.gen >= 2;
+"""
+
+WORKLOAD = [SCAN, FIG3]
+
+#: Interleaved measurement passes (one off + one on request per query
+#: per pass).
+PASSES = 360
+
+REQUIRED_RATIO = 0.97
+REQUIRED_CAPTURE = 0.95
+
+
+def build_service(obs_budget, **overrides):
+    config = dict(
+        obs_budget=obs_budget,
+        database_config=RECIPE,
+        slow_query_seconds=None,
+    )
+    config.update(overrides)
+    return QueryService(database_from_config(RECIPE), ServiceConfig(**config))
+
+
+def timed_request(service, text, samples) -> None:
+    start = time.perf_counter()
+    response = service.handle({"op": "query", "text": text})
+    samples[text].append(time.perf_counter() - start)
+    assert response["ok"], response
+
+
+def measure_overhead() -> dict:
+    off = build_service(obs_budget=None)
+    on = build_service(obs_budget=0.05)
+    # Warm plan caches, and let the governor settle into steady-state
+    # sampling probabilities before the clock starts.
+    for _ in range(10):
+        for service in (off, on):
+            for text in WORKLOAD:
+                service.handle({"op": "query", "text": text})
+    # Block qps on a shared box is hopeless for a 3% gate: machine
+    # drift (turbo, cache residency, scheduler stalls) swings raw
+    # throughput tens of percent between blocks seconds apart.  So the
+    # two services are interleaved at *request* granularity — each
+    # pass runs every workload query once on each service,
+    # milliseconds apart, alternating which goes first — and compared
+    # on per-query latency *medians*, which shrug off the multi-ms
+    # stall outliers that wreck a mean.  Off-vs-off, this estimator
+    # closes well within 1%.
+    off_samples = {text: [] for text in WORKLOAD}
+    on_samples = {text: [] for text in WORKLOAD}
+    for index in range(PASSES):
+        ordered = (
+            ((off, off_samples), (on, on_samples))
+            if index % 2 == 0
+            else ((on, on_samples), (off, off_samples))
+        )
+        for text in WORKLOAD:
+            for service, samples in ordered:
+                timed_request(service, text, samples)
+    off_cost = sum(median(times) for times in off_samples.values())
+    on_cost = sum(median(times) for times in on_samples.values())
+    return {
+        "obs_off_qps": round(len(WORKLOAD) / off_cost, 1),
+        "obs_on_qps": round(len(WORKLOAD) / on_cost, 1),
+        "ratio": round(off_cost / on_cost, 4),
+        "required_ratio": REQUIRED_RATIO,
+        "budget": 0.05,
+        "governor": on.governor.snapshot(),
+    }
+
+
+def measure_anomaly_capture(tmp_dir: str, injected: int = 30) -> dict:
+    service = build_service(
+        obs_budget=0.05, bundle_dir=tmp_dir, anomaly_min_samples=5
+    )
+    db_buffer = service.physical.store.buffer
+    # Saturate the budget with the cheap hot class, and warm the
+    # anomaly class's latency baseline.
+    for _ in range(30):
+        service.handle({"op": "query", "text": SCAN})
+        service.handle({"op": "query", "text": FIG3})
+    # The incident: page reads suddenly cost 20ms each.
+    db_buffer.io_latency = 0.02
+    captured = 0
+    bundle_path = None
+    for _ in range(injected):
+        db_buffer.clear()
+        response = service.handle({"op": "query", "text": FIG3})
+        obs = response["obs"]
+        if obs["sampled"] and obs.get("anomalies"):
+            captured += 1
+        bundle_path = obs.get("bundle", bundle_path)
+    return {
+        "injected": injected,
+        "captured": captured,
+        "rate": round(captured / injected, 4),
+        "required_rate": REQUIRED_CAPTURE,
+        "bundle": bundle_path,
+    }
+
+
+def test_obs_overhead(report, table, tmp_path):
+    overhead = measure_overhead()
+    capture = measure_anomaly_capture(str(tmp_path / "bundles"))
+
+    replay = {"matched": False}
+    if capture["bundle"]:
+        bundle = load_bundle(capture["bundle"])
+        report_dict = replay_bundle(bundle)
+        replay = {
+            "matched": report_dict["matched"],
+            "plan_match": report_dict["plan_match"],
+            "answer_match": report_dict["answer_match"],
+            "row_count": report_dict["row_count"],
+        }
+
+    rows = [
+        (
+            "obs-on/off throughput",
+            f"{overhead['ratio']:.3f}",
+            f">= {REQUIRED_RATIO}",
+            "ok" if overhead["ratio"] >= REQUIRED_RATIO else "FAIL",
+        ),
+        (
+            "anomaly capture rate",
+            f"{capture['rate']:.3f}",
+            f">= {REQUIRED_CAPTURE}",
+            "ok" if capture["rate"] >= REQUIRED_CAPTURE else "FAIL",
+        ),
+        (
+            "bundle replay matched",
+            str(replay["matched"]),
+            "True",
+            "ok" if replay["matched"] else "FAIL",
+        ),
+    ]
+    text = table(("claim", "measured", "required", ""), rows)
+    text += (
+        f"\nobs-off {overhead['obs_off_qps']:.1f} qps, "
+        f"obs-on {overhead['obs_on_qps']:.1f} qps "
+        f"(budget {overhead['budget']:.0%}); "
+        f"{capture['captured']}/{capture['injected']} injected anomalies "
+        "yielded full tail-sampled artifacts\n"
+    )
+    report(
+        "obs_overhead",
+        text,
+        data={
+            "overhead": overhead,
+            "anomaly_capture": {
+                k: v for k, v in capture.items() if k != "bundle"
+            },
+            "replay": replay,
+        },
+    )
+
+    assert overhead["ratio"] >= REQUIRED_RATIO
+    assert capture["rate"] >= REQUIRED_CAPTURE
+    assert replay["matched"]

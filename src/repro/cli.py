@@ -46,12 +46,6 @@ from repro.engine import Engine
 from repro.errors import ReproError
 from repro.lang import compile_text
 from repro.plans import render_tree
-from repro.workloads import (
-    MusicConfig,
-    PartsConfig,
-    generate_music_database,
-    generate_parts_database,
-)
 
 __all__ = ["main", "build_parser"]
 
@@ -310,6 +304,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="automatically pin the prior plan when a regression is "
         "flagged",
     )
+    serve_parser.add_argument(
+        "--obs-budget",
+        type=float,
+        default=0.05,
+        metavar="FRACTION",
+        help="observability budget as a fraction of query wall time; "
+        "the overhead governor degrades tracing/profiling detail per "
+        "query class to stay under it (0 disables the governor)",
+    )
+    serve_parser.add_argument(
+        "--log-format",
+        choices=["text", "json"],
+        default="text",
+        help="structured log output format",
+    )
+    serve_parser.add_argument(
+        "--bundle-dir",
+        default=None,
+        metavar="DIR",
+        help="write flight-recorder bundles (anomalies, diagnose) to "
+        "this directory",
+    )
+    serve_parser.add_argument(
+        "--history-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="size cap for the telemetry JSONL file; the oldest "
+        "observations are compacted away on overflow",
+    )
     add_common(serve_parser)
 
     def add_client(p):
@@ -365,7 +389,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="release a pinned plan",
     )
+    feedback_parser.add_argument(
+        "--governor",
+        action="store_true",
+        help="print the overhead governor's sampling state, anomaly "
+        "baselines, and flight-recorder ledger",
+    )
     add_client(feedback_parser)
+
+    diagnose_parser = sub.add_parser(
+        "diagnose",
+        help="run a query at full observability detail on a running "
+        "server and record a flight-recorder bundle",
+    )
+    diagnose_parser.add_argument("query_file")
+    diagnose_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="execute the diagnostic run at this shard fan-out",
+    )
+    add_client(diagnose_parser)
+
+    replay_parser = sub.add_parser(
+        "replay",
+        help="deterministically re-execute a flight-recorder bundle "
+        "and verify plan + answer fingerprints",
+    )
+    replay_parser.add_argument("bundle")
+    replay_parser.add_argument(
+        "--json", action="store_true", help="print the raw match report"
+    )
 
     top_parser = sub.add_parser(
         "top",
@@ -393,26 +447,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _database_config(args) -> dict:
+    """The seeded generator recipe of the CLI's database arguments —
+    the same dict flight-recorder bundles embed, so a bundle recorded
+    by ``repro serve`` replays against a bit-identical store."""
+    return {
+        "db": args.db,
+        "seed": args.seed,
+        "lineages": args.lineages,
+        "generations": args.generations,
+        "selectivity": args.selectivity,
+        "buffer_pages": args.buffer_pages,
+    }
+
+
 def _build_database(args):
-    if args.db == "parts":
-        return generate_parts_database(
-            PartsConfig(
-                assemblies=max(1, args.lineages // 2),
-                depth=max(2, args.generations // 2),
-                seed=args.seed,
-            )
-        )
-    db = generate_music_database(
-        MusicConfig(
-            lineages=args.lineages,
-            generations=args.generations,
-            selective_fraction=args.selectivity,
-            buffer_pages=args.buffer_pages,
-            seed=args.seed,
-        )
-    )
-    db.build_paper_indexes()
-    return db
+    from repro.obs.recorder import database_from_config
+
+    return database_from_config(_database_config(args))
 
 
 def _optimizer(args, physical):
@@ -663,6 +715,7 @@ def cmd_serve(args, out, server_box=None) -> int:
     ``--metrics-port``, the :class:`~repro.service.server.MetricsServer`)
     is appended to it so the caller can reach the bound ports and stop
     the servers."""
+    from repro.obs.log import configure_logging
     from repro.service import (
         MetricsServer,
         QueryServer,
@@ -670,6 +723,7 @@ def cmd_serve(args, out, server_box=None) -> int:
         ServiceConfig,
     )
 
+    configure_logging(args.log_format)
     db = _build_database(args)
     service = QueryService(
         db,
@@ -691,6 +745,10 @@ def cmd_serve(args, out, server_box=None) -> int:
             regression_ratio=args.regression_ratio,
             profile_sample_every=args.profile_sample_every,
             auto_pin=args.auto_pin,
+            obs_budget=args.obs_budget or None,
+            bundle_dir=args.bundle_dir,
+            history_max_bytes=args.history_max_bytes,
+            database_config=_database_config(args),
         ),
     )
     server = QueryServer(
@@ -783,6 +841,58 @@ def cmd_feedback(args, out) -> int:
             return handle.read()
 
     with ServiceClient(args.host, args.port) as client:
+        if args.governor:
+            result = client.governor()
+            if args.json:
+                print(json.dumps(result, indent=2, default=str), file=out)
+                return 0
+            if not result.get("enabled"):
+                print(
+                    "overhead governor is disabled on this server "
+                    "(start it with --obs-budget)",
+                    file=out,
+                )
+            governor = result.get("governor") or {}
+            if governor:
+                decisions = governor.get("decisions", {})
+                print(
+                    f"budget {governor['budget']:.1%}  "
+                    f"spent {governor['spent_fraction']:.2%}  "
+                    f"decisions full={decisions.get('full', 0)} "
+                    f"head={decisions.get('head', 0)} "
+                    f"skip={decisions.get('skip', 0)}",
+                    file=out,
+                )
+                for cls in governor.get("classes", []):
+                    line = (
+                        f"  {cls['query_class']}: "
+                        f"p={cls['probability']:.3f} runs={cls['runs']} "
+                        f"sampled={cls['sampled_runs']} "
+                        f"anomalies={cls['anomalies']}"
+                    )
+                    if cls.get("pinned"):
+                        line += " [pinned]"
+                    print(line, file=out)
+            anomalies = result.get("anomalies") or {}
+            if anomalies:
+                print(
+                    f"anomalies: {anomalies['flagged']} flagged / "
+                    f"{anomalies['observed']} observed "
+                    f"(threshold z>{anomalies['threshold']:g})",
+                    file=out,
+                )
+            recorder = result.get("recorder") or {}
+            sink = (
+                f" -> {recorder['directory']}"
+                if recorder.get("directory")
+                else " (in memory)"
+            )
+            print(
+                f"bundles: {recorder.get('written', 0)} written, "
+                f"{recorder.get('suppressed', 0)} suppressed{sink}",
+                file=out,
+            )
+            return 0
         if args.pin:
             result = client.pin(read_file(args.pin), revert=args.revert)
             if args.json:
@@ -925,6 +1035,70 @@ def _render_top(payload: dict, out) -> None:
         print(line, file=out)
 
 
+def cmd_diagnose(args, out) -> int:
+    """``repro diagnose``: record a full-detail flight-recorder bundle
+    for one query on a running server."""
+    import json
+
+    from repro.service import ServiceClient
+
+    with open(args.query_file) as handle:
+        text = handle.read()
+    with ServiceClient(args.host, args.port) as client:
+        result = client.diagnose(text, shards=args.shards)
+    if args.json:
+        print(json.dumps(result, indent=2, default=str), file=out)
+        return 0
+    print(f"request     : {result['request_id']}", file=out)
+    print(f"query class : {result['query_class']}", file=out)
+    print(f"rows        : {result['row_count']}", file=out)
+    print(f"plan fp     : {result['plan_fingerprint']}", file=out)
+    print(f"answer fp   : {result['answer_fingerprint']}", file=out)
+    bundle = result.get("bundle")
+    if bundle:
+        print(f"bundle      : {bundle}", file=out)
+    else:
+        print(
+            "bundle      : kept in server memory (start the server "
+            "with --bundle-dir to persist bundles)",
+            file=out,
+        )
+    return 0
+
+
+def cmd_replay(args, out) -> int:
+    """``repro replay``: deterministically re-execute a bundle and
+    verify its plan and answer fingerprints."""
+    import json
+
+    from repro.obs.recorder import load_bundle, replay_bundle
+
+    report = replay_bundle(load_bundle(args.bundle))
+    if args.json:
+        print(json.dumps(report, indent=2, default=str), file=out)
+        return 0 if report["matched"] else 1
+    print(f"schema match: {report['schema_match']}", file=out)
+    print(
+        f"plan        : {report['plan_fingerprint']} vs recorded "
+        f"{report['expected_plan_fingerprint']} -> "
+        f"{'match' if report['plan_match'] else 'MISMATCH'}",
+        file=out,
+    )
+    print(
+        f"answer      : {report['answer_fingerprint']} vs recorded "
+        f"{report['expected_answer_fingerprint']} -> "
+        f"{'match' if report['answer_match'] else 'MISMATCH'}",
+        file=out,
+    )
+    print(
+        f"rows        : {report['row_count']} "
+        f"(recorded {report['expected_row_count']})",
+        file=out,
+    )
+    print("REPLAY OK" if report["matched"] else "REPLAY FAILED", file=out)
+    return 0 if report["matched"] else 1
+
+
 def cmd_demo(args, out) -> int:
     import tempfile
 
@@ -957,6 +1131,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return cmd_feedback(args, out)
         if args.command == "top":
             return cmd_top(args, out)
+        if args.command == "diagnose":
+            return cmd_diagnose(args, out)
+        if args.command == "replay":
+            return cmd_replay(args, out)
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

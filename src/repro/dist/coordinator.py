@@ -33,7 +33,6 @@ extents — failure semantics are documented in
 
 from __future__ import annotations
 
-import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -49,6 +48,7 @@ from repro.engine.parallel import (
     partitionable,
 )
 from repro.errors import FixpointLimitError
+from repro.obs.log import get_logger
 from repro.obs.trace import NULL_TRACER
 from repro.physical.schema import PhysicalSchema
 from repro.physical.storage import StoredRecord
@@ -56,7 +56,9 @@ from repro.plans.nodes import Fix, PlanNode
 
 __all__ = ["ShardCluster", "run_fixpoint_distributed"]
 
-logger = logging.getLogger("repro.dist")
+#: Structured logger: request id / shard / round travel as fields (see
+#: :mod:`repro.obs.log`), so JSON log pipelines can filter on them.
+logger = get_logger("dist")
 
 
 def _annotate(exc: BaseException, context: str) -> None:
@@ -258,11 +260,13 @@ def run_fixpoint_distributed(
         except BaseException as exc:  # noqa: BLE001 - annotated + re-raised
             _annotate(exc, f"request {rid} shard {shard} round {round_index}")
             logger.error(
-                "request %s shard %s round %s failed: %s",
-                rid,
-                shard,
-                round_index,
+                "shard round failed: %s",
                 exc,
+                extra={
+                    "request_id": rid,
+                    "shard": shard,
+                    "round": round_index,
+                },
             )
             raise
         finally:

@@ -25,8 +25,12 @@ from typing import Dict, Iterable, List, Set, Tuple
 from repro.errors import ExecutionError, FixpointLimitError
 from repro.engine.batch import Batch
 from repro.engine.eval_expr import Binding, normalize_value
+from repro.obs.log import get_logger
 from repro.physical.storage import StoredRecord
 from repro.plans.nodes import Fix, PlanNode, RecLeaf, UnionOp
+
+#: Structured logger (request id and fix name travel as fields).
+_LOG = get_logger("engine")
 
 __all__ = [
     "flatten_union",
@@ -182,6 +186,14 @@ def run_fixpoint_serial(
     while delta:
         iterations += 1
         if iterations > engine.max_fix_iterations:
+            _LOG.warning(
+                "fixpoint iteration limit hit",
+                extra={
+                    "request_id": getattr(engine, "request_id", None),
+                    "fix": fix.name,
+                    "limit": engine.max_fix_iterations,
+                },
+            )
             raise FixpointLimitError(fix.name, engine.max_fix_iterations)
         engine.check_cancelled()
         engine.metrics.fix_iterations += 1

@@ -22,9 +22,20 @@ makes those decisions — and their runtime consequences — inspectable:
   as JSONL across restarts;
 * :mod:`repro.obs.feedback` — the control loop on top of the store:
   online cost-model recalibration from production actuals and
-  plan-regression detection with pinning support.
+  plan-regression detection with pinning support;
+* :mod:`repro.obs.governor` / :mod:`repro.obs.sampler` — the overhead
+  governor: keeps total observability spend under an explicit budget
+  by per-query-class head sampling plus tail-based (buffered
+  commit-or-drop) trace/profile retention;
+* :mod:`repro.obs.anomaly` — streaming EWMA+MAD anomaly detection per
+  query class over latency, misestimate, skew and barrier-wait;
+* :mod:`repro.obs.recorder` — the flight recorder: self-contained
+  diagnostic bundles replayed deterministically by ``repro replay``;
+* :mod:`repro.obs.log` — the unified structured (JSON or text) logging
+  used across the service, distribution and engine layers.
 """
 
+from repro.obs.anomaly import Anomaly, AnomalyConfig, AnomalyDetector
 from repro.obs.explain import ExplainNode, build_explain, render_explain
 from repro.obs.feedback import (
     FeedbackConfig,
@@ -42,8 +53,17 @@ from repro.obs.history import (
     QueryTelemetryStore,
     plan_fingerprint,
 )
+from repro.obs.governor import GovernorConfig, ObservabilityGovernor
+from repro.obs.log import configure_logging, get_logger
 from repro.obs.profile import FixIterationProfile, NodeProfile, PlanProfiler
 from repro.obs.progress import ProgressTracker, QueryProgress
+from repro.obs.recorder import (
+    FlightRecorder,
+    build_bundle,
+    load_bundle,
+    replay_bundle,
+)
+from repro.obs.sampler import BufferedRun, SamplingDecision
 from repro.obs.trace import NULL_TRACER, Span, SpanEvent, Tracer
 
 __all__ = [
@@ -71,4 +91,17 @@ __all__ = [
     "build_observation",
     "operator_estimates",
     "plan_diff",
+    "GovernorConfig",
+    "ObservabilityGovernor",
+    "SamplingDecision",
+    "BufferedRun",
+    "Anomaly",
+    "AnomalyConfig",
+    "AnomalyDetector",
+    "FlightRecorder",
+    "build_bundle",
+    "load_bundle",
+    "replay_bundle",
+    "configure_logging",
+    "get_logger",
 ]

@@ -64,6 +64,9 @@ class FeedbackConfig:
     #: JSONL file the telemetry survives restarts in; ``None`` keeps
     #: history in memory only.
     persist_path: Optional[str] = None
+    #: Size cap (bytes) on the JSONL file; exceeding it triggers an
+    #: oldest-first rotation + compaction.  ``None`` = unbounded.
+    history_max_bytes: Optional[int] = None
     #: A re-optimized plan whose median measured latency exceeds the
     #: old plan's by more than this factor is flagged as a regression.
     regression_ratio: float = 1.5
@@ -212,6 +215,8 @@ def build_observation(
     rows: int,
     runtime,
     profiler: Optional[PlanProfiler] = None,
+    weight: float = 1.0,
+    committed: bool = True,
 ) -> Observation:
     """Turn one execution's metrics into a telemetry observation.
 
@@ -220,6 +225,12 @@ def build_observation(
     engine already counts in
     :attr:`~repro.engine.metrics.RuntimeMetrics.tuples_by_node` — free
     either way on the serving hot path.
+
+    ``weight``/``committed`` carry the overhead governor's sampling
+    design: head-sampled runs record their inverse admission
+    probability, and runs the governor skipped detailed observability
+    for are marked uncommitted so recalibration excludes them (see
+    :meth:`QueryTelemetryStore.calibration_samples`).
     """
     # Imported here (not at module scope): calibrate pulls in the
     # engine, whose import re-enters this package.
@@ -265,6 +276,8 @@ def build_observation(
         operators=operators,
         profiled=profiler is not None,
         distributed=distributed,
+        weight=weight,
+        committed=committed,
     )
 
 
@@ -278,6 +291,7 @@ class FeedbackManager:
             window=self.config.history_window,
             max_plans=self.config.max_plans,
             persist_path=self.config.persist_path,
+            max_bytes=self.config.history_max_bytes,
         )
         self._lock = threading.Lock()
         #: canonical query -> plan change awaiting a verdict.

@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import os
 import threading
 import time
 from collections import OrderedDict, deque
@@ -156,6 +157,15 @@ class Observation:
     #: logical reads, observed max/mean load skew and barrier wait —
     #: the measured counterparts of the distributed cost terms.
     distributed: Optional[Dict[str, float]] = None
+    #: Inverse sampling probability assigned by the overhead governor.
+    #: A head-sampled run admitted at 1-in-*stride* carries *stride*,
+    #: so downstream estimators can weight it back to unbiased.
+    weight: float = 1.0
+    #: False when the governor skipped detailed observability for this
+    #: run — the observation still feeds latency/regression tracking,
+    #: but recalibration must not consume it (its event counters were
+    #: collected outside the sampling design).
+    committed: bool = True
 
     def to_dict(self) -> dict:
         payload = {
@@ -176,6 +186,10 @@ class Observation:
             payload["distributed"] = {
                 k: round(float(v), 6) for k, v in self.distributed.items()
             }
+        if self.weight != 1.0:
+            payload["weight"] = round(self.weight, 4)
+        if not self.committed:
+            payload["committed"] = False
         return payload
 
     @classmethod
@@ -203,6 +217,8 @@ class Observation:
                 if payload.get("distributed")
                 else None
             ),
+            weight=float(payload.get("weight", 1.0)),
+            committed=bool(payload.get("committed", True)),
         )
 
 
@@ -387,6 +403,15 @@ class QueryTelemetryStore:
     persistence: every registration/observation/event is written as one
     line, and :meth:`load` replays a file back into memory (respecting
     the same bounds), so a restarted service resumes with its history.
+
+    ``max_bytes`` bounds the JSONL file itself.  When an append would
+    push the file past the cap, the store *compacts*: it atomically
+    rewrites the file from the live in-memory state — which already
+    holds exactly the newest ``window`` observations per plan — keeping
+    the most-recently-observed plans first-class and dropping the
+    oldest plans/observations until the rewrite fits in half the cap
+    (headroom for subsequent appends).  Nothing in the newest window of
+    the most recent plans is ever lost to compaction.
     """
 
     def __init__(
@@ -395,24 +420,37 @@ class QueryTelemetryStore:
         max_plans: int = 256,
         persist_path: Optional[str] = None,
         event_window: int = 128,
+        max_bytes: Optional[int] = None,
     ) -> None:
         if window < 1:
             raise ValueError("telemetry window must be >= 1")
         if max_plans < 1:
             raise ValueError("telemetry max_plans must be >= 1")
+        if max_bytes is not None and max_bytes < 4096:
+            raise ValueError("telemetry max_bytes must be >= 4096")
         self.window = window
         self.max_plans = max_plans
         self.persist_path = persist_path
+        self.max_bytes = max_bytes
         self._plans: "OrderedDict[str, PlanHistory]" = OrderedDict()
         #: canonical text -> fingerprints seen for it, oldest first.
         self._by_query: Dict[str, List[str]] = {}
         self.events: Deque[dict] = deque(maxlen=event_window)
         self._lock = threading.Lock()
         self._sink = None
+        self._sink_bytes = 0
         self.dropped_plans = 0
+        self.compactions = 0
         if persist_path:
             self.load(persist_path)
             self._sink = open(persist_path, "a", encoding="utf-8")
+            try:
+                self._sink_bytes = os.path.getsize(persist_path)
+            except OSError:
+                self._sink_bytes = 0
+            if max_bytes is not None and self._sink_bytes > max_bytes:
+                with self._lock:
+                    self._compact_locked()
 
     # -- recording -----------------------------------------------------------
 
@@ -527,16 +565,27 @@ class QueryTelemetryStore:
             return history.latencies() if history else []
 
     def calibration_samples(self) -> List[Dict[str, float]]:
-        """Every remembered observation as a calibration sample:
-        the event-count features plus the ``target`` measured cost."""
+        """Every *committed* observation as a calibration sample: the
+        event-count features, the ``target`` measured cost, and the
+        governor-assigned inverse sampling ``weight``.
+
+        Uncommitted observations (runs the overhead governor skipped
+        detailed observability for) are excluded: their event counters
+        sit outside the sampling design, and mixing them in would bias
+        the weighted fit the head-sampled weights exist to keep honest.
+        """
         with self._lock:
             samples = []
             for history in self._plans.values():
                 for obs in history.observations:
-                    if not obs.events:
+                    if not obs.events or not obs.committed:
                         continue
                     samples.append(
-                        {**obs.events, "target": obs.measured_cost}
+                        {
+                            **obs.events,
+                            "target": obs.measured_cost,
+                            "weight": obs.weight,
+                        }
                     )
             return samples
 
@@ -629,6 +678,7 @@ class QueryTelemetryStore:
             return {
                 "plans": len(self._plans),
                 "dropped_plans": self.dropped_plans,
+                "compactions": self.compactions,
                 "queries": queries[:limit],
                 "events": list(self.events),
             }
@@ -636,9 +686,101 @@ class QueryTelemetryStore:
     # -- persistence ---------------------------------------------------------
 
     def _persist(self, payload: dict) -> None:
-        if self._sink is not None:
-            self._sink.write(json.dumps(payload, default=str) + "\n")
-            self._sink.flush()
+        """Append one JSONL record (caller holds ``_lock``), compacting
+        first when the append would push the file past ``max_bytes``."""
+        if self._sink is None:
+            return
+        line = json.dumps(payload, default=str) + "\n"
+        size = len(line.encode("utf-8"))
+        if (
+            self.max_bytes is not None
+            and self._sink_bytes + size > self.max_bytes
+        ):
+            self._compact_locked()
+        self._sink.write(line)
+        self._sink.flush()
+        self._sink_bytes += size
+
+    def _plan_record(self, history: PlanHistory) -> dict:
+        record = {
+            "kind": "plan",
+            "fingerprint": history.fingerprint,
+            "canonical": history.canonical,
+            "plan_cost": round(history.plan_cost, 4),
+            "estimates": [e.to_dict() for e in history.estimates.values()],
+        }
+        if history.distributed_estimate:
+            record["distributed"] = {
+                k: round(float(v), 6)
+                for k, v in history.distributed_estimate.items()
+            }
+        return record
+
+    def _compact_locked(self) -> None:
+        """Atomically rewrite the JSONL file from live state, dropping
+        the *oldest* plans (and, if one plan alone overflows, its
+        oldest observations) until the rewrite fits ``max_bytes // 2``.
+        The bounded event ring is always kept."""
+        if self._sink is None or self.max_bytes is None:
+            return
+        target = max(self.max_bytes // 2, 1)
+
+        def measure(line: str) -> int:
+            return len(line.encode("utf-8")) + 1
+
+        event_lines = [
+            json.dumps({"kind": "event", **event}, default=str)
+            for event in self.events
+        ]
+        remaining = target - sum(measure(line) for line in event_lines)
+        # Walk plans newest-observed first; each block is the plan
+        # registration line followed by its observations oldest-first
+        # (reload order must rebuild the ring correctly).
+        kept_blocks: List[List[str]] = []
+        for fingerprint, history in reversed(list(self._plans.items())):
+            plan_line = json.dumps(self._plan_record(history), default=str)
+            obs_lines = [
+                json.dumps(
+                    {"kind": "obs", "fingerprint": fingerprint, **obs.to_dict()},
+                    default=str,
+                )
+                for obs in history.observations
+            ]
+            block = [plan_line] + obs_lines
+            size = sum(measure(line) for line in block)
+            if size > remaining:
+                # Partial fit: the plan line plus the newest
+                # observations that still fit, then stop — everything
+                # older is compacted away.
+                trimmed = [plan_line]
+                size = measure(plan_line)
+                tail: List[str] = []
+                for line in reversed(obs_lines):
+                    line_size = measure(line)
+                    if size + line_size > remaining:
+                        break
+                    tail.append(line)
+                    size += line_size
+                if size <= remaining:
+                    trimmed.extend(reversed(tail))
+                    kept_blocks.append(trimmed)
+                break
+            kept_blocks.append(block)
+            remaining -= size
+        tmp_path = self.persist_path + ".compact"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            # Oldest plan first so a reload reconstructs the same LRU
+            # order the live store has.
+            for block in reversed(kept_blocks):
+                for line in block:
+                    handle.write(line + "\n")
+            for line in event_lines:
+                handle.write(line + "\n")
+        self._sink.close()
+        os.replace(tmp_path, self.persist_path)
+        self._sink = open(self.persist_path, "a", encoding="utf-8")
+        self._sink_bytes = os.path.getsize(self.persist_path)
+        self.compactions += 1
 
     def load(self, path: str) -> int:
         """Replay a JSONL telemetry file into memory; returns the

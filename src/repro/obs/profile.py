@@ -23,15 +23,25 @@ unwrapped and the hot path pays nothing.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Deque, Dict, Iterator, Optional
 
 __all__ = [
     "assign_node_ids",
     "FixIterationProfile",
     "NodeProfile",
     "PlanProfiler",
+    "FIX_ITERATION_RING",
 ]
+
+#: Bound on per-Fix-node iteration records.  A long-running request
+#: whose recursion grinds through tens of thousands of small rounds
+#: must not grow its profile without limit; once the ring is full the
+#: *oldest* rounds are dropped (and counted), keeping the newest
+#: window — the rounds an operator debugging the live query cares
+#: about.
+FIX_ITERATION_RING = 512
 
 
 #: Single-slot memo for :func:`assign_node_ids`.  The service executes
@@ -123,7 +133,17 @@ class NodeProfile:
     page_reads: int = 0
     index_page_reads: float = 0.0
     predicate_evals: int = 0
-    fix_iterations: List[FixIterationProfile] = field(default_factory=list)
+    fix_iterations: Deque[FixIterationProfile] = field(
+        default_factory=lambda: deque(maxlen=FIX_ITERATION_RING)
+    )
+    #: Iteration records evicted from the ring (oldest-first).
+    fix_iterations_dropped: int = 0
+
+    def record_fix_iteration(self, entry: FixIterationProfile) -> None:
+        ring = self.fix_iterations
+        if ring.maxlen is not None and len(ring) == ring.maxlen:
+            self.fix_iterations_dropped += 1
+        ring.append(entry)
 
     def to_dict(self) -> dict:
         payload = {
@@ -140,6 +160,8 @@ class NodeProfile:
             payload["fix_iterations"] = [
                 it.to_dict() for it in self.fix_iterations
             ]
+        if self.fix_iterations_dropped:
+            payload["fix_iterations_dropped"] = self.fix_iterations_dropped
         return payload
 
 
@@ -222,7 +244,9 @@ class PlanProfiler:
             mine.page_reads += theirs.page_reads
             mine.index_page_reads += theirs.index_page_reads
             mine.predicate_evals += theirs.predicate_evals
-            mine.fix_iterations.extend(theirs.fix_iterations)
+            mine.fix_iterations_dropped += theirs.fix_iterations_dropped
+            for entry in theirs.fix_iterations:
+                mine.record_fix_iteration(entry)
 
     # -- recording -----------------------------------------------------------
 
@@ -317,7 +341,7 @@ class PlanProfiler:
         skew, barrier wait and per-shard production."""
         profile = self.profile_for(node)
         if profile is not None:
-            profile.fix_iterations.append(
+            profile.record_fix_iteration(
                 FixIterationProfile(
                     iteration,
                     new_tuples,
@@ -333,6 +357,13 @@ class PlanProfiler:
             )
 
     # -- reporting -----------------------------------------------------------
+
+    def probe_count(self) -> int:
+        """Metering probes taken so far (one per generator ``next()``)
+        — the overhead governor's unit of profile-side spend."""
+        return sum(
+            profile.next_calls for profile in self.profiles.values()
+        )
 
     def exclusive_seconds(self, node_id: str) -> float:
         """Wall time charged to a node minus its children's share."""

@@ -1,0 +1,373 @@
+"""The flight recorder: self-contained diagnostic bundles + replay.
+
+When a query raises an anomaly — or an operator asks with
+``repro diagnose`` — the service snapshots everything needed to debug
+and *re-execute* the request on another machine into one JSON bundle:
+
+.. code-block:: text
+
+    bundle_version      schema version of this format (currently 1)
+    created_at          unix seconds
+    reason              "anomaly" | "diagnose"
+    request_id          service request id (when recorded in-service)
+    anomalies           the triggering anomaly records (metric,
+                        value, baseline, robust z-score)
+    sampling            the governor's decision for the run
+    query               {text, canonical, class}
+    plan                {fingerprint, rendered, estimated_cost}
+    knobs               {parallelism, batch_size, shards,
+                         max_fix_iterations}
+    cost_parameters     the CostParameters the optimizer priced with
+                        (null = stock defaults)
+    database            the seeded generator recipe the store was
+                        built from ({db, seed, lineages, generations,
+                        selectivity, buffer_pages}) — replay rebuilds
+                        an identical store from it
+    store               {schema, stats} fingerprints of the live store
+    execution           {row_count, answer_fingerprint, measured_cost,
+                         execute_ms, fix_iterations}
+    trace               committed tail-sampled trace (optional)
+    profile             committed per-node profile (optional)
+    telemetry           recent observation window for the plan
+    baselines           anomaly-detector baselines for the class
+    environment         python/platform strings
+
+Everything in the bundle is derived from *seeded* inputs — the
+generator recipe rebuilds a bit-identical store, and the
+cost-controlled optimizer's randomized reoptimization is itself seeded
+— so :func:`replay_bundle` re-optimizes and re-executes
+deterministically and asserts both the plan fingerprint and the
+answer-set fingerprint match the originals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "BUNDLE_VERSION",
+    "FlightRecorder",
+    "answer_fingerprint",
+    "build_bundle",
+    "database_from_config",
+    "load_bundle",
+    "replay_bundle",
+]
+
+BUNDLE_VERSION = 1
+
+
+def answer_fingerprint(rows: List[dict]) -> str:
+    """Order-insensitive digest of an answer set.
+
+    Canonicalizes every binding (records collapse to oids, keys
+    sorted), sorts the canonical rows, and hashes their reprs — stable
+    across processes for the seeded stores replay rebuilds.
+    """
+
+    from repro.engine.eval_expr import canonical_row
+
+    hasher = hashlib.sha256()
+    for line in sorted(repr(canonical_row(row)) for row in rows):
+        hasher.update(line.encode("utf-8"))
+        hasher.update(b"\x1e")
+    return hasher.hexdigest()[:16]
+
+
+def database_from_config(config: Dict[str, Any]):
+    """Rebuild a workload database from its bundle recipe.
+
+    The same helper backs ``repro run``'s database construction, so a
+    bundle recorded by the service replays against a bit-identical
+    store.
+    """
+
+    from repro.workloads import (
+        MusicConfig,
+        PartsConfig,
+        generate_music_database,
+        generate_parts_database,
+    )
+
+    kind = config.get("db", "music")
+    seed = int(config.get("seed", 1992))
+    lineages = int(config.get("lineages", 8))
+    generations = int(config.get("generations", 8))
+    if kind == "parts":
+        return generate_parts_database(
+            PartsConfig(
+                assemblies=max(1, lineages // 2),
+                depth=max(2, generations // 2),
+                seed=seed,
+            )
+        )
+    db = generate_music_database(
+        MusicConfig(
+            lineages=lineages,
+            generations=generations,
+            selective_fraction=float(config.get("selectivity", 0.15)),
+            buffer_pages=int(config.get("buffer_pages", 256)),
+            seed=seed,
+        )
+    )
+    db.build_paper_indexes()
+    return db
+
+
+def build_bundle(
+    *,
+    reason: str,
+    query_text: str,
+    canonical: str,
+    query_cls: str,
+    plan,
+    fingerprint: str,
+    estimated_cost: float,
+    rows: List[dict],
+    measured_cost: float,
+    execute_seconds: float,
+    fix_iterations: int,
+    knobs: Dict[str, Any],
+    physical,
+    database: Optional[Dict[str, Any]] = None,
+    cost_parameters: Optional[Any] = None,
+    request_id: Optional[int] = None,
+    anomalies: Optional[List[dict]] = None,
+    sampling: Optional[Dict[str, Any]] = None,
+    trace: Optional[dict] = None,
+    profile: Optional[dict] = None,
+    telemetry: Optional[dict] = None,
+    baselines: Optional[dict] = None,
+) -> Dict[str, Any]:
+    """Assemble one self-contained diagnostic bundle."""
+
+    # Imported lazily: repro.service.plan_cache sits above this module
+    # in the import graph (the service imports the recorder).
+    from dataclasses import asdict
+
+    from repro.plans import render_tree
+    from repro.service.plan_cache import schema_fingerprint, stats_fingerprint
+
+    bundle: Dict[str, Any] = {
+        "bundle_version": BUNDLE_VERSION,
+        "created_at": round(time.time(), 3),
+        "reason": reason,
+        "request_id": request_id,
+        "anomalies": list(anomalies or ()),
+        "sampling": sampling,
+        "query": {
+            "text": query_text,
+            "canonical": canonical,
+            "class": query_cls,
+        },
+        "plan": {
+            "fingerprint": fingerprint,
+            "rendered": render_tree(plan),
+            "estimated_cost": round(estimated_cost, 4),
+        },
+        "knobs": dict(knobs),
+        "cost_parameters": (
+            asdict(cost_parameters) if cost_parameters is not None else None
+        ),
+        "database": dict(database) if database else None,
+        "store": {
+            "schema": schema_fingerprint(physical),
+            "stats": stats_fingerprint(physical),
+        },
+        "execution": {
+            "row_count": len(rows),
+            "answer_fingerprint": answer_fingerprint(rows),
+            "measured_cost": round(measured_cost, 4),
+            "execute_ms": round(execute_seconds * 1000, 3),
+            "fix_iterations": fix_iterations,
+        },
+        "trace": trace,
+        "profile": profile,
+        "telemetry": telemetry,
+        "baselines": baselines,
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+    }
+    return bundle
+
+
+class FlightRecorder:
+    """Writes bundles to a directory (or keeps them in memory only).
+
+    Caps both the total bundles written and the bundles per query
+    class, so an anomaly storm on one hot class cannot fill the disk
+    or drown out other classes.  Thread-safe.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        max_bundles: int = 64,
+        per_class: int = 4,
+        keep_recent: int = 8,
+    ) -> None:
+        self.directory = directory
+        self.max_bundles = max_bundles
+        self.per_class = per_class
+        self._lock = threading.Lock()
+        self._by_class: Dict[str, int] = {}
+        self.written = 0
+        self.suppressed = 0
+        #: Most recent bundles, newest last — the ``diagnose`` op can
+        #: hand them out even when no directory is configured.
+        self.recent: "deque[Dict[str, Any]]" = deque(maxlen=keep_recent)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+
+    def admit(self, query_cls: str) -> bool:
+        """Cheap pre-check: would a bundle for this class be recorded?
+
+        Bundle *assembly* (answer-set fingerprinting, telemetry
+        snapshots) dwarfs the cap check, so callers ask first and skip
+        the build entirely during an anomaly storm on a capped class.
+        A refusal counts as a suppression.
+        """
+
+        with self._lock:
+            count = self._by_class.get(query_cls, 0)
+            if self.written >= self.max_bundles or count >= self.per_class:
+                self.suppressed += 1
+                return False
+        return True
+
+    def record(self, bundle: Dict[str, Any]) -> Optional[str]:
+        """Persist *bundle*; returns its path (None when memory-only
+        or suppressed by the caps)."""
+
+        query_cls = bundle.get("query", {}).get("class", "unknown")
+        with self._lock:
+            count = self._by_class.get(query_cls, 0)
+            if self.written >= self.max_bundles or count >= self.per_class:
+                self.suppressed += 1
+                return None
+            self._by_class[query_cls] = count + 1
+            self.written += 1
+            self.recent.append(bundle)
+            serial = self.written
+        if not self.directory:
+            return None
+        name = f"bundle-{query_cls or 'unknown'}-{serial:04d}.json"
+        path = os.path.join(self.directory, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(bundle, handle, indent=2, default=str)
+        return path
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "directory": self.directory,
+                "written": self.written,
+                "suppressed": self.suppressed,
+                "by_class": dict(self._by_class),
+            }
+
+
+def load_bundle(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        bundle = json.load(handle)
+    version = bundle.get("bundle_version")
+    if version != BUNDLE_VERSION:
+        raise ValueError(
+            f"unsupported bundle_version {version!r} (expected {BUNDLE_VERSION})"
+        )
+    return bundle
+
+
+def replay_bundle(bundle: Dict[str, Any], database=None) -> Dict[str, Any]:
+    """Deterministically re-execute a bundle; returns a match report.
+
+    Rebuilds the store from the bundle's generator recipe (unless a
+    prebuilt *database* is supplied), re-optimizes the recorded query
+    under the recorded cost parameters — the optimizer's randomized
+    reoptimization is seeded, so this is deterministic — re-executes
+    under the recorded knobs, and compares plan fingerprint and
+    answer-set fingerprint against the originals.
+    """
+
+    from repro.core.baselines import cost_controlled_optimizer
+    from repro.cost.model import DetailedCostModel
+    from repro.cost.params import CostParameters
+    from repro.engine.evaluator import Engine
+    from repro.lang.compile import compile_text
+    from repro.obs.history import plan_fingerprint
+    from repro.service.plan_cache import schema_fingerprint
+
+    if database is None:
+        recipe = bundle.get("database")
+        if not recipe:
+            raise ValueError(
+                "bundle carries no database recipe; pass a prebuilt database"
+            )
+        database = database_from_config(recipe)
+    physical = database.physical
+
+    report: Dict[str, Any] = {
+        "schema_match": schema_fingerprint(physical)
+        == bundle["store"]["schema"],
+    }
+
+    params_dict = bundle.get("cost_parameters")
+    model = None
+    if params_dict is not None:
+        import dataclasses
+
+        known = {f.name for f in dataclasses.fields(CostParameters)}
+        params = CostParameters(
+            **{k: v for k, v in params_dict.items() if k in known}
+        )
+        model = DetailedCostModel(physical, params)
+
+    graph = compile_text(bundle["query"]["text"], database.catalog)
+    result = cost_controlled_optimizer(physical, model).optimize(graph)
+    replayed_fp = plan_fingerprint(result.plan)
+
+    knobs = bundle.get("knobs", {})
+    shards = max(1, int(knobs.get("shards", 1)))
+    cluster = None
+    if shards > 1:
+        from repro.dist import ShardCluster
+
+        cluster = ShardCluster(physical, shards)
+    engine = Engine(
+        physical,
+        max_fix_iterations=int(knobs.get("max_fix_iterations", 256)),
+        parallelism=max(1, int(knobs.get("parallelism", 1))),
+        batch_size=knobs.get("batch_size") or None,
+        shards=shards,
+        cluster=cluster,
+    )
+    execution = engine.execute(result.plan)
+    replayed_answer = answer_fingerprint(execution.rows)
+
+    expected_fp = bundle["plan"]["fingerprint"]
+    expected_answer = bundle["execution"]["answer_fingerprint"]
+    report.update(
+        {
+            "plan_fingerprint": replayed_fp,
+            "expected_plan_fingerprint": expected_fp,
+            "plan_match": replayed_fp == expected_fp,
+            "answer_fingerprint": replayed_answer,
+            "expected_answer_fingerprint": expected_answer,
+            "answer_match": replayed_answer == expected_answer,
+            "row_count": len(execution.rows),
+            "expected_row_count": bundle["execution"]["row_count"],
+            "estimated_cost": round(result.cost, 4),
+            "fix_iterations": execution.metrics.fix_iterations,
+        }
+    )
+    report["matched"] = bool(report["plan_match"] and report["answer_match"])
+    return report

@@ -128,9 +128,18 @@ class Tracer:
         self,
         trace_id: Optional[str] = None,
         lane: Optional[str] = None,
+        max_spans: Optional[int] = None,
     ) -> None:
         self.trace_id = trace_id
         self.lane = lane
+        #: Optional capacity cap: once ``max_spans`` spans exist, new
+        #: spans become shared no-op spans and new events are dropped
+        #: (counted), so a single long-running request — 10k fixpoint
+        #: rounds each opening a round span — has a hard memory
+        #: ceiling.  ``None`` keeps the historical unbounded behavior.
+        self.max_spans = max_spans
+        self.dropped_spans = 0
+        self.dropped_events = 0
         self.spans: List[Span] = []
         #: Events fired while no span was open.
         self.orphan_events: List[SpanEvent] = []
@@ -143,6 +152,9 @@ class Tracer:
 
     def span(self, name: str, **attributes: Any) -> Span:
         """Open a span: ``with tracer.span("rewrite", query=...):``."""
+        if self.max_spans is not None and len(self.spans) >= self.max_spans:
+            self.dropped_spans += 1
+            return _OVERFLOW_SPAN  # type: ignore[return-value]
         parent = self._stack[-1] if self._stack else None
         span = Span(self, name, len(self.spans), parent, attributes)
         self.spans.append(span)
@@ -150,11 +162,24 @@ class Tracer:
 
     def event(self, name: str, **attributes: Any) -> None:
         """Record a point event on the currently open span."""
-        event = SpanEvent(name, time.perf_counter(), attributes)
-        if self._stack:
-            self.spans[self._stack[-1]].events.append(event)
-        else:
-            self.orphan_events.append(event)
+        sink = (
+            self.spans[self._stack[-1]].events
+            if self._stack
+            else self.orphan_events
+        )
+        if self.max_spans is not None and len(sink) >= self.max_spans:
+            self.dropped_events += 1
+            return
+        sink.append(SpanEvent(name, time.perf_counter(), attributes))
+
+    def span_count(self) -> int:
+        """Spans + events recorded across this tracer and its lanes
+        (the governor's unit of trace-side observability work)."""
+        total = len(self.spans) + len(self.orphan_events)
+        total += sum(len(span.events) for span in self.spans)
+        for child in self.children.values():
+            total += child.span_count()
+        return total
 
     # -- lanes --------------------------------------------------------------
 
@@ -163,7 +188,9 @@ class Tracer:
         ``"shard0"``).  The child inherits the trace id and is safe to
         record into from another thread — it has its own span stack —
         as long as one thread owns it at a time."""
-        tracer = Tracer(trace_id=self.trace_id, lane=lane)
+        tracer = Tracer(
+            trace_id=self.trace_id, lane=lane, max_spans=self.max_spans
+        )
         self.adopt(lane, tracer)
         return tracer
 
@@ -199,6 +226,10 @@ class Tracer:
             payload["trace_id"] = self.trace_id
         if self.lane is not None:
             payload["lane"] = self.lane
+        if self.dropped_spans:
+            payload["dropped_spans"] = self.dropped_spans
+        if self.dropped_events:
+            payload["dropped_events"] = self.dropped_events
         if self.children:
             payload["lanes"] = {
                 lane: child.to_dict()
@@ -304,6 +335,13 @@ class _NullSpan:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         pass
+
+
+#: Shared span handed out once a capped tracer is full — keeps the
+#: ``with tracer.span(...)`` call shape working while recording nothing.
+#: It never touches the tracer's span stack, so events fired inside it
+#: attach to the nearest real open span (and count against its cap).
+_OVERFLOW_SPAN = _NullSpan()
 
 
 class NullTracer:

@@ -182,5 +182,28 @@ class ServiceClient:
             payload["params"] = params
         return self.request(payload)
 
+    def governor(self) -> dict:
+        """Overhead-governor sampling state, anomaly-detector
+        baselines, and the flight recorder's bundle ledger."""
+        return self.request({"op": "governor"})
+
+    def diagnose(
+        self,
+        text: str,
+        params: Optional[Dict[str, object]] = None,
+        timeout: Optional[float] = None,
+        shards: Optional[int] = None,
+    ) -> dict:
+        """Run one query at full observability detail (bypassing the
+        governor's sampling) and record a diagnostic bundle."""
+        payload: dict = {"op": "diagnose", "text": text}
+        if params is not None:
+            payload["params"] = params
+        if timeout is not None:
+            payload["timeout"] = timeout
+        if shards is not None:
+            payload["shards"] = shards
+        return self.request(payload)
+
     def shutdown(self) -> dict:
         return self.request({"op": "shutdown"})

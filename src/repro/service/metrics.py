@@ -252,6 +252,27 @@ class ServiceMetrics:
             samples[label_key] = value
             self.gauges[name] = (help_text or help_known, samples)
 
+    def replace_gauge(
+        self,
+        name: str,
+        help_text: str,
+        samples: Dict[tuple, float],
+    ) -> None:
+        """Replace *every* sample of a labelled gauge at once.
+
+        Scrape-time refreshers that publish per-query-class gauges use
+        this instead of repeated :meth:`set_gauge` calls: a class that
+        fell out of the summary disappears instead of exposing its
+        stale last value forever, and the publisher can enforce a label
+        cardinality cap by simply not including the tail classes.
+        ``samples`` maps sorted label tuples (as built by
+        :meth:`set_gauge`) to values; an empty dict drops the gauge."""
+        with self._lock:
+            if samples:
+                self.gauges[name] = (help_text, dict(samples))
+            else:
+                self.gauges.pop(name, None)
+
     def observe_round(
         self,
         seconds: float,
@@ -407,6 +428,30 @@ class ServiceMetrics:
                 "plans_pinned_total",
                 "Plans pinned against drift re-optimization.",
                 counters.get("plans_pinned", 0),
+            )
+
+            # Overhead-governor counters: zero until an observability
+            # budget is configured, but always exposed so dashboards
+            # can alert the moment a deployment turns the governor on.
+            counter(
+                "anomalies_total",
+                "Anomalies raised by the per-class EWMA+MAD detector.",
+                counters.get("anomalies", 0),
+            )
+            counter(
+                "flight_bundles_total",
+                "Flight-recorder diagnostic bundles recorded.",
+                counters.get("flight_bundles", 0),
+            )
+            counter(
+                "obs_committed_total",
+                "Buffered trace/profile runs committed by tail sampling.",
+                counters.get("obs_committed", 0),
+            )
+            counter(
+                "obs_dropped_total",
+                "Buffered trace/profile runs dropped at completion.",
+                counters.get("obs_dropped", 0),
             )
 
             for name, (help_text, samples) in sorted(self.gauges.items()):

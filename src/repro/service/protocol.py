@@ -20,7 +20,17 @@ Operations
     ``recalibrate {apply?}``              → refit cost weights from telemetry
     ``pin {text, params?, revert?}``      → pin plan / revert a regression
     ``unpin {text, params?}``             → release a pinned plan
+    ``governor``                          → overhead-governor sampling
+                                            state, anomaly baselines,
+                                            flight-recorder ledger
+    ``diagnose {text, params?, shards?}`` → run once at full detail and
+                                            record a diagnostic bundle
     ``ping`` / ``close`` / ``shutdown``
+
+When an observability budget is configured (``--obs-budget``), query
+responses additionally carry an ``obs`` object echoing the governor's
+sampling decision for that request: ``{mode, sampled, weight, reason,
+committed, commit_reason?, anomalies?, bundle?}``.
 
 A request may carry a client-chosen ``id``; it is echoed verbatim on
 the response (success or error) for correlation.  Executed queries

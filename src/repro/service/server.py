@@ -38,14 +38,20 @@ from repro.engine.cancel import CancellationToken
 from repro.engine.evaluator import Engine
 from repro.errors import ProtocolError, ReproError, ServiceError
 from repro.lang.compile import compile_text
+from repro.obs.anomaly import AnomalyConfig, AnomalyDetector
 from repro.obs.explain import build_explain, render_explain
 from repro.obs.feedback import (
     FeedbackConfig,
     FeedbackManager,
     build_observation,
 )
+from repro.obs.governor import GovernorConfig, ObservabilityGovernor
+from repro.obs.history import plan_fingerprint, q_error, query_class
+from repro.obs.log import get_logger
 from repro.obs.profile import PlanProfiler
 from repro.obs.progress import ProgressTracker
+from repro.obs.recorder import FlightRecorder, build_bundle
+from repro.obs.sampler import FULL_DETAIL, SamplingDecision
 from repro.obs.trace import Tracer
 from repro.physical.storage import Oid, StoredRecord
 from repro.service import protocol
@@ -55,6 +61,11 @@ from repro.service.plan_cache import RECALIBRATION, CacheKey, CachedPlan, PlanCa
 from repro.service.protocol import placeholder_names, substitute_params
 
 __all__ = ["ServiceConfig", "QueryService", "QueryServer", "MetricsServer"]
+
+#: Structured service log (JSON or key=value depending on
+#: ``repro.obs.log.configure_logging``); records carry request ids and
+#: query classes as fields, not formatted into the message.
+_LOG = get_logger("service")
 
 
 @dataclass
@@ -121,6 +132,38 @@ class ServiceConfig:
     profile_sample_every: int = 0
     #: Automatically pin the prior plan when a regression is flagged.
     auto_pin: bool = False
+    #: Observability budget: the fraction of query wall time the
+    #: overhead governor may spend on tracing and profiling.  ``None``
+    #: (the default) disables the governor — the legacy
+    #: ``profile_sample_every`` path decides profiling instead, and
+    #: responses carry no ``obs`` echo (pre-governor payload shape).
+    obs_budget: Optional[float] = None
+    #: Span cap for the per-request buffered tracer.  Tail sampling
+    #: buffers spans in memory until the query completes, so the
+    #: buffer must be bounded or a runaway fixpoint would trade the
+    #: overhead budget for memory instead.
+    trace_max_spans: int = 4096
+    #: Robust z-score above which a per-class metric is anomalous.
+    anomaly_threshold: float = 4.0
+    #: Baseline samples required before a class can raise anomalies.
+    anomaly_min_samples: int = 8
+    #: Directory flight-recorder bundles are written to; ``None``
+    #: keeps the most recent bundles in memory for the ``diagnose``
+    #: op only.
+    bundle_dir: Optional[str] = None
+    #: Total and per-query-class caps on recorded bundles (an anomaly
+    #: storm must not fill the disk or drown out other classes).
+    bundle_limit: int = 64
+    bundle_per_class: int = 4
+    #: Size cap in bytes for the telemetry JSONL sink; on overflow the
+    #: file is compacted oldest-first.  ``None`` leaves it unbounded.
+    history_max_bytes: Optional[int] = None
+    #: The seeded generator recipe the serving database was built from
+    #: (``{"db", "seed", "lineages", "generations", ...}``).  Embedded
+    #: in flight-recorder bundles so ``repro replay`` can rebuild a
+    #: bit-identical store; ``None`` produces bundles that replay only
+    #: against a caller-supplied database.
+    database_config: Optional[dict] = None
 
 
 @dataclass
@@ -172,8 +215,31 @@ class QueryService:
                     recalibrate_min_samples=self.config.recalibrate_min_samples,
                     profile_sample_every=self.config.profile_sample_every,
                     auto_pin=self.config.auto_pin,
+                    history_max_bytes=self.config.history_max_bytes,
                 )
             )
+        #: The overhead governor and anomaly detector: built only when
+        #: an observability budget is configured; ``None`` keeps the
+        #: pre-governor behavior byte-for-byte.
+        self.governor: Optional[ObservabilityGovernor] = None
+        self.anomalies: Optional[AnomalyDetector] = None
+        if self.config.obs_budget:
+            self.governor = ObservabilityGovernor(
+                GovernorConfig(budget=self.config.obs_budget)
+            )
+            self.anomalies = AnomalyDetector(
+                AnomalyConfig(
+                    threshold=self.config.anomaly_threshold,
+                    min_samples=self.config.anomaly_min_samples,
+                )
+            )
+        #: Flight recorder: always constructed (memory-only without a
+        #: bundle directory) so the ``diagnose`` op works everywhere.
+        self.recorder = FlightRecorder(
+            directory=self.config.bundle_dir,
+            max_bundles=self.config.bundle_limit,
+            per_class=self.config.bundle_per_class,
+        )
         #: Recalibrated unit costs, hot-swapped by ``recalibrate(apply)``;
         #: ``None`` means the defaults the optimizer was built with.
         self._cost_params: Optional[CostParameters] = None
@@ -402,8 +468,28 @@ class QueryService:
         self.admission.admit(estimated)
         effective_timeout = self.admission.effective_timeout(timeout)
         token = CancellationToken(effective_timeout)
+        # Minted before execution so the running query is addressable:
+        # shard-worker thread names, exchange frames, dist log lines and
+        # the live progress view all carry this id while the query runs.
+        request_id = self._next_request_id()
+        query_cls = query_class(key[0])
+        decision = FULL_DETAIL
+        if self.governor is not None:
+            decision = self.governor.decide(query_cls)
         profiler: Optional[PlanProfiler] = None
-        if feedback is not None and feedback.should_profile():
+        tracer: Optional[Tracer] = None
+        if self.governor is not None:
+            if decision.sampled:
+                # Buffered observability: the trace and profile
+                # accumulate in memory and are committed or dropped at
+                # completion (tail sampling) — the anomaly verdict is
+                # only known once the query has run.
+                profiler = PlanProfiler()
+                tracer = Tracer(
+                    trace_id=request_id,
+                    max_spans=self.config.trace_max_spans,
+                )
+        elif feedback is not None and feedback.should_profile():
             profiler = PlanProfiler()
         requested = (
             parallelism if parallelism is not None else self.config.parallelism
@@ -415,10 +501,6 @@ class QueryService:
         # whichever dimension is wider — capped by the slot pool, and
         # the engine runs with exactly the granted widths.
         weight = max(requested, requested_shards)
-        # Minted before execution so the running query is addressable:
-        # shard-worker thread names, exchange frames, dist log lines and
-        # the live progress view all carry this id while the query runs.
-        request_id = self._next_request_id()
         with self.admission.slot(weight=weight) as granted:
             granted_parallelism = min(requested, granted)
             granted_shards = min(requested_shards, granted)
@@ -437,6 +519,8 @@ class QueryService:
                     cluster=self._cluster_for(granted_shards),
                 )
                 engine.request_id = request_id
+                if tracer is not None:
+                    engine.tracer = tracer
                 handle = self.progress.begin(
                     request_id, query=key[0], shards=granted_shards
                 )
@@ -466,16 +550,44 @@ class QueryService:
             reads_by_shard=dict(execution.metrics.reads_by_shard),
         )
         self.metrics.record_execution(record, execution.metrics)
-        self._check_slow(record)
+        slow_reasons = self._slow_reasons(record)
+        obs_echo = self._settle_observability(
+            decision,
+            query_cls,
+            record,
+            execution,
+            profiler,
+            tracer,
+            slow_reasons,
+            plan=plan,
+            fingerprint=fingerprint,
+            query_text=substituted,
+            knobs={
+                "parallelism": granted_parallelism,
+                "batch_size": engine.batch_size,
+                "shards": granted_shards,
+                "max_fix_iterations": self.config.max_fix_iterations,
+            },
+        )
+        if slow_reasons:
+            self.metrics.record_slow(record, slow_reasons)
         if feedback is not None and fingerprint is not None:
-            self._feed_back(key, fingerprint, record, execution, profiler)
+            self._feed_back(
+                key,
+                fingerprint,
+                record,
+                execution,
+                profiler,
+                weight=decision.weight,
+                committed=decision.sampled,
+            )
 
         rows = execution.rows
         truncated = False
         if self.config.max_rows is not None and len(rows) > self.config.max_rows:
             rows = rows[: self.config.max_rows]
             truncated = True
-        return {
+        response = {
             "request_id": record.request_id,
             "rows": [_jsonable_row(row) for row in rows],
             "row_count": len(execution.rows),
@@ -491,9 +603,21 @@ class QueryService:
             "batch_size": engine.batch_size,
             "shards": granted_shards,
         }
+        if obs_echo is not None:
+            response["obs"] = obs_echo
+        return response
 
     def _check_slow(self, record: QueryRecord) -> None:
         """Route latency outliers and cost misestimates to the slow log."""
+        reasons = self._slow_reasons(record)
+        if reasons:
+            self.metrics.record_slow(record, reasons)
+
+    def _slow_reasons(self, record: QueryRecord) -> List[str]:
+        """Why (if at all) this query belongs in the slow-query log.
+
+        Returned as a mutable list so the observability settlement can
+        append anomaly verdicts before the single ``record_slow`` call."""
         reasons: List[str] = []
         threshold = self.config.slow_query_seconds
         if threshold is not None and record.execute_seconds > threshold:
@@ -513,8 +637,135 @@ class QueryService:
                     f"measured/estimated cost ratio {ratio:.2f} "
                     f"outside [1/{ratio_cap:g}, {ratio_cap:g}]"
                 )
-        if reasons:
-            self.metrics.record_slow(record, reasons)
+        return reasons
+
+    def _settle_observability(
+        self,
+        decision: SamplingDecision,
+        query_cls: str,
+        record: QueryRecord,
+        execution,
+        profiler: Optional[PlanProfiler],
+        tracer: Optional[Tracer],
+        slow_reasons: List[str],
+        *,
+        plan,
+        fingerprint: Optional[str],
+        query_text: str,
+        knobs: dict,
+    ) -> Optional[dict]:
+        """Close the observability loop for one completed query.
+
+        Scores the run against its class baselines, commits or drops
+        the buffered trace/profile (tail sampling: keep full detail
+        only for anomalous, slow, or head-sampled runs), charges the
+        governor for the detail actually spent, and — on anomaly —
+        snapshots a flight-recorder bundle.  Returns the ``obs`` echo
+        for the response, or ``None`` when the governor is off (legacy
+        payload shape)."""
+        if self.governor is None:
+            return None
+        metrics = execution.metrics
+        misestimate = None
+        if record.estimated_cost > 0 and record.measured_cost > 0:
+            misestimate = q_error(record.estimated_cost, record.measured_cost)
+        skew = metrics.observed_skew() if metrics.shards_used > 1 else None
+        barrier = None
+        if metrics.shards_used > 1 and record.execute_seconds > 0:
+            barrier = min(
+                1.0, metrics.barrier_wait_seconds / record.execute_seconds
+            )
+        anomalies = self.anomalies.observe(
+            query_cls,
+            record.execute_seconds,
+            misestimate=misestimate,
+            skew=skew,
+            barrier_wait=barrier,
+        )
+        # Tail-sampling verdict: anomaly beats slow beats the head
+        # sample the run was admitted under.
+        commit_reason: Optional[str] = None
+        if decision.sampled:
+            if anomalies:
+                commit_reason = "anomaly"
+            elif slow_reasons:
+                commit_reason = "slow"
+            else:
+                commit_reason = decision.reason
+        bundle_path: Optional[str] = None
+        if anomalies:
+            self.governor.note_anomaly(query_cls)
+            self.metrics.count("anomalies", len(anomalies))
+            slow_reasons.extend(anomaly.describe() for anomaly in anomalies)
+            if self.feedback is not None:
+                self.feedback.store.record_event(
+                    "anomaly",
+                    request_id=record.request_id,
+                    query_class=query_cls,
+                    anomalies=[anomaly.to_dict() for anomaly in anomalies],
+                )
+            _LOG.warning(
+                "anomaly detected",
+                extra={
+                    "request_id": record.request_id,
+                    "query_class": query_cls,
+                    "metrics": [anomaly.metric for anomaly in anomalies],
+                },
+            )
+            if decision.sampled and self.recorder.admit(query_cls):
+                bundle = build_bundle(
+                    reason="anomaly",
+                    query_text=query_text,
+                    canonical=record.canonical,
+                    query_cls=query_cls,
+                    plan=plan,
+                    fingerprint=fingerprint or plan_fingerprint(plan),
+                    estimated_cost=record.estimated_cost,
+                    rows=execution.rows,
+                    measured_cost=record.measured_cost,
+                    execute_seconds=record.execute_seconds,
+                    fix_iterations=metrics.fix_iterations,
+                    knobs=knobs,
+                    physical=self.physical,
+                    database=self.config.database_config,
+                    cost_parameters=self._cost_params,
+                    request_id=record.request_id,
+                    anomalies=[anomaly.to_dict() for anomaly in anomalies],
+                    sampling=decision.to_dict(),
+                    trace=tracer.to_dict() if tracer is not None else None,
+                    profile=profiler.to_dict() if profiler is not None else None,
+                    telemetry=(
+                        self.feedback.store.snapshot(record.canonical, 1)
+                        if self.feedback is not None
+                        else None
+                    ),
+                    baselines=self.anomalies.snapshot().get("classes", {}).get(
+                        query_cls
+                    ),
+                )
+                recorded_before = self.recorder.written
+                bundle_path = self.recorder.record(bundle)
+                if self.recorder.written > recorded_before:
+                    self.metrics.count("flight_bundles")
+        # Charge what this run's detail actually cost, then settle the
+        # commit-or-drop so the spent fraction steers later decisions.
+        probes = metrics.obs_probes if profiler is not None else 0
+        spans = tracer.span_count() if tracer is not None else 0
+        self.governor.charge(
+            query_cls, record.execute_seconds, probes=probes, spans=spans
+        )
+        committed = commit_reason is not None
+        self.governor.settle(committed)
+        self.metrics.count("obs_committed" if committed else "obs_dropped")
+        echo = decision.to_dict()
+        echo["committed"] = committed
+        if commit_reason is not None:
+            echo["commit_reason"] = commit_reason
+        if anomalies:
+            echo["anomalies"] = [anomaly.to_dict() for anomaly in anomalies]
+        if bundle_path is not None:
+            echo["bundle"] = bundle_path
+        return echo
 
     def _feed_back(
         self,
@@ -523,10 +774,15 @@ class QueryService:
         record: QueryRecord,
         execution,
         profiler: Optional[PlanProfiler],
+        weight: float = 1.0,
+        committed: bool = True,
     ) -> None:
         """Record one execution into the telemetry store and act on a
         regression verdict (slow-log entry, counters, optional
-        auto-pin)."""
+        auto-pin).  ``weight``/``committed`` carry the governor's
+        sampling design into the observation so recalibration can
+        weight head-sampled runs back to an unbiased estimate and skip
+        unobserved ones."""
         observation = build_observation(
             record.request_id,
             record.estimated_cost,
@@ -535,6 +791,8 @@ class QueryService:
             record.rows,
             execution.metrics,
             profiler,
+            weight=weight,
+            committed=committed,
         )
         regression = self.feedback.observe(key[0], fingerprint, observation)
         if regression is None:
@@ -700,26 +958,59 @@ class QueryService:
             "feedback": feedback.snapshot(),
         }
 
+    #: Per-query-class gauge samples published on scrape are capped at
+    #: this many classes (most-run first): Prometheus label cardinality
+    #: must stay bounded no matter how many distinct query shapes a
+    #: client sends.
+    GAUGE_CLASS_CAP = 32
+
     def _refresh_feedback_gauges(self) -> None:
         """Publish per-query-class misestimate gauges from telemetry
-        (done on scrape, not per request — the summary walks history)."""
+        (done on scrape, not per request — the summary walks history).
+        The full sample set is replaced each time, so classes that fell
+        out of the telemetry window disappear instead of exposing a
+        stale value forever."""
         if self.feedback is None:
             return
-        for query_cls, entry in self.feedback.misestimate_by_query().items():
+        entries = sorted(
+            self.feedback.misestimate_by_query().items(),
+            key=lambda item: item[1].get("runs", 0),
+            reverse=True,
+        )[: self.GAUGE_CLASS_CAP]
+        cost_samples: Dict[tuple, float] = {}
+        operator_samples: Dict[tuple, float] = {}
+        for query_cls, entry in entries:
+            label_key = (("query_class", query_cls),)
             if entry["cost_misestimate"] is not None:
-                self.metrics.set_gauge(
-                    "misestimate_ratio",
-                    entry["cost_misestimate"],
-                    "Mean estimated-vs-measured cost q-error per query class.",
-                    {"query_class": query_cls},
-                )
+                cost_samples[label_key] = entry["cost_misestimate"]
             if entry["operator_misestimate"] is not None:
-                self.metrics.set_gauge(
-                    "operator_misestimate_ratio",
-                    entry["operator_misestimate"],
-                    "Mean per-operator misestimate q-error per query class.",
-                    {"query_class": query_cls},
-                )
+                operator_samples[label_key] = entry["operator_misestimate"]
+        self.metrics.replace_gauge(
+            "misestimate_ratio",
+            "Mean estimated-vs-measured cost q-error per query class.",
+            cost_samples,
+        )
+        self.metrics.replace_gauge(
+            "operator_misestimate_ratio",
+            "Mean per-operator misestimate q-error per query class.",
+            operator_samples,
+        )
+
+    def _refresh_obs_gauges(self) -> None:
+        """Publish the governor's budget/spend as gauges on scrape."""
+        if self.governor is None:
+            return
+        self.metrics.set_gauge(
+            "obs_budget_fraction",
+            self.governor.config.budget,
+            "Configured observability budget (fraction of wall time).",
+        )
+        self.metrics.set_gauge(
+            "obs_spent_fraction",
+            self.governor.spent_fraction(),
+            "EWMA fraction of wall time currently spent on "
+            "observability detail.",
+        )
 
     def stats(self) -> dict:
         payload = {
@@ -730,7 +1021,133 @@ class QueryService:
         }
         if self.feedback is not None:
             payload["feedback"] = self.feedback.snapshot()
+        if self.governor is not None:
+            payload["governor"] = self.governor.snapshot()
         return payload
+
+    def governor_stats(self) -> dict:
+        """The ``governor`` protocol payload: the overhead governor's
+        budget/spend/per-class sampling state, the anomaly detector's
+        baselines, and the flight recorder's bundle ledger."""
+        payload: dict = {
+            "enabled": self.governor is not None,
+            "recorder": self.recorder.snapshot(),
+        }
+        if self.governor is not None:
+            payload["governor"] = self.governor.snapshot()
+        if self.anomalies is not None:
+            payload["anomalies"] = self.anomalies.snapshot()
+        return payload
+
+    def diagnose_query(
+        self,
+        text: str,
+        params: Optional[dict] = None,
+        timeout: Optional[float] = None,
+        shards: Optional[int] = None,
+    ) -> dict:
+        """On-demand flight recording: run the query once at full
+        observability detail — bypassing the governor's sampling — and
+        record a ``diagnose`` bundle, exactly as an anomaly would."""
+        substituted = substitute_params(text, params)
+        request_id = self._next_request_id()
+        width = max(1, shards or self.config.shards)
+        tracer = Tracer(
+            trace_id=request_id, max_spans=self.config.trace_max_spans
+        )
+        profiler = PlanProfiler()
+        with self._store_lock:
+            key = self.cache.key_for(substituted, self.physical)
+            graph = compile_text(substituted, self.database.catalog)
+            optimizer = cost_controlled_optimizer(
+                self.physical, self._model_for(width)
+            )
+            with tracer.span("optimize"):
+                result = optimizer.optimize(graph)
+            token = CancellationToken(
+                self.admission.effective_timeout(timeout)
+            )
+            engine = Engine(
+                self.physical,
+                max_fix_iterations=self.config.max_fix_iterations,
+                shards=width,
+                cluster=self._cluster_for(width),
+            )
+            engine.request_id = request_id
+            engine.tracer = tracer
+            started = time.perf_counter()
+            with tracer.span("execute"):
+                execution = engine.execute(
+                    result.plan, cancel=token, profiler=profiler
+                )
+            elapsed = time.perf_counter() - started
+        measured = execution.metrics.measured_cost()
+        query_cls = query_class(key[0])
+        bundle = build_bundle(
+            reason="diagnose",
+            query_text=substituted,
+            canonical=key[0],
+            query_cls=query_cls,
+            plan=result.plan,
+            fingerprint=plan_fingerprint(result.plan),
+            estimated_cost=result.cost,
+            rows=execution.rows,
+            measured_cost=measured,
+            execute_seconds=elapsed,
+            fix_iterations=execution.metrics.fix_iterations,
+            knobs={
+                "parallelism": 1,
+                "batch_size": engine.batch_size,
+                "shards": width,
+                "max_fix_iterations": self.config.max_fix_iterations,
+            },
+            physical=self.physical,
+            database=self.config.database_config,
+            cost_parameters=self._cost_params,
+            request_id=request_id,
+            sampling={
+                "mode": "full",
+                "sampled": True,
+                "weight": 1.0,
+                "reason": "diagnose",
+            },
+            trace=tracer.to_dict(),
+            profile=profiler.to_dict(),
+            telemetry=(
+                self.feedback.store.snapshot(key[0], 1)
+                if self.feedback is not None
+                else None
+            ),
+            baselines=(
+                self.anomalies.snapshot().get("classes", {}).get(query_cls)
+                if self.anomalies is not None
+                else None
+            ),
+        )
+        recorded_before = self.recorder.written
+        path = self.recorder.record(bundle)
+        if self.recorder.written > recorded_before:
+            self.metrics.count("flight_bundles")
+        _LOG.info(
+            "diagnose bundle recorded",
+            extra={
+                "request_id": request_id,
+                "query_class": query_cls,
+                "bundle": path,
+            },
+        )
+        return {
+            "request_id": request_id,
+            "bundle": path,
+            "query_class": query_cls,
+            "row_count": len(execution.rows),
+            "estimated_cost": round(result.cost, 2),
+            "measured_cost": round(measured, 2),
+            "execute_ms": round(elapsed * 1000, 3),
+            "plan_fingerprint": bundle["plan"]["fingerprint"],
+            "answer_fingerprint": bundle["execution"]["answer_fingerprint"],
+            "recorder": self.recorder.snapshot(),
+        }
 
     def close(self) -> None:
         """Release resources (flush and close the telemetry sink)."""
@@ -853,6 +1270,7 @@ class QueryService:
     def metrics_text(self) -> str:
         """The Prometheus exposition of the service counters."""
         self._refresh_feedback_gauges()
+        self._refresh_obs_gauges()
         return self.metrics.to_prometheus()
 
     # -- protocol dispatch --------------------------------------------------
@@ -992,6 +1410,20 @@ class QueryService:
         if not isinstance(text, str):
             raise ProtocolError("unpin requires a string 'text'")
         return self.unpin_query(text, request.get("params"))
+
+    def _op_governor(self, request: dict) -> dict:
+        return self.governor_stats()
+
+    def _op_diagnose(self, request: dict) -> dict:
+        text = request.get("text")
+        if not isinstance(text, str):
+            raise ProtocolError("diagnose requires a string 'text'")
+        return self.diagnose_query(
+            text,
+            request.get("params"),
+            timeout=_timeout_field(request),
+            shards=_shards_field(request),
+        )
 
 
 def _parallelism_field(request: dict) -> Optional[int]:

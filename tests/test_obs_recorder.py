@@ -1,0 +1,177 @@
+"""The flight recorder: bundle assembly, recording caps, and
+deterministic replay (plan-fingerprint + answer-set equality)."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.baselines import cost_controlled_optimizer
+from repro.engine import Engine
+from repro.lang.compile import compile_text
+from repro.obs.history import plan_fingerprint
+from repro.obs.recorder import (
+    BUNDLE_VERSION,
+    FlightRecorder,
+    answer_fingerprint,
+    build_bundle,
+    database_from_config,
+    load_bundle,
+    replay_bundle,
+)
+
+RECIPE = {"db": "music", "seed": 21, "lineages": 3, "generations": 6}
+
+SCAN = "select [name: x.name] from x in Composer where x.birthyear >= 1700;"
+
+FIG3 = """
+view Influencer as
+  select [master: x.master, disciple: x, gen: 1] from x in Composer
+  union
+  select [master: i.master, disciple: x, gen: i.gen + 1]
+  from i in Influencer, x in Composer where i.disciple = x.master;
+
+select [name: i.disciple.name, gen: i.gen]
+from i in Influencer
+where i.gen >= 2;
+"""
+
+
+def run_and_bundle(text, database, tmp_path=None, reason="diagnose"):
+    """Optimize + execute *text* and wrap the run into a bundle."""
+    physical = database.physical
+    graph = compile_text(text, database.catalog)
+    result = cost_controlled_optimizer(physical).optimize(graph)
+    execution = Engine(physical).execute(result.plan)
+    return build_bundle(
+        reason=reason,
+        query_text=text,
+        canonical=text,
+        query_cls="testcls",
+        plan=result.plan,
+        fingerprint=plan_fingerprint(result.plan),
+        estimated_cost=result.cost,
+        rows=execution.rows,
+        measured_cost=execution.metrics.measured_cost(),
+        execute_seconds=0.01,
+        fix_iterations=execution.metrics.fix_iterations,
+        knobs={"parallelism": 1, "shards": 1, "max_fix_iterations": 256},
+        physical=physical,
+        database=RECIPE,
+    )
+
+
+class TestFingerprints:
+    def test_answer_fingerprint_order_insensitive(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+        assert answer_fingerprint(rows) == answer_fingerprint(rows[::-1])
+
+    def test_answer_fingerprint_detects_difference(self):
+        assert answer_fingerprint([{"a": 1}]) != answer_fingerprint([{"a": 2}])
+
+    def test_database_recipe_deterministic(self):
+        from repro.service.plan_cache import schema_fingerprint
+
+        first = database_from_config(RECIPE)
+        second = database_from_config(RECIPE)
+        assert schema_fingerprint(first.physical) == schema_fingerprint(
+            second.physical
+        )
+
+    def test_parts_recipe(self):
+        db = database_from_config({"db": "parts", "seed": 7})
+        assert db.physical is not None
+
+
+class TestBundles:
+    def test_bundle_shape(self):
+        db = database_from_config(RECIPE)
+        bundle = run_and_bundle(SCAN, db)
+        assert bundle["bundle_version"] == BUNDLE_VERSION
+        assert bundle["query"]["class"] == "testcls"
+        assert bundle["plan"]["fingerprint"]
+        assert bundle["plan"]["rendered"]
+        assert bundle["execution"]["answer_fingerprint"]
+        assert bundle["store"]["schema"] and bundle["store"]["stats"]
+        assert bundle["database"] == RECIPE
+        # The whole bundle must be JSON-serializable as-is.
+        json.dumps(bundle, default=str)
+
+    def test_recorder_writes_and_caps(self, tmp_path):
+        recorder = FlightRecorder(
+            directory=str(tmp_path), max_bundles=3, per_class=2
+        )
+        db = database_from_config(RECIPE)
+        bundle = run_and_bundle(SCAN, db)
+        first = recorder.record(bundle)
+        second = recorder.record(bundle)
+        assert first and os.path.exists(first)
+        assert second and second != first
+        # Third hits the per-class cap.
+        assert recorder.record(bundle) is None
+        other = dict(bundle, query=dict(bundle["query"], **{"class": "b"}))
+        assert recorder.record(other) is not None
+        # Fourth hits the global cap.
+        third = dict(bundle, query=dict(bundle["query"], **{"class": "c"}))
+        assert recorder.record(third) is None
+        snap = recorder.snapshot()
+        assert snap["written"] == 3 and snap["suppressed"] == 2
+
+    def test_memory_only_recorder(self):
+        recorder = FlightRecorder(directory=None)
+        db = database_from_config(RECIPE)
+        assert recorder.record(run_and_bundle(SCAN, db)) is None
+        assert recorder.written == 1 and len(recorder.recent) == 1
+
+    def test_load_bundle_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"bundle_version": 99}))
+        with pytest.raises(ValueError):
+            load_bundle(str(path))
+
+
+class TestReplay:
+    def test_replay_matches_scan(self, tmp_path):
+        db = database_from_config(RECIPE)
+        bundle = run_and_bundle(SCAN, db)
+        path = tmp_path / "bundle.json"
+        path.write_text(json.dumps(bundle, default=str))
+        report = replay_bundle(load_bundle(str(path)))
+        assert report["schema_match"]
+        assert report["plan_match"] and report["answer_match"]
+        assert report["matched"]
+        assert report["row_count"] == report["expected_row_count"]
+
+    def test_replay_matches_recursive_query(self):
+        db = database_from_config(RECIPE)
+        bundle = run_and_bundle(FIG3, db)
+        report = replay_bundle(bundle)
+        assert report["matched"]
+
+    def test_replay_detects_answer_divergence(self):
+        db = database_from_config(RECIPE)
+        bundle = run_and_bundle(SCAN, db)
+        bundle["execution"]["answer_fingerprint"] = "0" * 16
+        report = replay_bundle(bundle)
+        assert not report["answer_match"] and not report["matched"]
+
+    def test_replay_detects_plan_divergence(self):
+        db = database_from_config(RECIPE)
+        bundle = run_and_bundle(SCAN, db)
+        bundle["plan"]["fingerprint"] = "f" * 16
+        report = replay_bundle(bundle)
+        assert not report["plan_match"] and not report["matched"]
+
+    def test_replay_against_prebuilt_database(self):
+        db = database_from_config(RECIPE)
+        bundle = run_and_bundle(SCAN, db)
+        bundle["database"] = None
+        report = replay_bundle(bundle, database=db)
+        assert report["matched"]
+
+    def test_replay_without_recipe_or_database_fails(self):
+        db = database_from_config(RECIPE)
+        bundle = run_and_bundle(SCAN, db)
+        bundle["database"] = None
+        with pytest.raises(ValueError):
+            replay_bundle(bundle)
