@@ -242,7 +242,51 @@ def check_obs_overhead(gate, fresh, baseline):
     )
 
 
+def check_enumeration(gate, fresh, baseline):
+    def by_key(doc):
+        return {
+            (m["query"], m["config"]): m
+            for m in doc.get("measurements", [])
+        }
+
+    fresh_rows, base_rows = by_key(fresh), by_key(baseline)
+    for key, row in sorted(fresh_rows.items()):
+        label = "{}/{}".format(*key)
+        # The tentpole claims, re-checked from the committed JSON: the
+        # enum plan costs no more than the best randomized plan
+        # (cost_advantage = best_randomized/enum >= 1, with float
+        # rounding slack), within the optimization-time budget
+        # (time_budget_factor = required_factor*ii_median/enum >= 1).
+        gate.absolute(
+            "enumeration",
+            f"cost advantage[{label}]",
+            row["cost_advantage"],
+            0.999,
+        )
+        gate.absolute(
+            "enumeration",
+            f"time budget[{label}]",
+            row["time_budget_factor"],
+            1.0,
+        )
+    for key, base in sorted(base_rows.items()):
+        label = "{}/{}".format(*key)
+        row = fresh_rows.get(key)
+        if row is None:
+            gate.note("enumeration", label, "missing", "-", None, False)
+            continue
+        # Plan quality must not silently drift relative to the
+        # committed baseline (lower cost is better: baseline/fresh).
+        gate.check(
+            "enumeration",
+            f"plan quality[{label}]",
+            base["enum_cost"],
+            row["enum_cost"],
+        )
+
+
 CHECKERS = {
+    "BENCH_enumeration.json": check_enumeration,
     "BENCH_service_throughput.json": check_service_throughput,
     "BENCH_obs_overhead.json": check_obs_overhead,
     "BENCH_claim_strategy_time.json": check_strategy_time,

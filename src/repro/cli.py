@@ -35,7 +35,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core import Optimizer, OptimizerConfig
+from repro.core import STRATEGY_NAMES, Optimizer, OptimizerConfig
 from repro.core.baselines import (
     cost_controlled_optimizer,
     deductive_optimizer,
@@ -96,6 +96,14 @@ def build_parser() -> argparse.ArgumentParser:
             choices=["cost", "always", "never"],
             default="cost",
             help="push-through-recursion policy",
+        )
+        p.add_argument(
+            "--strategy",
+            choices=list(STRATEGY_NAMES),
+            default="ii",
+            help="transformPT search strategy (only with --policy cost): "
+            "ii/sa/2po randomized, enum = memoized systematic "
+            "enumeration, exhaustive = uncapped closure",
         )
 
     run_parser = sub.add_parser("run", help="optimize and execute a query")
@@ -480,12 +488,29 @@ def _optimizer(args, physical):
         params = CostParameters()
         params.shards = shards
         model = DetailedCostModel(physical, params)
+    strategy = getattr(args, "strategy", "ii") or "ii"
+    if strategy != "ii":
+        return Optimizer(
+            physical, model, OptimizerConfig(strategy=strategy)
+        )
     return cost_controlled_optimizer(physical, model)
 
 
 def _read_query(args) -> str:
     with open(args.query_file) as handle:
         return handle.read()
+
+
+def _print_strategy_stats(result, out) -> None:
+    stats = result.strategy_stats
+    if not stats:
+        return
+    print(
+        "enumeration: {subplans_memoized} subplans memoized, "
+        "{memo_hits} memo hits, {pruned_branches} branches pruned, "
+        "{candidates_costed} candidates costed".format(**stats),
+        file=out,
+    )
 
 
 def _optimize(args, text: str, out):
@@ -502,6 +527,7 @@ def _optimize(args, text: str, out):
         print("candidates:", file=out)
         for description, cost in result.candidates:
             print(f"  {cost:10.1f}  {description}", file=out)
+    _print_strategy_stats(result, out)
     return db, result
 
 
@@ -611,6 +637,7 @@ def cmd_explain(args, out) -> int:
         print("candidates:", file=out)
         for description, cost in result.candidates:
             print(f"  {cost:10.1f}  {description}", file=out)
+    _print_strategy_stats(result, out)
     if execution is not None:
         metrics = execution.metrics
         print(file=out)
@@ -736,6 +763,7 @@ def cmd_serve(args, out, server_box=None) -> int:
             parallelism=max(1, args.parallelism),
             batch_size=args.batch_size,
             shards=max(1, args.shards),
+            strategy=args.strategy if args.strategy != "ii" else None,
             slow_query_seconds=(
                 args.slow_query_ms / 1000.0 if args.slow_query_ms else None
             ),

@@ -2,23 +2,28 @@
 
 from repro.core.actions import Action, Application, saturate
 from repro.core.baselines import (
+    brute_force_enumerate,
     cost_controlled_optimizer,
     deductive_optimizer,
+    enumerating_optimizer,
     exhaustive_optimizer,
     naive_optimizer,
 )
+from repro.core.enumerate import EnumerationStats, MemoizedEnumeration
 from repro.core.fold import fold_action, fold_views
 from repro.core.generate import GeneratedPlan, SPJGenerator
 from repro.core.moves import neighbors
 from repro.core.optimizer import OptimizationResult, Optimizer, OptimizerConfig
 from repro.core.rewrite import fixpoint_action, rewrite, union_action
 from repro.core.strategies import (
+    STRATEGY_NAMES,
     ExhaustiveSearch,
     IterativeImprovement,
     SearchResult,
     SearchStrategy,
     SimulatedAnnealing,
     TwoPhase,
+    resolve_strategy,
 )
 from repro.core.transform import (
     PushableSegment,
@@ -33,10 +38,14 @@ __all__ = [
     "Action",
     "Application",
     "saturate",
+    "brute_force_enumerate",
     "cost_controlled_optimizer",
     "deductive_optimizer",
+    "enumerating_optimizer",
     "exhaustive_optimizer",
     "naive_optimizer",
+    "EnumerationStats",
+    "MemoizedEnumeration",
     "fold_action",
     "fold_views",
     "GeneratedPlan",
@@ -48,6 +57,8 @@ __all__ = [
     "fixpoint_action",
     "rewrite",
     "union_action",
+    "STRATEGY_NAMES",
+    "resolve_strategy",
     "ExhaustiveSearch",
     "IterativeImprovement",
     "SearchResult",

@@ -13,21 +13,31 @@
   but the optimization time may become unacceptably high."
 * :func:`cost_controlled_optimizer` — the paper's optimizer with its
   default two-pass, cost-compared transformPT (for symmetric naming).
+* :func:`enumerating_optimizer` — the memoized transformation-based
+  enumerator (``strategy="enum"``) as a ready-made optimizer.
+* :func:`brute_force_enumerate` — the optimality oracle: close the
+  move graph with *no* memo fingerprinting and *no* pruning, costing
+  every structurally distinct plan reached, and return the global
+  minimum over the closure.  Only feasible on small plan spaces, which
+  is exactly what the property-based oracle tests generate.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional, Tuple
 
 from repro.core.optimizer import Optimizer, OptimizerConfig
 from repro.core.strategies import ExhaustiveSearch, IterativeImprovement
 from repro.physical.schema import PhysicalSchema
+from repro.plans.nodes import PlanNode
 
 __all__ = [
     "deductive_optimizer",
     "naive_optimizer",
     "exhaustive_optimizer",
     "cost_controlled_optimizer",
+    "enumerating_optimizer",
+    "brute_force_enumerate",
 ]
 
 
@@ -84,3 +94,67 @@ def cost_controlled_optimizer(
             strategy=IterativeImprovement(seed=seed),
         ),
     )
+
+
+def enumerating_optimizer(
+    physical: PhysicalSchema,
+    cost_model=None,
+    prune_factor: Optional[float] = 2.0,
+    max_plans: int = 20_000,
+) -> Optimizer:
+    """Systematic memoized enumeration of the transformation space."""
+    from repro.core.enumerate import MemoizedEnumeration
+
+    return Optimizer(
+        physical,
+        cost_model,
+        OptimizerConfig(
+            push_policy="cost",
+            reoptimize=True,
+            strategy=MemoizedEnumeration(
+                prune_factor=prune_factor, max_plans=max_plans
+            ),
+        ),
+    )
+
+
+def brute_force_enumerate(
+    start: PlanNode,
+    cost_fn: Callable[[PlanNode], float],
+    physical: PhysicalSchema,
+    *,
+    extended_moves: bool = False,
+    max_plans: int = 50_000,
+) -> Tuple[PlanNode, float, int]:
+    """Cost every structurally distinct plan in the move-graph closure
+    of ``start`` and return ``(best_plan, best_cost, plans_costed)``.
+
+    Deliberately naive — structural (not canonical) dedup, breadth-
+    first, no pruning — so it shares no machinery with
+    :class:`repro.core.enumerate.MemoizedEnumeration` and can serve as
+    its optimality oracle.  Raises :class:`RuntimeError` when the
+    closure exceeds ``max_plans``: an oracle that silently truncated
+    the space could vacuously "confirm" optimality.
+    """
+    from repro.core.moves import neighbors
+
+    seen = {start: cost_fn(start)}
+    frontier = [start]
+    while frontier:
+        next_frontier = []
+        for plan in frontier:
+            for _description, candidate in neighbors(
+                plan, physical, extended_moves
+            ):
+                if candidate in seen:
+                    continue
+                seen[candidate] = cost_fn(candidate)
+                next_frontier.append(candidate)
+                if len(seen) > max_plans:
+                    raise RuntimeError(
+                        f"plan space exceeds {max_plans} plans; "
+                        "brute-force oracle is not feasible here"
+                    )
+        frontier = next_frontier
+    best_plan, best_cost = min(seen.items(), key=lambda item: item[1])
+    return best_plan, best_cost, len(seen)

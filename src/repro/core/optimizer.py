@@ -30,12 +30,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import OptimizationError
 from repro.core.generate import SPJGenerator
 from repro.core.rewrite import rewrite
-from repro.core.strategies import IterativeImprovement, SearchResult, SearchStrategy
+from repro.core.strategies import (
+    IterativeImprovement,
+    SearchResult,
+    SearchStrategy,
+    resolve_strategy,
+)
 from repro.core.transform import transform_candidates
 from repro.core.translate import TranslatedNode, Translator, produced_shape
 from repro.cost.cardinality import TupleShape
@@ -48,6 +53,7 @@ from repro.plans.nodes import (
     Materialize,
     PlanNode,
     RecLeaf,
+    Sel,
     UnionOp,
 )
 from repro.plans.validate import validate_plan
@@ -72,7 +78,10 @@ class OptimizerConfig:
 
     push_policy: str = "cost"
     reoptimize: bool = True
-    strategy: Optional[SearchStrategy] = None
+    #: A :class:`SearchStrategy` instance, or one of the registered
+    #: names (:data:`repro.core.strategies.STRATEGY_NAMES`, e.g.
+    #: ``"enum"``); names are resolved on construction.
+    strategy: Optional[Union[str, SearchStrategy]] = None
     validate_plans: bool = True
     #: Disable DP pruning in generatePT, fully enumerating join orders
     #: ([KZ88]); used by the exhaustive baseline.
@@ -86,6 +95,11 @@ class OptimizerConfig:
             raise OptimizationError(
                 f"unknown push policy {self.push_policy!r}"
             )
+        if isinstance(self.strategy, str):
+            try:
+                self.strategy = resolve_strategy(self.strategy)
+            except ValueError as exc:
+                raise OptimizationError(str(exc)) from None
 
 
 @dataclass
@@ -98,6 +112,10 @@ class OptimizationResult:
     plans_costed: int = 0
     rewrite_trace: List[str] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: Search-strategy introspection counters, when the strategy keeps
+    #: them (``enum``: subplans memoized, memo hits, pruned branches,
+    #: candidates costed, plans expanded).
+    strategy_stats: Optional[Dict[str, int]] = None
 
     def chose_push(self) -> bool:
         """Whether the winning plan has a selection/join inside a Fix."""
@@ -204,8 +222,15 @@ class Optimizer:
         if self.config.validate_plans:
             validate_plan(plan, self.physical)
         elapsed = time.perf_counter() - started
+        stats = getattr(self._strategy, "last_stats", None)
         return OptimizationResult(
-            plan, cost, candidates, plans_costed, trace, elapsed
+            plan,
+            cost,
+            candidates,
+            plans_costed,
+            trace,
+            elapsed,
+            stats.to_dict() if stats is not None else None,
         )
 
     def _translate(self, translator: Translator, part: SPJNode) -> TranslatedNode:
@@ -427,6 +452,12 @@ class Optimizer:
     ) -> Tuple[PlanNode, float, List[Tuple[str, float]], int]:
         policy = self.config.push_policy
         tracer = self._tracer
+        if (
+            policy == "cost"
+            and self.config.reoptimize
+            and self._strategy.self_contained
+        ):
+            return self._transform_self_contained(plan)
         costed = 0
         with tracer.span("transformPT", policy=policy) as transform_span:
             candidates = transform_candidates(plan)
@@ -485,6 +516,61 @@ class Optimizer:
             )
         summary = [(description, cost) for description, _p, cost in scored]
         return best_plan, best_cost, summary, costed
+
+    def _transform_self_contained(
+        self, plan: PlanNode
+    ) -> Tuple[PlanNode, float, List[Tuple[str, float]], int]:
+        """transformPT for self-contained strategies (``enum``).
+
+        Push-filter is one of the strategy's own moves, so pre-seeding
+        it with every ``transform_candidates`` push would enumerate the
+        same space once per candidate; one search from the untouched
+        plan covers all push positions."""
+        tracer = self._tracer
+        with tracer.span(
+            "transformPT", policy="cost", mode="self-contained"
+        ) as transform_span:
+            start_cost = self.cost_model.cost(plan)
+            result = self._strategy.search(
+                plan,
+                lambda p: self.cost_model.cost(p),
+                self.physical,
+                tracer=tracer,
+            )
+            costed = result.plans_costed
+            description = "enumerated" if result.moves_taken else "original"
+            if tracer.enabled:
+                tracer.event(
+                    "transformPT.candidate",
+                    description=description,
+                    cost=result.cost,
+                )
+                tracer.event(
+                    "transformPT.push_comparison",
+                    no_push_cost=start_cost,
+                    push_cost=result.cost,
+                    chosen=description,
+                    chose_push=any(
+                        isinstance(inner, Sel)
+                        for node in result.plan.walk()
+                        if isinstance(node, Fix)
+                        for inner in node.body.walk()
+                    ),
+                )
+            attrs = dict(
+                chosen=description,
+                cost=result.cost,
+                candidates=1,
+                plans_costed=costed,
+            )
+            stats = getattr(self._strategy, "last_stats", None)
+            if stats is not None:
+                attrs.update(stats.to_dict())
+            transform_span.set(**attrs)
+        summary = [("original", start_cost)]
+        if description != "original":
+            summary.append((description, result.cost))
+        return result.plan, result.cost, summary, costed
 
 
 def _spj_parts(node) -> List[SPJNode]:

@@ -36,6 +36,8 @@ __all__ = [
     "SimulatedAnnealing",
     "TwoPhase",
     "ExhaustiveSearch",
+    "STRATEGY_NAMES",
+    "resolve_strategy",
 ]
 
 CostFn = Callable[[PlanNode], float]
@@ -59,6 +61,11 @@ class SearchStrategy:
     """
 
     extended_moves: bool = False
+    #: Self-contained strategies explore push alternatives themselves
+    #: (push-filter is in their move graph), so transformPT runs them
+    #: once from the untouched plan instead of once per pre-generated
+    #: push candidate.
+    self_contained: bool = False
 
     def search(
         self,
@@ -289,3 +296,35 @@ class ExhaustiveSearch(SearchStrategy):
             frontier = next_frontier
         best_plan, best_cost = min(seen.items(), key=lambda item: item[1])
         return SearchResult(best_plan, best_cost, costed)
+
+
+#: Strategy names accepted anywhere a strategy can be selected by name
+#: (``OptimizerConfig(strategy=...)``, ``repro run --strategy``, the
+#: service protocol's per-request ``strategy`` field).
+STRATEGY_NAMES = ("ii", "sa", "2po", "enum", "exhaustive")
+
+
+def resolve_strategy(name: str, *, seed: int = 1992) -> SearchStrategy:
+    """Build the strategy registered under ``name``.
+
+    ``seed`` feeds the randomized strategies; the deterministic ones
+    (``enum``, ``exhaustive``) ignore it.
+    """
+    # Imported here: enumerate.py subclasses SearchStrategy.
+    from repro.core.enumerate import MemoizedEnumeration
+
+    factories = {
+        "ii": lambda: IterativeImprovement(seed=seed),
+        "sa": lambda: SimulatedAnnealing(seed=seed),
+        "2po": lambda: TwoPhase(seed=seed),
+        "enum": MemoizedEnumeration,
+        "exhaustive": ExhaustiveSearch,
+    }
+    try:
+        factory = factories[name]
+    except KeyError:
+        known = ", ".join(STRATEGY_NAMES)
+        raise ValueError(
+            f"unknown strategy {name!r} (expected one of: {known})"
+        ) from None
+    return factory()

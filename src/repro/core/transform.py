@@ -557,18 +557,29 @@ def transform_candidates(plan: PlanNode) -> List[Tuple[str, PlanNode]]:
 
     (Each application may expose further applicable segments on the
     transformed plan — e.g. a selection behind a join — so we close
-    transitively, bounded by a small depth.)"""
-    seen: Dict[PlanNode, str] = {plan: "original"}
+    transitively, bounded by a small depth.  Dedup is by canonical
+    fingerprint, not structural equality: pushing independent segments
+    in different orders yields the same plan up to the ``_pN`` suffixes
+    the renamer minted, and costing such alpha-variants once per push
+    order would make transformPT pay for the same plan repeatedly.)"""
+    from repro.plans.canonical import canonical_fingerprint
+
+    seen: Dict[str, Tuple[str, PlanNode]] = {
+        canonical_fingerprint(plan): ("original", plan)
+    }
     frontier: List[PlanNode] = [plan]
     for _depth in range(4):
         next_frontier: List[PlanNode] = []
         for candidate in frontier:
             for application in _filter_applications(candidate):
                 transformed = application.apply()
-                if transformed not in seen:
-                    seen[transformed] = application.description
+                fingerprint = canonical_fingerprint(transformed)
+                if fingerprint not in seen:
+                    seen[fingerprint] = (
+                        application.description, transformed
+                    )
                     next_frontier.append(transformed)
         if not next_frontier:
             break
         frontier = next_frontier
-    return [(description, candidate) for candidate, description in seen.items()]
+    return list(seen.values())

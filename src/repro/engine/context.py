@@ -16,12 +16,12 @@ protocol fields — rejects a bad value with the same message.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.engine.cancel import CancellationToken
 from repro.obs.profile import PlanProfiler
 
-__all__ = ["ExecutionContext", "validate_knob"]
+__all__ = ["ExecutionContext", "validate_choice", "validate_knob"]
 
 
 def validate_knob(name: str, value: Optional[int], minimum: int = 1) -> None:
@@ -34,6 +34,19 @@ def validate_knob(name: str, value: Optional[int], minimum: int = 1) -> None:
         raise ValueError(f"{name} must be an integer >= {minimum}")
     if value < minimum:
         raise ValueError(f"{name} must be >= {minimum}")
+
+
+def validate_choice(
+    name: str, value: Optional[str], choices: Sequence[str]
+) -> None:
+    """Validate one enumerated knob (e.g. the per-request optimizer
+    ``strategy``); ``None`` is always allowed.  Raises
+    :class:`ValueError` listing the accepted values."""
+    if value is None:
+        return
+    if not isinstance(value, str) or value not in choices:
+        accepted = ", ".join(choices)
+        raise ValueError(f"{name} must be one of: {accepted}")
 
 
 @dataclass

@@ -7,8 +7,13 @@ plus payload, or ``ok: false`` plus ``error: {code, message}``.
 
 Operations
     ``hello``                             → ``{session}``
-    ``query {text, params?, timeout?, parallelism?, batch_size?}``
-                                          → ``{rows, cache, ...}``
+    ``query {text, params?, timeout?, parallelism?, batch_size?,
+    shards?, strategy?}``                 → ``{rows, cache, ...}``
+                                            (``strategy``: transformPT
+                                            search — ``ii``/``sa``/
+                                            ``2po``/``enum``/
+                                            ``exhaustive``; plans are
+                                            cached per strategy)
     ``prepare {text}``                    → ``{statement, parameters}``
     ``execute {statement, params?, ...}`` → like ``query``
     ``explain {text, analyze?}``          → annotated plan (est vs. actual)

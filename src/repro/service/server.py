@@ -30,11 +30,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.baselines import cost_controlled_optimizer
+from repro.core.optimizer import Optimizer, OptimizerConfig
+from repro.core.strategies import STRATEGY_NAMES
 from repro.cost.model import DetailedCostModel
 from repro.cost.params import CostParameters
 from repro.cost.recost import recost_plan
 from repro.engine.batch import default_batch_size
 from repro.engine.cancel import CancellationToken
+from repro.engine.context import validate_choice
 from repro.engine.evaluator import Engine
 from repro.errors import ProtocolError, ReproError, ServiceError
 from repro.lang.compile import compile_text
@@ -164,6 +167,14 @@ class ServiceConfig:
     #: bit-identical store; ``None`` produces bundles that replay only
     #: against a caller-supplied database.
     database_config: Optional[dict] = None
+    #: Default transformPT search strategy
+    #: (:data:`repro.core.strategies.STRATEGY_NAMES`; the per-request
+    #: ``strategy`` field wins).  ``None`` keeps the paper's II
+    #: reoptimization.
+    strategy: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        validate_choice("strategy", self.strategy, STRATEGY_NAMES)
 
 
 @dataclass
@@ -326,6 +337,7 @@ class QueryService:
         parallelism: Optional[int] = None,
         batch_size: Optional[int] = None,
         shards: Optional[int] = None,
+        strategy: Optional[str] = None,
     ) -> dict:
         """Serve one query text end to end; raises ReproError subclasses
         on failure (the protocol layer maps them to error codes).
@@ -333,11 +345,14 @@ class QueryService:
         (the grant is capped by the admission controller's slot count);
         ``batch_size`` overrides the engine batch size; ``shards``
         overrides the shard fan-out (capped by the same slot count —
-        admission weighs a request by max(parallelism, shards))."""
+        admission weighs a request by max(parallelism, shards));
+        ``strategy`` overrides the transformPT search strategy used on
+        a plan-cache miss."""
         self.metrics.record_request()
         try:
             return self._run_query(
-                text, params, timeout, parallelism, batch_size, shards
+                text, params, timeout, parallelism, batch_size, shards,
+                strategy,
             )
         except ReproError as error:
             self._count_failure(error)
@@ -379,8 +394,19 @@ class QueryService:
             return DetailedCostModel(self.physical, self._default_params())
         return DetailedCostModel(self.physical, self._cost_params)
 
-    def _optimizer(self):
-        """A fresh optimizer honouring the hot-swapped parameters."""
+    def _optimizer(self, strategy: Optional[str] = None):
+        """A fresh optimizer honouring the hot-swapped parameters.
+
+        ``strategy`` (a :data:`STRATEGY_NAMES` name) overrides the
+        configured default; ``"ii"``/``None`` keep the paper's
+        cost-controlled II optimizer."""
+        name = strategy or self.config.strategy
+        if name is not None and name != "ii":
+            return Optimizer(
+                self.physical,
+                self._current_model(),
+                OptimizerConfig(strategy=name),
+            )
         return cost_controlled_optimizer(self.physical, self._current_model())
 
     def _model_for(self, width: int) -> Optional[DetailedCostModel]:
@@ -420,13 +446,22 @@ class QueryService:
         parallelism: Optional[int] = None,
         batch_size: Optional[int] = None,
         shards: Optional[int] = None,
+        strategy: Optional[str] = None,
     ) -> dict:
         substituted = substitute_params(text, params)
+        validate_choice("strategy", strategy, STRATEGY_NAMES)
         feedback = self.feedback
         fingerprint: Optional[str] = None
         optimize_started = time.perf_counter()
         with self._store_lock:
             key = self.cache.key_for(substituted, self.physical)
+            if strategy is not None and strategy != (
+                self.config.strategy or "ii"
+            ):
+                # A strategy override must not collide with plans
+                # cached under the default (or another) strategy:
+                # suffix the canonical text, like a different query.
+                key = (f"{key[0]}\n-- strategy={strategy}", key[1])
             lookup = self.cache.lookup(key, self.physical, self._current_model())
             if lookup.entry is not None:
                 plan, estimated = lookup.entry.plan, lookup.entry.cost
@@ -439,7 +474,7 @@ class QueryService:
                     lookup.entry.fingerprint = fingerprint
             else:
                 graph = compile_text(substituted, self.database.catalog)
-                optimizer = self._optimizer()
+                optimizer = self._optimizer(strategy)
                 result = optimizer.optimize(graph)
                 plan, estimated = result.plan, result.cost
                 plans_costed = result.plans_costed
@@ -824,13 +859,15 @@ class QueryService:
         parallelism: Optional[int] = None,
         batch_size: Optional[int] = None,
         shards: Optional[int] = None,
+        strategy: Optional[str] = None,
     ) -> dict:
         session = self._session(session_id)
         template = session.statements.get(statement_id)
         if template is None:
             raise ProtocolError(f"unknown statement {statement_id!r}")
         return self.run_query(
-            template, params, timeout, parallelism, batch_size, shards
+            template, params, timeout, parallelism, batch_size, shards,
+            strategy,
         )
 
     # -- maintenance / observability ---------------------------------------
@@ -1322,6 +1359,7 @@ class QueryService:
             _parallelism_field(request),
             _batch_size_field(request),
             _shards_field(request),
+            _strategy_field(request),
         )
 
     def _op_prepare(self, request: dict) -> dict:
@@ -1342,6 +1380,7 @@ class QueryService:
             _parallelism_field(request),
             _batch_size_field(request),
             _shards_field(request),
+            _strategy_field(request),
         )
 
     def _op_stats(self, request: dict) -> dict:
@@ -1454,6 +1493,17 @@ def _shards_field(request: dict) -> Optional[int]:
             or shards < 1:
         raise ProtocolError("shards must be a positive integer")
     return shards
+
+
+def _strategy_field(request: dict) -> Optional[str]:
+    strategy = request.get("strategy")
+    if strategy is None:
+        return None
+    try:
+        validate_choice("strategy", strategy, STRATEGY_NAMES)
+    except ValueError as error:
+        raise ProtocolError(str(error)) from None
+    return strategy
 
 
 def _timeout_field(request: dict) -> Optional[float]:

@@ -179,7 +179,7 @@ def parts_queries(draw):
 # -- differential check -------------------------------------------------------
 
 
-def run_differential(db, graph, grid, cluster=None):
+def run_differential(db, graph, grid, cluster=None, optimizer=None):
     """Optimize once, execute on a fresh engine per configuration, and
     assert every run matches the reference evaluator's answer set and
     the grid's first configuration's per-node tuple counts.
@@ -187,10 +187,15 @@ def run_differential(db, graph, grid, cluster=None):
     ``grid`` is an iterable of ``(batch_size, parallelism, shards)``
     triples; configurations with ``shards > 1`` run through
     ``cluster`` (a :class:`repro.dist.ShardCluster` at least that
-    wide).
+    wide).  ``optimizer`` is a factory from a physical schema to an
+    optimizer (default: the paper's cost-controlled II optimizer) —
+    the hook the enumeration sweep uses to prove the plans ``enum``
+    picks execute identically under every configuration.
     """
+    if optimizer is None:
+        optimizer = cost_controlled_optimizer
     try:
-        plan = cost_controlled_optimizer(db.physical).optimize(graph).plan
+        plan = optimizer(db.physical).optimize(graph).plan
     except OptimizationError:
         # Disconnected join graphs (Cartesian products) are
         # legitimately rejected by the optimizer.
