@@ -45,6 +45,11 @@ EVENT_NAMES = (
     "method_weight",
     "tuples",
     "batches",
+    #: Columnar-ABI feature: referenced-column touches (width of the
+    #: columns a node reads × its input tuples, metered
+    #: layout-invariantly), the runtime twin of the model's
+    #: ``column_touch`` term.
+    "column_touches",
     #: Distributed-exchange features (zero on single-store runs): the
     #: wire tuples and frames of both scatter-gather legs, the runtime
     #: twins of the distributed model's network terms.
@@ -101,6 +106,12 @@ class CalibratedWeights:
             batch_overhead=max(
                 self.weights.get("batches", base.batch_overhead), 1e-9
             ),
+            # Same fallback contract as ``batches``: weights fitted
+            # before the column_touches event existed keep the
+            # reference per-column-touch charge.
+            column_touch=max(
+                self.weights.get("column_touches", base.column_touch), 1e-9
+            ),
             shards=base.shards,
             shard_skew=base.shard_skew,
             # Network weights: a workload that never ran sharded leaves
@@ -126,6 +137,7 @@ def events_of(metrics: RuntimeMetrics) -> Dict[str, float]:
         "method_weight": float(metrics.method_eval_weight),
         "tuples": float(metrics.total_tuples),
         "batches": float(metrics.batches),
+        "column_touches": float(metrics.column_touches),
         "exchange_tuples": float(metrics.exchange_tuples),
         "exchange_frames": float(metrics.exchange_frames),
     }
@@ -165,12 +177,40 @@ def collect_probes(
     return probes
 
 
+def _feature_priors() -> Dict[str, float]:
+    """Reference unit weight per feature (the ``CostParameters``
+    defaults): the anchor the rank-deficient directions of a fit fall
+    back to."""
+    base = CostParameters()
+    return {
+        "physical_reads": base.page_read,
+        "index_page_reads": base.index_page,
+        "predicate_evals": base.eval_per_tuple,
+        "method_weight": base.eval_per_tuple,
+        "tuples": base.tuple_cpu,
+        "batches": base.batch_overhead,
+        "column_touches": base.column_touch,
+        "exchange_tuples": base.network_per_tuple,
+        "exchange_frames": base.network_per_round,
+    }
+
+
 def fit_weights(probes: Sequence[ProbeResult]) -> CalibratedWeights:
     """Non-negative least-squares fit of per-event unit weights.
 
     Uses projected alternating least squares (clip-to-zero iterations on
-    top of ``numpy.linalg.lstsq``), which is ample for five well-scaled
-    features."""
+    top of ``numpy.linalg.lstsq``), which is ample for a handful of
+    well-scaled features.
+
+    Probe workloads are often rank-deficient — a history of three
+    query shapes cannot identify nine features, and several features
+    (predicate evaluations, column touches, output tuples) are near
+    collinear on uniform workloads.  A plain min-norm solution is then
+    arbitrary within the unidentified subspace, so the fit is anchored:
+    a ridge term far below the data scale pulls exactly those
+    directions the probes say nothing about toward the reference
+    :class:`CostParameters` weights, leaving well-determined directions
+    untouched."""
     if probes:
         matrix = numpy.array([probe.vector() for probe in probes], dtype=float)
         # The fit only has to be determined over the features the
@@ -188,16 +228,27 @@ def fit_weights(probes: Sequence[ProbeResult]) -> CalibratedWeights:
             f"features, got {len(probes)}"
         )
     target = numpy.array([probe.target_cost for probe in probes], dtype=float)
-    solution, *_rest = numpy.linalg.lstsq(matrix, target, rcond=None)
-    solution = numpy.clip(solution, 0.0, None)
+    priors = _feature_priors()
+    prior = numpy.array(
+        [priors.get(name, 0.0) for name in EVENT_NAMES], dtype=float
+    )
+    scale = float(numpy.abs(matrix).max()) if matrix.size else 0.0
+    ridge = 1e-6 * max(scale, 1.0)
+    anchor = ridge * numpy.eye(len(EVENT_NAMES))
+
+    def solve(columns: numpy.ndarray) -> numpy.ndarray:
+        design = numpy.vstack([matrix[:, columns], anchor[:, columns][columns]])
+        response = numpy.concatenate([target, ridge * prior[columns]])
+        solution, *_rest = numpy.linalg.lstsq(design, response, rcond=None)
+        return solution
+
+    everything = numpy.ones(len(EVENT_NAMES), dtype=bool)
+    solution = numpy.clip(solve(everything), 0.0, None)
     # One refit pass on the active (non-zero) features to repair the
     # clipping bias.
     active = solution > 0
     if active.any() and not active.all():
-        refit, *_rest = numpy.linalg.lstsq(
-            matrix[:, active], target, rcond=None
-        )
-        refit = numpy.clip(refit, 0.0, None)
+        refit = numpy.clip(solve(active), 0.0, None)
         solution = numpy.zeros_like(solution)
         solution[active] = refit
     residual = float(

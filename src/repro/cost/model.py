@@ -193,6 +193,19 @@ class DetailedCostModel:
         batch_size = max(1, self.params.batch_size)
         return math.ceil(tuples / batch_size) * self.params.batch_overhead
 
+    def _column_cost(self, width: float, tuples: float) -> float:
+        """Column-touch term of the columnar operator ABI: a node is
+        charged ``params.column_touch`` per *referenced* column per
+        input tuple — only the columns its predicate, output
+        expressions or join path actually read, never the full tuple
+        width.  Mirrors ``metrics.column_touches`` exactly (the engine
+        meters ``width × input tuples`` layout-invariantly), so the
+        weight calibrates from measured runs like ``batch_overhead``.
+        """
+        if width <= 0 or tuples <= 0:
+            return 0.0
+        return width * tuples * self.params.column_touch
+
     def _dispatch(self, node, env, rows) -> Tuple[float, float]:
         params = self.params
         if isinstance(node, (EntityLeaf, TempLeaf)):
@@ -216,8 +229,12 @@ class DetailedCostModel:
             pred_io, pred_cpu = self._predicate_cost(
                 node.predicate, child_est.tuples, child_est.varmap
             )
-            # A filter emits (at most) one batch per consumed batch.
+            # A filter emits (at most) one batch per consumed batch and
+            # touches only the columns its predicate references.
             pred_cpu += self._batch_cost(child_est.tuples)
+            pred_cpu += self._column_cost(
+                len(node.predicate.variables()), child_est.tuples
+            )
             return child_io + pred_io, child_cpu + pred_cpu
         if isinstance(node, Proj):
             child_io, child_cpu = self._cost(node.child, env, rows)
@@ -227,6 +244,10 @@ class DetailedCostModel:
             )
             proj_cpu += child_est.tuples * params.tuple_cpu
             proj_cpu += self._batch_cost(child_est.tuples)
+            touched = set()
+            for output_field in node.fields.fields:
+                touched |= output_field.expr.variables()
+            proj_cpu += self._column_cost(len(touched), child_est.tuples)
             return child_io + proj_io, child_cpu + proj_cpu
         if isinstance(node, IJ):
             return self._cost_ij(node, env, rows)
@@ -490,6 +511,8 @@ class DetailedCostModel:
         )
         cpu = out_est.tuples * self.params.tuple_cpu
         cpu += self._batch_cost(out_est.tuples)
+        # The join walks exactly one column: its source path head.
+        cpu += self._column_cost(1.0, child_est.tuples)
         return child_io + io, child_cpu + cpu
 
     def _ij_owner(
@@ -539,6 +562,8 @@ class DetailedCostModel:
             io += self._miss_io(out_est.tuples, target.entity)
         cpu = out_est.tuples * self.params.tuple_cpu
         cpu += self._batch_cost(out_est.tuples)
+        # The index lookup reads one column: the path's head variable.
+        cpu += self._column_cost(1.0, child_est.tuples)
         return child_io + io, child_cpu + cpu
 
     def _cost_ej(self, node: EJ, env, rows) -> Tuple[float, float]:

@@ -65,6 +65,15 @@ class CostParameters:
     #: ``eval_per_tuple`` so operator-choice comparisons (index vs
     #: scan, push vs no-push) are not perturbed.
     batch_overhead: float = 0.0005
+    #: CPU cost of one column touch under the columnar operator ABI:
+    #: each operator reads only the columns its predicate / output
+    #: expressions / join path actually reference, and is charged this
+    #: per referenced column per input tuple (the engine meters the
+    #: same product as ``metrics.column_touches``, layout-invariantly,
+    #: so calibration can fit this weight exactly like
+    #: ``batch_overhead``).  Small relative to ``eval_per_tuple`` so
+    #: operator-choice comparisons are not perturbed.
+    column_touch: float = 0.0002
     #: Shard fan-out the engine devotes to one fixpoint.  At 1 (the
     #: default) every distributed term below is inert and the Fix
     #: formula is exactly the serial (or parallel) sum; above 1 the

@@ -82,6 +82,62 @@ def _decode_tuple(payload: dict) -> Dict[str, object]:
     return {key: decode_value(value) for key, value in payload.items()}
 
 
+def _runs_equal(a, b) -> bool:
+    """Type-strict wire-value equality for run-length merging.  Plain
+    ``==`` would merge ``True`` with ``1`` (and ``1`` with ``1.0``) —
+    the decoded column would then silently change a stored value's
+    type, so runs only merge when the encoded forms match exactly."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, list):
+        return len(a) == len(b) and all(
+            _runs_equal(x, y) for x, y in zip(a, b)
+        )
+    return a == b
+
+
+def _encode_column_runs(column: Sequence[object]) -> List[list]:
+    """One column as ``[[wire_value, run_length], ...]`` runs.  Delta
+    columns are highly repetitive (invariant fields repeat across every
+    tuple of a partition), so run-length framing is where the columnar
+    exchange's byte savings come from."""
+    runs: List[list] = []
+    for value in column:
+        encoded = encode_value(value)
+        if runs and _runs_equal(runs[-1][0], encoded):
+            runs[-1][1] += 1
+        else:
+            runs.append([encoded, 1])
+    return runs
+
+
+def _decode_column_runs(runs, count: int, field: str) -> List[object]:
+    """Inverse of :func:`_encode_column_runs`, validated against the
+    frame's tuple count."""
+    if not isinstance(runs, list):
+        raise ProtocolError(f"malformed column runs for field {field!r}")
+    column: List[object] = []
+    for entry in runs:
+        if (
+            not isinstance(entry, list)
+            or len(entry) != 2
+            or isinstance(entry[1], bool)
+            or not isinstance(entry[1], int)
+            or entry[1] < 1
+        ):
+            raise ProtocolError(
+                f"malformed column run for field {field!r}: {entry!r}"
+            )
+        value = decode_value(entry[0])
+        column.extend([value] * entry[1])
+    if len(column) != count:
+        raise ProtocolError(
+            f"column {field!r} decodes to {len(column)} values "
+            f"in a frame of {count} tuples"
+        )
+    return column
+
+
 def encode_tuples(
     op: str,
     fix_name: str,
@@ -89,6 +145,7 @@ def encode_tuples(
     shard: int,
     tuples: Sequence[Dict[str, object]],
     trace_id: str = "",
+    layout: str = "row",
 ) -> List[bytes]:
     """Frame a tuple batch as one or more line-JSON messages.
 
@@ -100,8 +157,32 @@ def encode_tuples(
     frame is counted exactly once however many splits produced it.
     When ``trace_id`` is set it rides in every frame header, tying the
     wire bytes back to the request's stitched trace.
+
+    ``layout="row"`` (the default) frames each chunk as a ``tuples``
+    array of per-tuple objects — the compatibility wire form, byte
+    identical to what earlier revisions sent.  ``layout="columnar"``
+    frames a chunk as ``{"n": count, "cols": {field: runs}}`` with each
+    column run-length encoded; a chunk whose tuples do not all share
+    one ordered field list falls back to the row form (the decoder
+    accepts both, so the forms may mix within one sequence).
     """
     frames: List[bytes] = []
+    columnar = layout == "columnar"
+
+    def payload_of(chunk: Sequence[Dict[str, object]]) -> dict:
+        if columnar and chunk:
+            keys = tuple(chunk[0])
+            if all(tuple(values) == keys for values in chunk):
+                return {
+                    "n": len(chunk),
+                    "cols": {
+                        key: _encode_column_runs(
+                            [values[key] for values in chunk]
+                        )
+                        for key in keys
+                    },
+                }
+        return {"tuples": [_encode_tuple(values) for values in chunk]}
 
     def header(seq: int, chunk: Sequence[Dict[str, object]]) -> dict:
         message = {
@@ -110,8 +191,8 @@ def encode_tuples(
             "round": round_index,
             "shard": shard,
             "seq": seq,
-            "tuples": [_encode_tuple(values) for values in chunk],
         }
+        message.update(payload_of(chunk))
         if trace_id:
             message["trace"] = trace_id
         return message
@@ -142,6 +223,29 @@ def decode_tuples(frames: Iterable[bytes]) -> List[Dict[str, object]]:
     tuples: List[Dict[str, object]] = []
     for line in frames:
         message = protocol.decode(line)
+        cols = message.get("cols")
+        if cols is not None:
+            count = message.get("n")
+            if (
+                not isinstance(cols, dict)
+                or isinstance(count, bool)
+                or not isinstance(count, int)
+                or count < 0
+            ):
+                raise ProtocolError(
+                    f"malformed columnar exchange frame: "
+                    f"{message.get('op')!r}"
+                )
+            columns = {
+                field: _decode_column_runs(runs, count, field)
+                for field, runs in cols.items()
+            }
+            names = list(columns)
+            tuples.extend(
+                {name: columns[name][index] for name in names}
+                for index in range(count)
+            )
+            continue
         payload = message.get("tuples")
         if not isinstance(payload, list):
             raise ProtocolError(

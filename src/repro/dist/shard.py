@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.engine.fixpoint import normalize_binding
+from repro.engine.fixpoint import normalize_binding, normalized_columns
 from repro.physical.buffer import BufferPool
 from repro.physical.schema import PhysicalSchema
 from repro.physical.storage import StoredRecord
@@ -110,7 +110,19 @@ class ShardSession:
         engine = self.engine
         for batch in engine.iterate_batches(part, env):
             engine.check_cancelled()
-            produced.extend(normalize_binding(binding) for binding in batch.rows)
+            if batch.is_columnar:
+                # Normalize column-wise; bindings are assembled in the
+                # batch's field order, matching what the row path's
+                # per-binding ``normalize_binding`` would produce.
+                names, cols, _, _ = normalized_columns(batch.columns)
+                produced.extend(
+                    {name: col[index] for name, col in zip(names, cols)}
+                    for index in range(len(batch))
+                )
+            else:
+                produced.extend(
+                    normalize_binding(binding) for binding in batch.rows
+                )
         return produced
 
     def close(self) -> int:

@@ -30,6 +30,12 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError
+from repro.engine.columns import (
+    column_kinds,
+    is_numeric_kinds,
+    is_plain_kinds,
+    numpy_backend,
+)
 from repro.physical.storage import ObjectStore, Oid, StoredRecord
 from repro.querygraph.predicates import (
     COMPARISON_OPS,
@@ -126,6 +132,8 @@ class ExpressionEvaluator:
         self._compiled_paths: Dict[
             int, Tuple[PathRef, Callable[[Binding], List[object]]]
         ] = {}
+        self._compiled_kernels: Dict[int, Tuple[Predicate, Callable]] = {}
+        self._compiled_value_walks: Dict[int, Tuple[PathRef, Callable]] = {}
         #: Compilation counters: how many closures were built.  Bounded
         #: by the number of distinct AST nodes, never by tuple counts.
         self.predicate_compilations = 0
@@ -221,6 +229,33 @@ class ExpressionEvaluator:
             return current
 
         return walk
+
+    def compile_path_from_value(
+        self, path: PathRef
+    ) -> Callable[[object], List[object]]:
+        """The navigation closure of a path applied to an already-bound
+        head value (cached per node) — the columnar twin of
+        :meth:`compile_path`.  A column kernel iterates a head column
+        and calls this per value, reaching exactly the values (and
+        charging exactly the dereferences, in the same order) that
+        ``compile_path`` would reach from ``binding[path.var]``."""
+        cached = self._compiled_value_walks.get(id(path))
+        if cached is not None:
+            return cached[1]
+        attrs = tuple(path.attrs)
+        attribute_values = self._attribute_values
+
+        def walk_from(value: object) -> List[object]:
+            current: List[object] = [value]
+            for attribute in attrs:
+                next_values: List[object] = []
+                for item in current:
+                    next_values.extend(attribute_values(item, attribute))
+                current = next_values
+            return current
+
+        self._compiled_value_walks[id(path)] = (path, walk_from)
+        return walk_from
 
     # -- expressions ---------------------------------------------------------------
 
@@ -362,6 +397,173 @@ class ExpressionEvaluator:
 
         self._compiled_filters[id(predicate)] = (predicate, filter_rows)
         return filter_rows
+
+    def compile_filter_kernel(
+        self, predicate: Predicate
+    ) -> Callable[["object"], List[int]]:
+        """The compiled *column* kernel of a predicate (cached per
+        node): one call filters a whole columnar batch, returning the
+        selected row positions.  Counter parity with the row paths is
+        exact — ``predicate_evals`` counts once per row, and the
+        vectorized passes replicate the ``expr_evals`` accounting of
+        the fast row closures, short-circuit included.  A batch whose
+        filter column is not uniformly vectorizable (a non-record
+        binding, a missing/None/record/collection attribute anywhere in
+        the column) is filtered row-at-a-time through the *same* inner
+        closure the row layout uses, preserving per-row evaluation and
+        buffer-charge order, so the counters cannot diverge."""
+        cached = self._compiled_kernels.get(id(predicate))
+        if cached is not None:
+            return cached[1]
+        metrics = self._metrics
+        inner = self._inner_predicate(predicate)
+        column_pass = self._build_column_pass(predicate)
+
+        def kernel(batch) -> List[int]:
+            metrics.predicate_evals += len(batch)
+            if column_pass is not None:
+                selected = column_pass(batch)
+                if selected is not None:
+                    return selected
+            rows = batch.rows
+            return [i for i, row in enumerate(rows) if inner(row)]
+
+        self._compiled_kernels[id(predicate)] = (predicate, kernel)
+        return kernel
+
+    def _build_column_pass(
+        self, predicate: Predicate
+    ) -> Optional[Callable[["object"], Optional[List[int]]]]:
+        """The vectorized single-pass evaluator of a predicate over a
+        columnar batch, or None when the predicate shape has no column
+        form.  The returned pass itself returns None when *this batch*
+        is not uniformly vectorizable — the kernel then falls back to
+        the row closure for the whole batch."""
+        if isinstance(predicate, TruePredicate):
+            return lambda batch: list(range(len(batch)))
+        if isinstance(predicate, Comparison):
+            spec = self._fast_spec(predicate)
+            if spec is None:
+                return None
+            return self._column_comparison(spec)
+        if isinstance(predicate, And) and len(predicate.parts) == 2:
+            first = self._fast_spec(predicate.parts[0])
+            second = self._fast_spec(predicate.parts[1])
+            if first is None or second is None:
+                return None
+            if first[0] != second[0] or first[1] != second[1]:
+                return None
+            return self._column_conjunction(first, second)
+        return None
+
+    @staticmethod
+    def _extract_plain_column(column, attr):
+        """``(raw values, kinds)`` of ``column[i].values[attr]`` when
+        every element is a stored record with a plain scalar for
+        ``attr``; None otherwise (the whole batch then takes the row
+        path, keeping any charging and counting in row order)."""
+        if column_kinds(column) != {StoredRecord}:
+            return None
+        try:
+            raws = [record.values[attr] for record in column]
+        except KeyError:
+            return None
+        kinds = column_kinds(raws)
+        if not is_plain_kinds(kinds):
+            return None
+        return raws, kinds
+
+    def _column_comparison(self, spec):
+        """One vectorized pass for ``record.attr <op> constant`` over a
+        column: ``expr_evals`` counts two per row, exactly as
+        ``_fast_comparison`` does row-at-a-time."""
+        metrics = self._metrics
+        var, attr, op, const = spec
+        const_numeric = type(const) in (int, float)
+
+        def column_pass(batch) -> Optional[List[int]]:
+            columns = batch._columns
+            if columns is None:
+                return None
+            column = columns.get(var)
+            if column is None:
+                return None
+            extracted = self._extract_plain_column(column, attr)
+            if extracted is None:
+                return None
+            raws, kinds = extracted
+            metrics.expr_evals += 2 * len(raws)
+            if const_numeric and is_numeric_kinds(kinds):
+                np = numpy_backend()
+                if np is not None:
+                    mask = op(np.asarray(raws), const)
+                    return np.flatnonzero(mask).tolist()
+            try:
+                return [i for i, raw in enumerate(raws) if op(raw, const)]
+            except TypeError:
+                selected = []
+                for i, raw in enumerate(raws):
+                    try:
+                        if op(raw, const):
+                            selected.append(i)
+                    except TypeError:
+                        continue
+                return selected
+
+        return column_pass
+
+    def _column_conjunction(self, first, second):
+        """One fused vectorized pass for ``lo <= record.attr <= hi``-
+        style same-attribute conjunctions: a single column read feeds
+        both comparisons.  The ``expr_evals`` accounting replicates the
+        fused row closure exactly — two per row for the first
+        comparison, two more only for the rows where it passed."""
+        metrics = self._metrics
+        var, attr, first_op, first_const = first
+        second_op, second_const = second[2], second[3]
+        consts_numeric = (
+            type(first_const) in (int, float)
+            and type(second_const) in (int, float)
+        )
+
+        def column_pass(batch) -> Optional[List[int]]:
+            columns = batch._columns
+            if columns is None:
+                return None
+            column = columns.get(var)
+            if column is None:
+                return None
+            extracted = self._extract_plain_column(column, attr)
+            if extracted is None:
+                return None
+            raws, kinds = extracted
+            if consts_numeric and is_numeric_kinds(kinds):
+                np = numpy_backend()
+                if np is not None:
+                    array = np.asarray(raws)
+                    first_mask = first_op(array, first_const)
+                    passed = int(first_mask.sum())
+                    metrics.expr_evals += 2 * len(raws) + 2 * passed
+                    mask = first_mask & second_op(array, second_const)
+                    return np.flatnonzero(mask).tolist()
+            selected: List[int] = []
+            passed = 0
+            for i, raw in enumerate(raws):
+                try:
+                    if not first_op(raw, first_const):
+                        continue
+                except TypeError:
+                    continue
+                passed += 1
+                try:
+                    if second_op(raw, second_const):
+                        selected.append(i)
+                except TypeError:
+                    continue
+            metrics.expr_evals += 2 * len(raws) + 2 * passed
+            return selected
+
+        return column_pass
 
     def _inner_predicate(
         self, predicate: Predicate

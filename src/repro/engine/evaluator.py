@@ -27,12 +27,27 @@ estimates.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import ExecutionError
-from repro.engine.batch import Batch, default_batch_size
+from repro.engine.batch import (
+    BATCH_LAYOUTS,
+    Batch,
+    default_batch_layout,
+    default_batch_size,
+)
 from repro.engine.cancel import CancellationToken
-from repro.engine.context import ExecutionContext, validate_knob
+from repro.engine.columns import (
+    column_kinds,
+    gather,
+    gather_columns,
+    has_structured_kinds,
+)
+from repro.engine.context import (
+    ExecutionContext,
+    validate_choice,
+    validate_knob,
+)
 from repro.engine.eval_expr import (
     Binding,
     ExpressionEvaluator,
@@ -62,7 +77,12 @@ from repro.plans.nodes import (
     UnionOp,
 )
 from repro.plans.validate import validate_plan
-from repro.querygraph.predicates import Comparison, PathRef, conjuncts
+from repro.querygraph.predicates import (
+    Comparison,
+    Const,
+    PathRef,
+    conjuncts,
+)
 
 __all__ = ["ExecutionResult", "Engine"]
 
@@ -102,6 +122,7 @@ class Engine:
         batch_size: Optional[int] = None,
         shards: int = 1,
         cluster=None,
+        batch_layout: Optional[str] = None,
     ) -> None:
         self.physical = physical
         self.store = physical.store
@@ -120,6 +141,14 @@ class Engine:
         #: Bindings per :class:`Batch` exchanged between operators;
         #: 1 = exact tuple-at-a-time compatibility semantics.
         self.batch_size = batch_size
+        if batch_layout is None:
+            batch_layout = default_batch_layout()
+        validate_choice("batch_layout", batch_layout, BATCH_LAYOUTS)
+        #: Operator exchange layout: ``"columnar"`` (the default) moves
+        #: column-major batches through the pipeline so filters and
+        #: projections run as column kernels; ``"row"`` reproduces the
+        #: row-list semantics bit-for-bit.
+        self.batch_layout = batch_layout
         validate_knob("shards", shards)
         #: Shard fan-out for distributed fixpoints; >1 (with a
         #: ``cluster``) routes Fix evaluation through
@@ -197,6 +226,8 @@ class Engine:
             self.parallelism = context.parallelism
             if context.batch_size is not None:
                 self.batch_size = context.batch_size
+            if context.batch_layout is not None:
+                self.batch_layout = context.batch_layout
             self.shards = context.shards
         if validate:
             validate_plan(plan, self.physical)
@@ -258,6 +289,7 @@ class Engine:
         clone.keep_temps = self.keep_temps
         clone.parallelism = 1  # workers never nest pools
         clone.batch_size = self.batch_size
+        clone.batch_layout = self.batch_layout
         clone.shards = 1
         clone.cluster = None
         clone.cancel_token = self.cancel_token
@@ -296,6 +328,7 @@ class Engine:
         clone.keep_temps = self.keep_temps
         clone.parallelism = 1  # shard-local evaluation is serial
         clone.batch_size = self.batch_size
+        clone.batch_layout = self.batch_layout
         clone.shards = 1
         clone.cluster = None
         clone.cancel_token = self.cancel_token
@@ -414,59 +447,10 @@ class Engine:
             if indexed is not None:
                 yield from indexed
                 return
-            batch_filter = evaluator.compile_filter(node.predicate)
-            metrics = self.metrics
-            produced = 0
-            try:
-                for batch in self.iterate_batches(node.child, delta_env):
-                    rows = batch_filter(batch.rows)
-                    # The survivors of one input batch travel as one
-                    # (possibly smaller) output batch: merging across
-                    # input batches would delay emission behind a
-                    # selective filter for no measured gain.
-                    if rows:
-                        produced += len(rows)
-                        metrics.batches += 1
-                        yield Batch(rows, node_id)
-            finally:
-                metrics.add_tuples("sel", node_id, produced)
+            yield from self._sel_batches(node, delta_env, node_id)
             return
         if isinstance(node, Proj):
-            fields = [
-                (field.name, evaluator.compile_expr(field.expr))
-                for field in node.fields.fields
-            ]
-            metrics = self.metrics
-            produced = 0
-            try:
-                for batch in self.iterate_batches(node.child, delta_env):
-                    rows: List[Binding] = []
-                    for binding in batch.rows:
-                        row: Binding = {}
-                        suppressed = False
-                        for name, value_fn in fields:
-                            values = value_fn(binding)
-                            if not values:
-                                # Path semantics: a traversal over a null
-                                # reference yields nothing, so the output
-                                # tuple is suppressed (like the paper's base
-                                # rule, which emits no Influencer tuple for a
-                                # composer without a master).
-                                suppressed = True
-                                break
-                            if len(values) > 1:
-                                raise ExecutionError(
-                                    f"output field {name!r} is multivalued"
-                                )
-                            row[name] = values[0]
-                        if not suppressed:
-                            rows.append(row)
-                    if rows:
-                        produced += len(rows)
-                        metrics.batches += 1
-                        yield Batch(rows, node_id)
-            finally:
-                metrics.add_tuples("proj", node_id, produced)
+            yield from self._proj_batches(node, delta_env, node_id)
             return
         if isinstance(node, IJ):
             yield from self._ij_batches(node, delta_env)
@@ -525,6 +509,15 @@ class Engine:
 
     # -- operator implementations ------------------------------------------------------
 
+    def _make_scan_batch(
+        self, var: str, records: List[StoredRecord], node_id: Optional[str]
+    ) -> Batch:
+        """One scan output batch in the engine's layout: a single
+        ``{var: records}`` column, or the equivalent row dicts."""
+        if self.batch_layout == "columnar":
+            return Batch.from_columns({var: records}, node_id)
+        return Batch([{var: record} for record in records], node_id)
+
     def _scan_batches(
         self, entity: str, var: str, kind: str, node_id: Optional[str]
     ) -> Iterator[Batch]:
@@ -534,21 +527,21 @@ class Engine:
         batch_size = self.batch_size
         metrics = self.metrics
         produced = 0
-        rows: List[Binding] = []
+        records: List[StoredRecord] = []
         try:
             for record in self.store.scan(entity):
-                rows.append({var: record})
-                if len(rows) >= batch_size:
+                records.append(record)
+                if len(records) >= batch_size:
                     self.check_cancelled()
-                    produced += len(rows)
+                    produced += len(records)
                     metrics.batches += 1
-                    yield Batch(rows, node_id)
-                    rows = []
-            if rows:
+                    yield self._make_scan_batch(var, records, node_id)
+                    records = []
+            if records:
                 self.check_cancelled()
-                produced += len(rows)
+                produced += len(records)
                 metrics.batches += 1
-                yield Batch(rows, node_id)
+                yield self._make_scan_batch(var, records, node_id)
         finally:
             metrics.add_tuples(kind, node_id, produced)
 
@@ -563,25 +556,240 @@ class Engine:
         var = node.var
         touched = set()
         produced = 0
-        rows: List[Binding] = []
+        records: List[StoredRecord] = []
         try:
             for record in delta:
                 page_id = record.page_id
                 if page_id is not None and page_id not in touched:
                     touched.add(page_id)
                     touch(page_id)
-                rows.append({var: record})
-                if len(rows) >= batch_size:
+                records.append(record)
+                if len(records) >= batch_size:
+                    produced += len(records)
+                    metrics.batches += 1
+                    yield self._make_scan_batch(var, records, node_id)
+                    records = []
+            if records:
+                produced += len(records)
+                metrics.batches += 1
+                yield self._make_scan_batch(var, records, node_id)
+        finally:
+            metrics.add_tuples("delta", node_id, produced)
+
+    def _sel_batches(
+        self,
+        node: Sel,
+        delta_env: Dict[str, List[StoredRecord]],
+        node_id: Optional[str],
+    ) -> Iterator[Batch]:
+        """Unindexed selection.  Columnar layout filters through the
+        compiled column kernel (index-list selection + column gather,
+        with the all-pass gather forwarding the input columns
+        unchanged); row layout keeps the row-list batch filter.  The
+        survivors of one input batch travel as one (possibly smaller)
+        output batch: merging across input batches would delay emission
+        behind a selective filter for no measured gain."""
+        evaluator = self._evaluator
+        assert evaluator is not None
+        metrics = self.metrics
+        touch_width = len(node.predicate.variables())
+        produced = 0
+        if self.batch_layout == "columnar":
+            kernel = evaluator.compile_filter_kernel(node.predicate)
+            try:
+                for batch in self.iterate_batches(node.child, delta_env):
+                    metrics.column_touches += touch_width * len(batch)
+                    selected = kernel(batch)
+                    if selected:
+                        produced += len(selected)
+                        metrics.batches += 1
+                        yield Batch.from_columns(
+                            gather_columns(
+                                batch.columns, selected, len(batch)
+                            ),
+                            node_id,
+                            len(selected),
+                        )
+            finally:
+                metrics.add_tuples("sel", node_id, produced)
+            return
+        batch_filter = evaluator.compile_filter(node.predicate)
+        try:
+            for batch in self.iterate_batches(node.child, delta_env):
+                metrics.column_touches += touch_width * len(batch)
+                rows = batch_filter(batch.rows)
+                if rows:
                     produced += len(rows)
                     metrics.batches += 1
                     yield Batch(rows, node_id)
-                    rows = []
-            if rows:
-                produced += len(rows)
-                metrics.batches += 1
-                yield Batch(rows, node_id)
         finally:
-            metrics.add_tuples("delta", node_id, produced)
+            metrics.add_tuples("sel", node_id, produced)
+
+    def _proj_batches(
+        self,
+        node: Proj,
+        delta_env: Dict[str, List[StoredRecord]],
+        node_id: Optional[str],
+    ) -> Iterator[Batch]:
+        """Projection.  Columnar layout builds the output columns
+        field-by-field when every field has a column recipe and the
+        batch's needed columns extract cleanly; any batch (or field
+        shape) that would need the generic walk is projected row-wise
+        through the same compiled closures the row layout uses, so
+        evaluation counting and buffer charging stay in row order."""
+        evaluator = self._evaluator
+        assert evaluator is not None
+        fields = [
+            (field.name, evaluator.compile_expr(field.expr))
+            for field in node.fields.fields
+        ]
+        touched: Set[str] = set()
+        for field in node.fields.fields:
+            touched |= field.expr.variables()
+        touch_width = len(touched)
+        metrics = self.metrics
+        specs = (
+            self._proj_column_specs(node)
+            if self.batch_layout == "columnar"
+            else None
+        )
+        produced = 0
+        try:
+            for batch in self.iterate_batches(node.child, delta_env):
+                metrics.column_touches += touch_width * len(batch)
+                if specs is not None and batch.is_columnar:
+                    out = self._proj_columns(batch, specs)
+                    if out is not None:
+                        columns, length = out
+                        if length:
+                            produced += length
+                            metrics.batches += 1
+                            yield Batch.from_columns(
+                                columns, node_id, length
+                            )
+                        continue
+                rows = self._proj_rows(batch.rows, fields)
+                if rows:
+                    produced += len(rows)
+                    metrics.batches += 1
+                    yield Batch(rows, node_id)
+        finally:
+            metrics.add_tuples("proj", node_id, produced)
+
+    @staticmethod
+    def _proj_rows(rows: List[Binding], fields) -> List[Binding]:
+        out: List[Binding] = []
+        for binding in rows:
+            row: Binding = {}
+            suppressed = False
+            for name, value_fn in fields:
+                values = value_fn(binding)
+                if not values:
+                    # Path semantics: a traversal over a null
+                    # reference yields nothing, so the output
+                    # tuple is suppressed (like the paper's base
+                    # rule, which emits no Influencer tuple for a
+                    # composer without a master).
+                    suppressed = True
+                    break
+                if len(values) > 1:
+                    raise ExecutionError(
+                        f"output field {name!r} is multivalued"
+                    )
+                row[name] = values[0]
+            if not suppressed:
+                out.append(row)
+        return out
+
+    @staticmethod
+    def _proj_column_specs(node: Proj):
+        """Per-field column recipes of a Proj — ``(name, kind,
+        payload)`` triples for constants, whole-variable references and
+        single-attribute paths — or None when any field needs the
+        generic row evaluator (multi-hop paths, function applications,
+        methods)."""
+        specs = []
+        for field in node.fields.fields:
+            expr = field.expr
+            if isinstance(expr, Const):
+                specs.append((field.name, "const", expr.value))
+            elif isinstance(expr, PathRef) and len(expr.attrs) == 0:
+                specs.append((field.name, "var", expr.var))
+            elif isinstance(expr, PathRef) and len(expr.attrs) == 1:
+                specs.append((field.name, "attr", (expr.var, expr.attrs[0])))
+            else:
+                return None
+        return specs
+
+    def _proj_columns(self, batch: Batch, specs):
+        """``(output columns, row count)`` of one columnar batch, or
+        None when a needed column is not uniformly extractable (a
+        non-record binding, a missing attribute, a collection value) —
+        the caller then projects that batch row-wise.
+
+        The ``expr_evals`` accounting replicates the row loop exactly:
+        each field counts one evaluation per row still alive when it is
+        reached, and a null single-attribute value suppresses its row
+        from every output column (the projection short-circuit)."""
+        columns = batch.columns
+        extracted: Dict[str, Tuple[list, frozenset]] = {}
+        for name, kind, payload in specs:
+            if kind == "const":
+                continue
+            if kind == "var":
+                if payload not in columns:
+                    return None
+                continue
+            var, attr = payload
+            column = columns.get(var)
+            if column is None or column_kinds(column) != {StoredRecord}:
+                return None
+            try:
+                raws = [record.values[attr] for record in column]
+            except KeyError:
+                return None
+            kinds = column_kinds(raws)
+            if has_structured_kinds(kinds):
+                return None
+            extracted[name] = (raws, kinds)
+        metrics = self.metrics
+        length = len(batch)
+        alive: Optional[List[int]] = None  # None = every row alive
+        out: List[Tuple[str, list]] = []
+        for name, kind, payload in specs:
+            count = length if alive is None else len(alive)
+            metrics.expr_evals += count
+            if kind == "const":
+                out.append((name, [payload] * count))
+                continue
+            if kind == "var":
+                # Batches are immutable after emission, so an all-alive
+                # variable column is forwarded without copying.
+                column = columns[payload]
+                out.append(
+                    (name, column if alive is None else gather(column, alive))
+                )
+                continue
+            raws, kinds = extracted[name]
+            values = raws if alive is None else gather(raws, alive)
+            if type(None) in kinds:
+                survivors = [
+                    j for j, value in enumerate(values) if value is not None
+                ]
+                if len(survivors) != len(values):
+                    values = gather(values, survivors)
+                    out = [
+                        (prev_name, gather(col, survivors))
+                        for prev_name, col in out
+                    ]
+                    alive = (
+                        survivors
+                        if alive is None
+                        else gather(alive, survivors)
+                    )
+            out.append((name, values))
+        final = length if alive is None else len(alive)
+        return dict(out), final
 
     def _indexed_selection_access(self, node: Sel, node_id: Optional[str] = None):
         """Index-assisted selection over a base entity
@@ -711,15 +919,69 @@ class Engine:
         evaluator = self._evaluator
         assert evaluator is not None
         node_id = self._node_ids.get(id(node))
-        path_fn = evaluator.compile_path(node.source)
         fetch = self.store.fetch
         out_var = node.out_var
         batch_size = self.batch_size
         metrics = self.metrics
         produced = 0
+        if self.batch_layout == "columnar":
+            # Column form: walk the head column in row order (the
+            # fetch/charge order is identical to the row loop), gather
+            # the surviving input columns by expansion index and append
+            # the joined records as one new column.
+            walk_from = evaluator.compile_path_from_value(node.source)
+            src_var = node.source.var
+            emitter = _ColumnEmitter(batch_size, node_id)
+            try:
+                for batch in self.iterate_batches(node.child, delta_env):
+                    metrics.column_touches += len(batch)
+                    columns = batch.columns
+                    source = columns.get(src_var)
+                    if source is None:
+                        # Unbound head variable: the row walk raises
+                        # the canonical error.
+                        evaluator.compile_path(node.source)(
+                            batch.rows[0] if len(batch) else {}
+                        )
+                        continue
+                    indices: List[int] = []
+                    records: List[StoredRecord] = []
+                    for position, value in enumerate(source):
+                        for reached in walk_from(value):
+                            if isinstance(reached, Oid):
+                                record = fetch(reached)
+                            elif isinstance(reached, StoredRecord):
+                                record = reached
+                            else:
+                                # null or non-reference: inner-join
+                                # drops it
+                                continue
+                            indices.append(position)
+                            records.append(record)
+                    if not indices:
+                        continue
+                    out_columns = {
+                        name: gather(column, indices)
+                        for name, column in columns.items()
+                    }
+                    out_columns[out_var] = records
+                    for emitted in emitter.add(out_columns, len(indices)):
+                        produced += len(emitted)
+                        metrics.batches += 1
+                        yield emitted
+                final = emitter.flush()
+                if final is not None:
+                    produced += len(final)
+                    metrics.batches += 1
+                    yield final
+            finally:
+                metrics.add_tuples("ij", node_id, produced)
+            return
+        path_fn = evaluator.compile_path(node.source)
         rows: List[Binding] = []
         try:
             for batch in self.iterate_batches(node.child, delta_env):
+                metrics.column_touches += len(batch)
                 for binding in batch.rows:
                     for value in path_fn(binding):
                         if isinstance(value, Oid):
@@ -757,15 +1019,77 @@ class Engine:
         stats = self.physical.statistics
         head_count = max(1, stats.instances(index.root_entity))
         per_lookup = index.nblevels + index.nbleaves / head_count
-        path_fn = evaluator.compile_path(node.source)
         fetch = self.store.fetch
         consumed_vars = self._consumed_vars
         batch_size = self.batch_size
         metrics = self.metrics
         produced = 0
+        if self.batch_layout == "columnar":
+            walk_from = evaluator.compile_path_from_value(node.source)
+            src_var = node.source.var
+            out_vars = list(node.out_vars)
+            # Only fetch objects somebody consumes; the others stay as
+            # oids (dereferenced on demand if a predicate surprises us)
+            # — the whole point of a path index is skipping the
+            # intermediate objects ([MS86]).
+            consumed_flags = [var in consumed_vars for var in out_vars]
+            emitter = _ColumnEmitter(batch_size, node_id)
+            try:
+                for batch in self.iterate_batches(node.child, delta_env):
+                    metrics.column_touches += len(batch)
+                    columns = batch.columns
+                    source = columns.get(src_var)
+                    if source is None:
+                        evaluator.compile_path(node.source)(
+                            batch.rows[0] if len(batch) else {}
+                        )
+                        continue
+                    indices: List[int] = []
+                    out_lists: List[list] = [[] for _ in out_vars]
+                    for position, head_value in enumerate(source):
+                        for value in walk_from(head_value):
+                            if isinstance(value, StoredRecord):
+                                head = value.oid
+                            elif isinstance(value, Oid):
+                                head = value
+                            else:
+                                continue
+                            metrics.index_lookups += 1
+                            metrics.index_page_reads += per_lookup
+                            for path_tuple in index.forward(head):
+                                indices.append(position)
+                                for slot, wanted in enumerate(
+                                    consumed_flags
+                                ):
+                                    oid = path_tuple[slot + 1]
+                                    out_lists[slot].append(
+                                        fetch(oid) if wanted else oid
+                                    )
+                    if not indices:
+                        continue
+                    out_columns = {
+                        name: gather(column, indices)
+                        for name, column in columns.items()
+                    }
+                    for slot, out_var in enumerate(out_vars):
+                        out_columns[out_var] = out_lists[slot]
+                    for emitted in emitter.add(out_columns, len(indices)):
+                        produced += len(emitted)
+                        metrics.batches += 1
+                        yield emitted
+                final = emitter.flush()
+                if final is not None:
+                    produced += len(final)
+                    metrics.batches += 1
+                    yield final
+            finally:
+                metrics.add_tuples("pij", node_id, produced)
+            return
+        path_fn = evaluator.compile_path(node.source)
         rows: List[Binding] = []
         try:
             for batch in self.iterate_batches(node.child, delta_env):
+                metrics.column_touches += len(batch)
                 for binding in batch.rows:
                     for value in path_fn(binding):
                         if isinstance(value, StoredRecord):
@@ -929,3 +1253,66 @@ class Engine:
                 ):
                     return outer, inner.attrs[0]
         return None
+
+
+class _ColumnEmitter:
+    """Accumulates join output across input batches and slices it into
+    ``batch_size`` emissions — the same greedy chunk boundaries the
+    row-path accumulator produces (every full chunk as soon as it is
+    available, one remainder at the end), so ``metrics.batches`` parity
+    across layouts holds.  Chunks accumulate column-wise; if the output
+    schema ever changes mid-stream (heterogeneous union branches) the
+    pending columns are materialized once and accumulation continues
+    row-wise — correctness over speed for that rare shape."""
+
+    __slots__ = ("batch_size", "node_id", "columns", "rows", "count")
+
+    def __init__(self, batch_size: int, node_id: Optional[str]) -> None:
+        self.batch_size = batch_size
+        self.node_id = node_id
+        self.columns: Optional[Dict[str, list]] = None
+        self.rows: Optional[List[Binding]] = None
+        self.count = 0
+
+    def add(
+        self, columns: Dict[str, list], length: int
+    ) -> Iterator[Batch]:
+        """Append one chunk of output columns (owned by the emitter
+        afterwards); yields every full batch the chunk completes."""
+        if self.rows is not None:
+            self.rows.extend(Batch.from_columns(columns, None, length).rows)
+        elif self.columns is None:
+            self.columns = columns
+        elif list(self.columns) == list(columns):
+            for name, column in columns.items():
+                self.columns[name].extend(column)
+        else:
+            self._to_rows()
+            self.rows.extend(Batch.from_columns(columns, None, length).rows)
+        self.count += length
+        while self.count >= self.batch_size:
+            yield self._slice(self.batch_size)
+
+    def flush(self) -> Optional[Batch]:
+        """The final partial batch (None when nothing is pending)."""
+        if self.count:
+            return self._slice(self.count)
+        return None
+
+    def _slice(self, size: int) -> Batch:
+        self.count -= size
+        if self.rows is not None:
+            head, self.rows = self.rows[:size], self.rows[size:]
+            return Batch(head, self.node_id)
+        columns = self.columns
+        head = {name: column[:size] for name, column in columns.items()}
+        self.columns = {
+            name: column[size:] for name, column in columns.items()
+        }
+        return Batch.from_columns(head, self.node_id, size)
+
+    def _to_rows(self) -> None:
+        self.rows = list(
+            Batch.from_columns(self.columns, None, self.count).rows
+        )
+        self.columns = None

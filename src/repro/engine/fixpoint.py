@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.errors import ExecutionError, FixpointLimitError
 from repro.engine.batch import Batch
+from repro.engine.columns import column_kinds
 from repro.engine.eval_expr import Binding, normalize_value
 from repro.obs.log import get_logger
 from repro.physical.storage import StoredRecord
@@ -36,6 +37,7 @@ __all__ = [
     "flatten_union",
     "partition_parts",
     "normalize_binding",
+    "normalized_columns",
     "key_of_normalized",
     "run_fixpoint",
 ]
@@ -91,6 +93,41 @@ def normalize_binding(binding: Binding) -> Dict[str, object]:
 def key_of_normalized(values: Dict[str, object]) -> tuple:
     """Dedup key of an already-normalized tuple (sorted field order)."""
     return tuple((key, values[key]) for key in sorted(values))
+
+
+#: Value types :func:`normalize_value` maps to themselves — a column
+#: containing only these skips per-value normalization entirely.
+_IDENTITY_KINDS = frozenset({int, float, str, bool, type(None)})
+
+
+def _normalize_column(column: list) -> list:
+    """Column-wise :func:`normalize_binding`: all-atomic columns pass
+    through untouched (one C-level type scan instead of per-value
+    isinstance checks); anything else is normalized value by value."""
+    if not (column_kinds(column) - _IDENTITY_KINDS):
+        return column
+    normalized = []
+    for value in column:
+        value = normalize_value(value)
+        if isinstance(value, (list, tuple)):
+            value = tuple(normalize_value(item) for item in value)
+        normalized.append(value)
+    return normalized
+
+
+def normalized_columns(columns: Dict[str, list]):
+    """``(names, cols, sorted_names, sorted_cols)`` — a columnar
+    batch's columns normalized column-wise, in both the batch's field
+    order (for building stored tuples with the same field order the
+    row path's ``normalize_binding`` would) and sorted field order
+    (for assembling :func:`key_of_normalized`-compatible dedup keys
+    without ever building a binding dict)."""
+    names = list(columns)
+    cols = [_normalize_column(columns[name]) for name in names]
+    order = sorted(range(len(names)), key=names.__getitem__)
+    sorted_names = tuple(names[index] for index in order)
+    sorted_cols = [cols[index] for index in order]
+    return names, cols, sorted_names, sorted_cols
 
 
 def _tuple_key(binding: Binding) -> tuple:
@@ -152,6 +189,21 @@ def run_fixpoint_serial(
         peek = engine.store.peek
         for batch in batches:
             engine.check_cancelled()
+            if batch.is_columnar:
+                # Column form: normalize column-wise, probe the seen
+                # set with keys assembled from the sorted columns, and
+                # build a binding dict only for the fresh tuples.
+                names, cols, sorted_names, sorted_cols = normalized_columns(
+                    batch.columns
+                )
+                for index, key_values in enumerate(zip(*sorted_cols)):
+                    key = tuple(zip(sorted_names, key_values))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    values = {name: col[index] for name, col in zip(names, cols)}
+                    fresh.append(peek(insert(temp_name, values)))
+                continue
             for binding in batch.rows:
                 values = normalize_binding(binding)
                 key = key_of_normalized(values)

@@ -40,6 +40,14 @@ class RuntimeMetrics:
     #: per-batch overhead term: at ``batch_size=1`` this equals the
     #: tuple count, at larger sizes it shrinks by ~``1/batch_size``.
     batches: int = 0
+    #: Column reads the operators performed: for every input batch a
+    #: node consumed, one touch per column its predicate/projection/path
+    #: actually reads, times the batch's rows.  Layout-invariant by
+    #: construction (derived from the plan shape and batch lengths, not
+    #: from how a kernel iterates), so row and columnar runs report the
+    #: same number — the runtime twin of the cost model's
+    #: ``column_touch`` term.
+    column_touches: int = 0
     #: Kind-level rollup (``"sel"``, ``"ij"``, ...): kept for backward
     #: compatibility, but same-kind nodes collide here — per-node
     #: counts live in :attr:`tuples_by_node`.
@@ -148,6 +156,7 @@ class RuntimeMetrics:
             "index_page_reads": round(self.index_page_reads, 4),
             "fix_iterations": self.fix_iterations,
             "batches": self.batches,
+            "column_touches": self.column_touches,
             "physical_reads": self.buffer.physical_reads,
             "total_tuples": self.total_tuples,
             "tuples_by_node": dict(self.tuples_by_node),
@@ -184,6 +193,7 @@ class RuntimeMetrics:
         self.index_page_reads += other.index_page_reads
         self.fix_iterations += other.fix_iterations
         self.batches += other.batches
+        self.column_touches += other.column_touches
         for operator, count in other.tuples_by_operator.items():
             self.tuples_by_operator[operator] = (
                 self.tuples_by_operator.get(operator, 0) + count

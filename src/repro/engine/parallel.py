@@ -36,6 +36,7 @@ from repro.errors import FixpointLimitError
 from repro.engine.fixpoint import (
     key_of_normalized,
     normalize_binding,
+    normalized_columns,
     partition_parts,
 )
 from repro.physical.storage import StoredRecord
@@ -188,6 +189,22 @@ class _StripedSeen:
                         flags[position] = True
         return flags
 
+    def add_batch_columns(
+        self,
+        sorted_names: Sequence[str],
+        sorted_columns: Sequence[Sequence],
+    ) -> List[bool]:
+        """Column-slice form of :meth:`add_batch`: the keys are
+        assembled row-wise from already-normalized column slices (in
+        sorted field order, so they equal ``key_of_normalized`` of the
+        corresponding binding) and claimed with the same stripe-grouped
+        single-lock pass — no binding dicts are built to dedup."""
+        keys = [
+            tuple(zip(sorted_names, values))
+            for values in zip(*sorted_columns)
+        ]
+        return self.add_batch(keys)
+
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._sets)
 
@@ -242,15 +259,28 @@ def run_fixpoint_parallel(
                 # three set-oriented steps: normalize the slice, claim
                 # the fresh keys with one striped-lock pass, then take
                 # the insert lock once for all of the batch's inserts.
-                normalized = [normalize_binding(b) for b in batch.rows]
-                flags = seen.add_batch(
-                    [key_of_normalized(values) for values in normalized]
-                )
-                to_insert = [
-                    values
-                    for values, is_new in zip(normalized, flags)
-                    if is_new
-                ]
+                # Columnar batches normalize column-wise and only build
+                # binding dicts for the tuples that turn out fresh.
+                if batch.is_columnar:
+                    names, cols, sorted_names, sorted_cols = (
+                        normalized_columns(batch.columns)
+                    )
+                    flags = seen.add_batch_columns(sorted_names, sorted_cols)
+                    to_insert = [
+                        {name: col[index] for name, col in zip(names, cols)}
+                        for index, is_new in enumerate(flags)
+                        if is_new
+                    ]
+                else:
+                    normalized = [normalize_binding(b) for b in batch.rows]
+                    flags = seen.add_batch(
+                        [key_of_normalized(values) for values in normalized]
+                    )
+                    to_insert = [
+                        values
+                        for values, is_new in zip(normalized, flags)
+                        if is_new
+                    ]
                 if not to_insert:
                     continue
                 with insert_lock:

@@ -88,6 +88,9 @@ def measure_probe_cost(samples: int = 4096) -> float:
         def __init__(self) -> None:
             self.rows = ()
 
+        def __len__(self) -> int:
+            return len(self.rows)
+
     profiler = PlanProfiler()
     profiler._buffer = profiler._metrics = _Counters()
     profile = NodeProfile(node_id="bench", label="bench", kind="Bench")

@@ -293,7 +293,7 @@ class PlanProfiler:
             profile.index_page_reads += metrics.index_page_reads - index0
             profile.predicate_evals += metrics.predicate_evals - evals0
             profile.next_calls += 1
-            profile.tuples_out += len(batch.rows)
+            profile.tuples_out += len(batch)
             yield batch
 
     def _metered(self, profile: NodeProfile, iterator: Iterator) -> Iterator:

@@ -93,6 +93,7 @@ class ServiceClient:
         parallelism: Optional[int] = None,
         batch_size: Optional[int] = None,
         shards: Optional[int] = None,
+        batch_layout: Optional[str] = None,
     ) -> dict:
         payload: dict = {"op": "query", "text": text}
         if params is not None:
@@ -105,6 +106,8 @@ class ServiceClient:
             payload["batch_size"] = batch_size
         if shards is not None:
             payload["shards"] = shards
+        if batch_layout is not None:
+            payload["batch_layout"] = batch_layout
         return self.request(payload)
 
     def prepare(self, text: str) -> str:
@@ -119,6 +122,7 @@ class ServiceClient:
         parallelism: Optional[int] = None,
         batch_size: Optional[int] = None,
         shards: Optional[int] = None,
+        batch_layout: Optional[str] = None,
     ) -> dict:
         payload: dict = {"op": "execute", "statement": statement}
         if params is not None:
@@ -131,6 +135,8 @@ class ServiceClient:
             payload["batch_size"] = batch_size
         if shards is not None:
             payload["shards"] = shards
+        if batch_layout is not None:
+            payload["batch_layout"] = batch_layout
         return self.request(payload)
 
     def stats(self) -> dict:

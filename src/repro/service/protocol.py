@@ -8,12 +8,16 @@ plus payload, or ``ok: false`` plus ``error: {code, message}``.
 Operations
     ``hello``                             → ``{session}``
     ``query {text, params?, timeout?, parallelism?, batch_size?,
-    shards?, strategy?}``                 → ``{rows, cache, ...}``
+    batch_layout?, shards?, strategy?}``  → ``{rows, cache, ...}``
                                             (``strategy``: transformPT
                                             search — ``ii``/``sa``/
                                             ``2po``/``enum``/
                                             ``exhaustive``; plans are
-                                            cached per strategy)
+                                            cached per strategy;
+                                            ``batch_layout``: operator
+                                            exchange layout — ``row``/
+                                            ``columnar``, echoed on the
+                                            response)
     ``prepare {text}``                    → ``{statement, parameters}``
     ``execute {statement, params?, ...}`` → like ``query``
     ``explain {text, analyze?}``          → annotated plan (est vs. actual)

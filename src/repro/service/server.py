@@ -35,7 +35,7 @@ from repro.core.strategies import STRATEGY_NAMES
 from repro.cost.model import DetailedCostModel
 from repro.cost.params import CostParameters
 from repro.cost.recost import recost_plan
-from repro.engine.batch import default_batch_size
+from repro.engine.batch import BATCH_LAYOUTS, default_batch_size
 from repro.engine.cancel import CancellationToken
 from repro.engine.context import validate_choice
 from repro.engine.evaluator import Engine
@@ -94,6 +94,12 @@ class ServiceConfig:
     #: (the per-request ``batch_size`` field wins); ``None`` defers to
     #: the engine default (``REPRO_BATCH_SIZE`` or 256).
     batch_size: Optional[int] = None
+    #: Default engine batch layout (``"row"`` or ``"columnar"``) for
+    #: requests that do not override it (the per-request
+    #: ``batch_layout`` field wins); ``None`` defers to the engine
+    #: default (``REPRO_BATCH_LAYOUT`` or columnar).  ``"row"`` pins
+    #: the row-list compatibility semantics bit-for-bit.
+    batch_layout: Optional[str] = None
     #: Default shard fan-out for requests that do not override it (the
     #: per-request ``shards`` field wins); at 1 no shard cluster is
     #: built and execution has exact single-process semantics.  Like
@@ -175,6 +181,7 @@ class ServiceConfig:
 
     def __post_init__(self) -> None:
         validate_choice("strategy", self.strategy, STRATEGY_NAMES)
+        validate_choice("batch_layout", self.batch_layout, BATCH_LAYOUTS)
 
 
 @dataclass
@@ -338,21 +345,23 @@ class QueryService:
         batch_size: Optional[int] = None,
         shards: Optional[int] = None,
         strategy: Optional[str] = None,
+        batch_layout: Optional[str] = None,
     ) -> dict:
         """Serve one query text end to end; raises ReproError subclasses
         on failure (the protocol layer maps them to error codes).
         ``parallelism`` overrides the service default for this request
         (the grant is capped by the admission controller's slot count);
-        ``batch_size`` overrides the engine batch size; ``shards``
-        overrides the shard fan-out (capped by the same slot count —
-        admission weighs a request by max(parallelism, shards));
-        ``strategy`` overrides the transformPT search strategy used on
-        a plan-cache miss."""
+        ``batch_size`` overrides the engine batch size; ``batch_layout``
+        overrides the operator exchange layout (``"row"`` pins the
+        row-list compatibility semantics); ``shards`` overrides the
+        shard fan-out (capped by the same slot count — admission weighs
+        a request by max(parallelism, shards)); ``strategy`` overrides
+        the transformPT search strategy used on a plan-cache miss."""
         self.metrics.record_request()
         try:
             return self._run_query(
                 text, params, timeout, parallelism, batch_size, shards,
-                strategy,
+                strategy, batch_layout,
             )
         except ReproError as error:
             self._count_failure(error)
@@ -447,9 +456,11 @@ class QueryService:
         batch_size: Optional[int] = None,
         shards: Optional[int] = None,
         strategy: Optional[str] = None,
+        batch_layout: Optional[str] = None,
     ) -> dict:
         substituted = substitute_params(text, params)
         validate_choice("strategy", strategy, STRATEGY_NAMES)
+        validate_choice("batch_layout", batch_layout, BATCH_LAYOUTS)
         feedback = self.feedback
         fingerprint: Optional[str] = None
         optimize_started = time.perf_counter()
@@ -550,6 +561,11 @@ class QueryService:
                         if batch_size is not None
                         else self.config.batch_size
                     ),
+                    batch_layout=(
+                        batch_layout
+                        if batch_layout is not None
+                        else self.config.batch_layout
+                    ),
                     shards=granted_shards,
                     cluster=self._cluster_for(granted_shards),
                 )
@@ -579,6 +595,7 @@ class QueryService:
             rows=len(execution.rows),
             request_id=request_id,
             batch_size=engine.batch_size,
+            batch_layout=engine.batch_layout,
             shards=granted_shards,
             exchange_tuples=execution.metrics.exchange_tuples,
             exchange_bytes=execution.metrics.exchange_bytes,
@@ -600,6 +617,7 @@ class QueryService:
             knobs={
                 "parallelism": granted_parallelism,
                 "batch_size": engine.batch_size,
+                "batch_layout": engine.batch_layout,
                 "shards": granted_shards,
                 "max_fix_iterations": self.config.max_fix_iterations,
             },
@@ -636,6 +654,7 @@ class QueryService:
             "fix_iterations": execution.metrics.fix_iterations,
             "parallelism": granted_parallelism,
             "batch_size": engine.batch_size,
+            "batch_layout": engine.batch_layout,
             "shards": granted_shards,
         }
         if obs_echo is not None:
@@ -860,6 +879,7 @@ class QueryService:
         batch_size: Optional[int] = None,
         shards: Optional[int] = None,
         strategy: Optional[str] = None,
+        batch_layout: Optional[str] = None,
     ) -> dict:
         session = self._session(session_id)
         template = session.statements.get(statement_id)
@@ -867,7 +887,7 @@ class QueryService:
             raise ProtocolError(f"unknown statement {statement_id!r}")
         return self.run_query(
             template, params, timeout, parallelism, batch_size, shards,
-            strategy,
+            strategy, batch_layout,
         )
 
     # -- maintenance / observability ---------------------------------------
@@ -1135,6 +1155,7 @@ class QueryService:
             knobs={
                 "parallelism": 1,
                 "batch_size": engine.batch_size,
+                "batch_layout": engine.batch_layout,
                 "shards": width,
                 "max_fix_iterations": self.config.max_fix_iterations,
             },
@@ -1360,6 +1381,7 @@ class QueryService:
             _batch_size_field(request),
             _shards_field(request),
             _strategy_field(request),
+            _batch_layout_field(request),
         )
 
     def _op_prepare(self, request: dict) -> dict:
@@ -1381,6 +1403,7 @@ class QueryService:
             _batch_size_field(request),
             _shards_field(request),
             _strategy_field(request),
+            _batch_layout_field(request),
         )
 
     def _op_stats(self, request: dict) -> dict:
@@ -1493,6 +1516,17 @@ def _shards_field(request: dict) -> Optional[int]:
             or shards < 1:
         raise ProtocolError("shards must be a positive integer")
     return shards
+
+
+def _batch_layout_field(request: dict) -> Optional[str]:
+    batch_layout = request.get("batch_layout")
+    if batch_layout is None:
+        return None
+    try:
+        validate_choice("batch_layout", batch_layout, BATCH_LAYOUTS)
+    except ValueError as error:
+        raise ProtocolError(str(error)) from None
+    return batch_layout
 
 
 def _strategy_field(request: dict) -> Optional[str]:

@@ -12,7 +12,9 @@ set.
 ``test_differential_parallel.py`` sweeps the batch-size × parallelism
 grid; ``test_differential_shards.py`` adds the shards dimension,
 running the same queries through the distributed scatter-gather
-fixpoint.  ``REPRO_DIFF_EXAMPLES`` scales the example count and
+fixpoint, plus the batch-layout sweep ({row, columnar} crossed into
+the grid via ``layouts=``, with per-point metering parity).
+``REPRO_DIFF_EXAMPLES`` scales the example count and
 ``derandomize=True`` keeps CI seeds fixed so a red run is
 reproducible.
 """
@@ -179,7 +181,9 @@ def parts_queries(draw):
 # -- differential check -------------------------------------------------------
 
 
-def run_differential(db, graph, grid, cluster=None, optimizer=None):
+def run_differential(
+    db, graph, grid, cluster=None, optimizer=None, layouts=(None,)
+):
     """Optimize once, execute on a fresh engine per configuration, and
     assert every run matches the reference evaluator's answer set and
     the grid's first configuration's per-node tuple counts.
@@ -191,6 +195,14 @@ def run_differential(db, graph, grid, cluster=None, optimizer=None):
     optimizer (default: the paper's cost-controlled II optimizer) —
     the hook the enumeration sweep uses to prove the plans ``enum``
     picks execute identically under every configuration.
+
+    ``layouts`` crosses a ``batch_layout`` dimension into the grid
+    (``None`` = the engine's configured default).  Layout is a pure
+    representation choice, so on top of the tuple-count invariants the
+    harness requires ``predicate_evals`` and ``logical_reads`` to be
+    *identical across layouts* at every ``(batch, parallelism,
+    shards)`` point — a columnar kernel that skipped or repeated a
+    predicate evaluation fails here even when the answers agree.
     """
     if optimizer is None:
         optimizer = cost_controlled_optimizer
@@ -202,31 +214,55 @@ def run_differential(db, graph, grid, cluster=None, optimizer=None):
         return
     want = ReferenceEvaluator(db.physical).answer_set(graph)
     grid = list(grid)
+    layouts = list(layouts)
     counts = {}
     by_node = {}
+    metering = {}
     for batch_size, level, shards in grid:
-        engine = Engine(
-            db.physical,
-            parallelism=level,
-            batch_size=batch_size,
-            shards=shards,
-            cluster=cluster if shards > 1 else None,
-        )
-        result = engine.execute(plan)
-        config = (batch_size, level, shards)
-        assert result.answer_set() == want, (
-            f"batch_size={batch_size} parallelism={level} "
-            f"shards={shards} diverged from the reference evaluator"
-        )
-        counts[config] = result.metrics.total_tuples
-        by_node[config] = dict(result.metrics.tuples_by_node)
+        for layout in layouts:
+            engine = Engine(
+                db.physical,
+                parallelism=level,
+                batch_size=batch_size,
+                batch_layout=layout,
+                shards=shards,
+                cluster=cluster if shards > 1 else None,
+            )
+            result = engine.execute(plan)
+            config = (layout, batch_size, level, shards)
+            assert result.answer_set() == want, (
+                f"layout={layout} batch_size={batch_size} "
+                f"parallelism={level} shards={shards} diverged from "
+                f"the reference evaluator"
+            )
+            counts[config] = result.metrics.total_tuples
+            by_node[config] = dict(result.metrics.tuples_by_node)
+            metering[config] = (
+                result.metrics.predicate_evals,
+                result.metrics.buffer.logical_reads,
+            )
     assert len(set(counts.values())) == 1, (
         f"tuple counts diverged across the configuration grid: {counts}"
     )
-    reference_nodes = by_node[tuple(grid[0])]
+    reference_config = (layouts[0], *grid[0])
+    reference_nodes = by_node[reference_config]
     for config, nodes in by_node.items():
         assert nodes == reference_nodes, (
-            f"per-node tuple counts at batch_size={config[0]} "
-            f"parallelism={config[1]} shards={config[2]} diverged from "
-            f"the {tuple(grid[0])} reference: {nodes} != {reference_nodes}"
+            f"per-node tuple counts at layout={config[0]} "
+            f"batch_size={config[1]} parallelism={config[2]} "
+            f"shards={config[3]} diverged from the {reference_config} "
+            f"reference: {nodes} != {reference_nodes}"
+        )
+    # Layout parity of the metering counters, per grid point: the
+    # layout axis must be invisible to predicate_evals/logical_reads
+    # (the other axes may legitimately change them).
+    for batch_size, level, shards in grid:
+        point = {
+            layout: metering[(layout, batch_size, level, shards)]
+            for layout in layouts
+        }
+        assert len(set(point.values())) == 1, (
+            f"metering (predicate_evals, logical_reads) diverged across "
+            f"layouts at batch_size={batch_size} parallelism={level} "
+            f"shards={shards}: {point}"
         )

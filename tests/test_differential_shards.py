@@ -44,6 +44,18 @@ GRID = [
 ]
 assert GRID[0] == (1, 1, 1)
 
+#: The layout sweep crosses batch_layout {row, columnar} into a
+#: batch {1, 256} × parallelism {1, 4} × shards {1, 2} grid; the
+#: harness additionally requires predicate_evals and logical_reads to
+#: be identical across layouts at every grid point.
+LAYOUTS = ("row", "columnar")
+LAYOUT_GRID = [
+    (batch_size, level, shards)
+    for shards in (1, 2)
+    for level in PARALLELISM_LEVELS
+    for batch_size in BATCH_SIZES
+]
+
 
 @pytest.fixture(scope="module")
 def music_db():
@@ -85,6 +97,26 @@ def test_differential_shards_recursive_queries(
 @given(graph=parts_queries())
 def test_differential_shards_parts_queries(parts_db, parts_cluster, graph):
     run_differential(parts_db, graph, GRID, cluster=parts_cluster)
+
+
+@settings(**DIFF_SETTINGS)
+@given(graph=flat_queries())
+def test_differential_layout_sweep_flat_queries(
+    music_db, music_cluster, graph
+):
+    run_differential(
+        music_db, graph, LAYOUT_GRID, cluster=music_cluster, layouts=LAYOUTS
+    )
+
+
+@settings(**DIFF_SETTINGS)
+@given(graph=recursive_queries())
+def test_differential_layout_sweep_recursive_queries(
+    music_db, music_cluster, graph
+):
+    run_differential(
+        music_db, graph, LAYOUT_GRID, cluster=music_cluster, layouts=LAYOUTS
+    )
 
 
 def test_shards_one_is_exactly_serial(music_db, music_cluster):

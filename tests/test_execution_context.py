@@ -1,14 +1,21 @@
 """Centralized execution-knob validation (satellite of the sharding
 PR): every integer knob — ``parallelism``, ``batch_size``, ``shards``
 — is validated by one shared path (:func:`validate_knob`, called from
-``ExecutionContext.__post_init__`` and the ``Engine`` constructor), so
-every entry point rejects the same bad values with the same message.
+``ExecutionContext.__post_init__`` and the ``Engine`` constructor), and
+every enumerated knob — ``batch_layout``, the service ``strategy`` —
+by :func:`validate_choice`, so every entry point rejects the same bad
+values with the same message.
 """
 
 import pytest
 
 from repro.engine import Engine
-from repro.engine.context import ExecutionContext, validate_knob
+from repro.engine.batch import BATCH_LAYOUTS
+from repro.engine.context import (
+    ExecutionContext,
+    validate_choice,
+    validate_knob,
+)
 from repro.workloads import MusicConfig, generate_music_database
 
 KNOBS = ("parallelism", "batch_size", "shards")
@@ -47,6 +54,19 @@ def test_validate_knob_honours_custom_minimum():
         validate_knob("window", 7, minimum=8)
 
 
+def test_validate_choice_accepts_none_and_members():
+    for value in (None, "row", "columnar"):
+        validate_choice("batch_layout", value, BATCH_LAYOUTS)  # must not raise
+
+
+@pytest.mark.parametrize("bad", ["diagonal", "", "ROW", 1, ["row"]])
+def test_validate_choice_rejects_non_members(bad):
+    with pytest.raises(
+        ValueError, match="batch_layout must be one of: row, columnar"
+    ):
+        validate_choice("batch_layout", bad, BATCH_LAYOUTS)
+
+
 # -- one test per knob through ExecutionContext -------------------------------
 
 
@@ -65,6 +85,14 @@ def test_context_validates_batch_size():
         ExecutionContext(batch_size=0)
     with pytest.raises(ValueError, match="batch_size must be an integer"):
         ExecutionContext(batch_size=True)
+
+
+def test_context_validates_batch_layout():
+    assert ExecutionContext(batch_layout=None).batch_layout is None
+    assert ExecutionContext(batch_layout="row").batch_layout == "row"
+    assert ExecutionContext(batch_layout="columnar").batch_layout == "columnar"
+    with pytest.raises(ValueError, match="batch_layout must be one of"):
+        ExecutionContext(batch_layout="diagonal")
 
 
 def test_context_validates_shards():
@@ -86,8 +114,16 @@ def test_engine_constructor_rejects_bad_knobs(physical, knob):
         Engine(physical, **{knob: 3.5})
 
 
+def test_engine_constructor_validates_batch_layout(physical):
+    with pytest.raises(ValueError, match="batch_layout must be one of"):
+        Engine(physical, batch_layout="diagonal")
+
+
 def test_engine_constructor_accepts_good_knobs(physical):
-    engine = Engine(physical, parallelism=2, batch_size=64, shards=2)
+    engine = Engine(
+        physical, parallelism=2, batch_size=64, batch_layout="row", shards=2
+    )
     assert engine.parallelism == 2
     assert engine.batch_size == 64
+    assert engine.batch_layout == "row"
     assert engine.shards == 2

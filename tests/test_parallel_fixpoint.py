@@ -281,7 +281,10 @@ class TestSeenProbeNormalization:
     def test_normalize_runs_once_per_field_at_insertion(self, monkeypatch):
         """Regression: the seen-set probe used to re-normalize every
         value of every produced binding (2x per field); normalization
-        now happens exactly once per field, at insertion time."""
+        now happens exactly once per field, at insertion time.  Pinned
+        to the row layout — the columnar dedup path assembles its keys
+        straight from normalized columns and never routes through
+        ``key_of_normalized``, so this accounting is row-specific."""
         db = _music_db()
         _graph, plan = _optimized(db, RECURSIVE)
 
@@ -303,9 +306,40 @@ class TestSeenProbeNormalization:
             fixpoint_mod, "normalize_value", counting_normalize
         )
         monkeypatch.setattr(fixpoint_mod, "key_of_normalized", counting_key)
-        Engine(db.physical).execute(plan)
+        Engine(db.physical, batch_layout="row").execute(plan)
         assert key_calls[0] > 0
         # Influencer tuples carry exactly 3 scalar fields (master,
         # disciple, gen): one normalize call per field per probed
         # binding — the old probe path would have doubled this.
         assert normalize_calls[0] == 3 * key_calls[0]
+
+    def test_columnar_dedup_never_normalizes_more_than_row(self, monkeypatch):
+        """The columnar dedup path normalizes column-wise (at most once
+        per field per produced binding, and not at all for all-atomic
+        columns) — so it can only ever call ``normalize_value`` fewer
+        times than the row path does for the same plan."""
+        db = _music_db()
+        _graph, plan = _optimized(db, RECURSIVE)
+
+        real_normalize = fixpoint_mod.normalize_value
+
+        def run(layout):
+            calls = [0]
+
+            def counting_normalize(value):
+                calls[0] += 1
+                return real_normalize(value)
+
+            monkeypatch.setattr(
+                fixpoint_mod, "normalize_value", counting_normalize
+            )
+            result = Engine(db.physical, batch_layout=layout).execute(plan)
+            monkeypatch.setattr(
+                fixpoint_mod, "normalize_value", real_normalize
+            )
+            return result.answer_set(), calls[0]
+
+        row_answers, row_calls = run("row")
+        col_answers, col_calls = run("columnar")
+        assert col_answers == row_answers
+        assert 0 < col_calls <= row_calls
